@@ -1,0 +1,47 @@
+//! CGM costs (§5.2): graph construction — 84% of the paper's hierarchy
+//! construction time — and instance–template matching.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use nassim_cgm::generate::enumerate_instances;
+use nassim_cgm::matching::is_cli_match;
+use nassim_cgm::CliGraph;
+use nassim_datasets::catalog::Catalog;
+use nassim_syntax::parse_template;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_cgm(c: &mut Criterion) {
+    let catalog = Catalog::with_scale(500);
+    let strucs: Vec<_> = catalog
+        .commands
+        .iter()
+        .map(|cmd| parse_template(&cmd.template).unwrap())
+        .collect();
+
+    let mut group = c.benchmark_group("cgm");
+    group.throughput(Throughput::Elements(strucs.len() as u64));
+    group.bench_function("construction_sweep", |b| {
+        b.iter(|| strucs.iter().map(CliGraph::build).count())
+    });
+    group.finish();
+
+    // Matching: one complex graph, a mixed instance batch.
+    let complex = parse_template(
+        "filter-policy { <acl-number> | ip-prefix <ip-prefix-name> | acl-name <acl-name> } { import | export }",
+    )
+    .unwrap();
+    let graph = CliGraph::build(&complex);
+    let mut rng = StdRng::seed_from_u64(3);
+    let mut instances = enumerate_instances(&graph, 6, &mut rng);
+    instances.push("filter-policy bogus nonsense".to_string());
+    instances.push("completely unrelated line".to_string());
+    let mut group = c.benchmark_group("matching");
+    group.throughput(Throughput::Elements(instances.len() as u64));
+    group.bench_function("instance_batch", |b| {
+        b.iter(|| instances.iter().filter(|i| is_cli_match(i, &graph)).count())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_cgm);
+criterion_main!(benches);

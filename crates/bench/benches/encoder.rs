@@ -1,0 +1,42 @@
+//! Encoder costs: transformer forward pass (per sentence) and one
+//! siamese training step — the knobs that size the Table-5 experiment.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use nassim_nlp::training::{siamese_step, Adam, Pair};
+use nassim_nlp::{Encoder, EncoderConfig, Vocab};
+
+fn bench_encoder(c: &mut Criterion) {
+    let vocab = Vocab::build(
+        ["specifies the ipv4 address of a peer group identifier priority timeout"],
+        1,
+    );
+    let encoder = Encoder::new(EncoderConfig::small(vocab.len()), 1);
+
+    let mut group = c.benchmark_group("encoder_forward");
+    for len in [4usize, 16, 48] {
+        let ids: Vec<usize> = (0..len).map(|i| 1 + i % (vocab.len() - 1)).collect();
+        group.bench_with_input(BenchmarkId::from_parameter(len), &ids, |b, ids| {
+            b.iter(|| encoder.embed_ids(ids))
+        });
+    }
+    group.finish();
+
+    let mut train_enc = Encoder::new(EncoderConfig::small(vocab.len()), 2);
+    let batch: Vec<Pair> = (0..8)
+        .map(|i| Pair {
+            a: vec![1 + i % 5, 2, 3],
+            b: vec![2, 3 + i % 4],
+            label: (i % 2) as f32,
+        })
+        .collect();
+    let mut group = c.benchmark_group("encoder_training");
+    group.sample_size(20);
+    group.bench_function("siamese_step_batch8", |b| {
+        let mut opt = Adam::new(&train_enc.params(), 1e-3);
+        b.iter(|| siamese_step(&mut train_enc, &mut opt, &batch))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_encoder);
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! Manual-parsing throughput: pages/second for each vendor parser over
+//! its generated manual (the upstream cost of the whole pipeline).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use nassim_datasets::{catalog::Catalog, manualgen, style};
+use nassim_parser::{parser_for, run_parser};
+
+fn bench_parsing(c: &mut Criterion) {
+    let catalog = Catalog::base();
+    let mut group = c.benchmark_group("manual_parsing");
+    for vendor in style::VENDORS {
+        let st = style::vendor(vendor).unwrap();
+        let manual = manualgen::generate(
+            &st,
+            &catalog,
+            &manualgen::GenOptions {
+                seed: 1,
+                syntax_error_rate: 0.0,
+                ambiguity_rate: 0.0,
+                ..Default::default()
+            },
+        );
+        let parser = parser_for(vendor).unwrap();
+        group.throughput(Throughput::Elements(manual.pages.len() as u64));
+        group.bench_function(vendor, |b| {
+            b.iter_batched(
+                || (),
+                |_| {
+                    run_parser(
+                        parser.as_ref(),
+                        manual.pages.iter().map(|p| (p.url.as_str(), p.html.as_str())),
+                    )
+                },
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_parsing);
+criterion_main!(benches);

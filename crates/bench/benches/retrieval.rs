@@ -1,0 +1,43 @@
+//! Mapper retrieval cost per query: IR, DL and IR+DL (shortlist 50)
+//! ranking over a UDM with distractors — the §6.2 inner loop.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use nassim_bench::fixtures::HashEmbedder;
+use nassim_datasets::{catalog::Catalog, udmgen};
+use nassim_mapper::context::Context;
+use nassim_mapper::models::Mapper;
+
+fn bench_retrieval(c: &mut Criterion) {
+    let catalog = Catalog::base();
+    let data = udmgen::generate(
+        &catalog,
+        &udmgen::UdmGenOptions {
+            seed: 1,
+            paraphrase_strength: 0.6,
+            distractors: 300,
+        },
+    );
+    let udm = &data.udm;
+    let embedder = HashEmbedder(64);
+    let query = Context {
+        sequences: vec![
+            "peer-address".into(),
+            "peer <peer-address> as-number <as-number>".into(),
+            "Specifies the IPv4 address of the remote peer.".into(),
+            "BGP view".into(),
+            "Creates a BGP peer and specifies its autonomous system number.".into(),
+        ],
+    };
+
+    let ir = Mapper::ir(udm);
+    c.bench_function("recommend_ir_top10", |b| b.iter(|| ir.recommend(&query, 10)));
+
+    let dl = Mapper::dl(udm, &embedder);
+    c.bench_function("recommend_dl_top10", |b| b.iter(|| dl.recommend(&query, 10)));
+
+    let irdl = Mapper::ir_dl(udm, &embedder, 50);
+    c.bench_function("recommend_irdl50_top10", |b| b.iter(|| irdl.recommend(&query, 10)));
+}
+
+criterion_group!(benches, bench_retrieval);
+criterion_main!(benches);

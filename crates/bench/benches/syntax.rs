@@ -1,0 +1,35 @@
+//! Formal syntax validation cost (§5.1): template parse + diagnosis over
+//! the whole catalog, and the single-template paths (valid vs invalid).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use nassim_datasets::catalog::Catalog;
+use nassim_syntax::{parse_template, validate_template};
+
+fn bench_syntax(c: &mut Criterion) {
+    let catalog = Catalog::with_scale(500);
+    let templates: Vec<String> = catalog.commands.iter().map(|x| x.template.clone()).collect();
+
+    let mut group = c.benchmark_group("syntax_validation");
+    group.throughput(Throughput::Elements(templates.len() as u64));
+    group.bench_function("catalog_sweep", |b| {
+        b.iter(|| {
+            templates
+                .iter()
+                .filter(|t| validate_template(t).is_ok())
+                .count()
+        })
+    });
+    group.finish();
+
+    let complex = "filter-policy { <acl-number> | ip-prefix <ip-prefix-name> | acl-name <acl-name> } { import | export }";
+    let broken = "neighbor { <ip-addr> | <ip-prefix/length> } [ remote-as { <as-num> [ <.as-num> ] | route-map <name> }";
+    c.bench_function("parse_valid_complex", |b| {
+        b.iter(|| parse_template(complex).unwrap())
+    });
+    c.bench_function("diagnose_invalid_with_fixes", |b| {
+        b.iter(|| validate_template(broken).unwrap_err())
+    });
+}
+
+criterion_group!(benches, bench_syntax);
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! §7.3 headline — the assimilation acceleration factor.
+//!
+//! "If Mapper is allowed to provide 10 suggestions for parameter-pair
+//! matching, NetOps engineers only need to refer to the manual 11% of
+//! the time during the mapping phase, resulting in acceleration of the
+//! mapping phase by 9.1×." The factor is 1/(1 − recall@10) of the best
+//! model on the rich-annotation setting.
+
+use nassim_bench::fixtures::{mapping_experiment, MODEL_ORDER};
+
+fn main() {
+    let outcome = mapping_experiment(&[10]);
+    println!("Headline: assimilation acceleration (paper: 9.1x at 89% recall@10)");
+    println!();
+    for (setting, models) in &outcome.reports {
+        let (best_name, best) = MODEL_ORDER
+            .iter()
+            .map(|&m| (m, &models[m]))
+            .max_by(|a, b| {
+                a.1.recall_pct(10)
+                    .partial_cmp(&b.1.recall_pct(10))
+                    .unwrap_or(std::cmp::Ordering::Equal)
+            })
+            .expect("models evaluated");
+        let recall10 = best.recall_pct(10) / 100.0;
+        let manual_lookup = 1.0 - recall10;
+        let acceleration = if manual_lookup > 0.0 {
+            1.0 / manual_lookup
+        } else {
+            f64::INFINITY
+        };
+        println!(
+            "  {setting}: best model {best_name}, recall@10 = {:.0}% → engineers consult the manual {:.0}% of the time → {:.1}x acceleration",
+            recall10 * 100.0,
+            manual_lookup * 100.0,
+            acceleration
+        );
+    }
+}

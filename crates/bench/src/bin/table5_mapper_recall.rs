@@ -1,0 +1,46 @@
+//! Table 5 — Mapper performance: recall@top-k for the seven compared
+//! models on both mapping settings (rich-annotation helix→UDM, scarce
+//! norsk→UDM), with cross-vendor NetBERT fine-tuning (§7.3).
+
+use nassim_bench::fixtures::{mapping_experiment, MODEL_ORDER};
+
+fn main() {
+    let ks = [1, 3, 5, 7, 9, 10, 20, 30];
+    let outcome = mapping_experiment(&ks);
+
+    println!("Table 5: Mapper performance — recall@top-k (%)");
+    println!();
+    for (setting, models) in &outcome.reports {
+        println!(
+            "Mapping setting: {setting}  ({} annotated parameter occurrences)",
+            outcome.case_counts[setting]
+        );
+        print!("{:<12}", "Models");
+        for k in ks {
+            print!("{k:>6}");
+        }
+        println!();
+        for name in MODEL_ORDER {
+            let r = &models[name];
+            print!("{name:<12}");
+            for k in ks {
+                print!("{:>6.0}", r.recall_pct(k));
+            }
+            println!();
+        }
+        println!();
+    }
+
+    // The relative ordering the paper reports.
+    println!("paper shape check (recall@10):");
+    for (setting, models) in &outcome.reports {
+        let at10 = |m: &str| models[m].recall_pct(10);
+        println!(
+            "  [{setting}] SBERT>SimCSE: {} | IR+SBERT≥SBERT: {} | NetBERT≥SBERT: {} | IR+NetBERT≥IR: {}",
+            at10("SBERT") > at10("SimCSE"),
+            at10("IR+SBERT") + 1.0 >= at10("SBERT"),
+            at10("NetBERT") + 1.0 >= at10("SBERT"),
+            at10("IR+NetBERT") >= at10("IR"),
+        );
+    }
+}

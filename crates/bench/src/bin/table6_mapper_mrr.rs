@@ -1,0 +1,37 @@
+//! Table 6 (Appendix D) — detailed Mapper evaluation: recall@1..10,20,30
+//! plus mean reciprocal rank for all models and both settings.
+
+use nassim_bench::fixtures::{mapping_experiment, MODEL_ORDER};
+
+fn main() {
+    let ks = [1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 20, 30];
+    let outcome = mapping_experiment(&ks);
+
+    println!("Table 6 (Appendix D): Mapper performance — recall@k (%) and MRR");
+    println!();
+    for (setting, models) in &outcome.reports {
+        println!("Mapping setting: {setting}");
+        print!("{:<12}", "Models");
+        for k in ks {
+            print!("{k:>5}");
+        }
+        println!("{:>8}", "MRR");
+        for name in MODEL_ORDER {
+            let r = &models[name];
+            print!("{name:<12}");
+            for k in ks {
+                print!("{:>5.0}", r.recall_pct(k));
+            }
+            println!("{:>8.4}", r.mrr);
+        }
+        println!();
+    }
+
+    println!("paper shape check (MRR): higher-capacity / adapted models rank better:");
+    for (setting, models) in &outcome.reports {
+        println!(
+            "  [{setting}] NetBERT MRR {:.3} vs SimCSE MRR {:.3} vs IR MRR {:.3}",
+            models["NetBERT"].mrr, models["SimCSE"].mrr, models["IR"].mrr
+        );
+    }
+}

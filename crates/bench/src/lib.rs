@@ -1,0 +1,12 @@
+//! # nassim-bench
+//!
+//! Shared fixtures for the table/figure harness binaries (`src/bin/`) and
+//! the Criterion benches (`benches/`). Every harness regenerates one
+//! table or figure of the paper; see EXPERIMENTS.md at the repo root for
+//! the experiment ↔ binary index and the paper-vs-measured record.
+
+pub mod fixtures;
+
+pub use fixtures::{
+    construct_vendor, mapping_experiment, vendor_scale, MappingOutcome, VendorRun,
+};

@@ -1,0 +1,370 @@
+//! CGM construction (Algorithms 2–3 of the paper).
+//!
+//! The paper builds the graph with pyparsing parse actions plus a stack
+//! machine (`prev_stack`/`tail_stack`); this implementation walks the
+//! nested template structure from `nassim-syntax` recursively and produces
+//! the *same* graph shape:
+//!
+//! * one `Root` and one `Sink`;
+//! * a `Keyword`/`Param` node per leaf;
+//! * for each group, `GroupStart`/`GroupEnd` marker nodes bracketing the
+//!   branches. For *option* groups an edge `start → end` realises the
+//!   skip — exactly the paper's `if is_option(node): add_edge(start_node,
+//!   node)` in Algorithm 3.
+//!
+//! Marker nodes are "invalid" in matching terms: Algorithm 4's
+//! `get_valid_succssors` recurses through them until it reaches keyword or
+//! parameter nodes (or the sink). The recursive construction and the
+//! paper's stack construction are equivalent because both connect: every
+//! branch entry to the group opener, every branch exit to the group
+//! closer, and sequence element *n* exits to element *n+1* entries.
+
+use crate::types::ParamType;
+use nassim_syntax::template::{CliStruc, Ele};
+use std::fmt;
+
+/// Index of a node within a [`CliGraph`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct CgmNodeId(pub usize);
+
+/// A node of the CLI graph model.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CgmNode {
+    /// Single entry state.
+    Root,
+    /// Single accepting state.
+    Sink,
+    /// Literal token; exact text match required.
+    Keyword(String),
+    /// Placeholder; type match required.
+    Param { name: String, ty: ParamType },
+    /// Structural marker opening a `{…}` or `[…]` group (pass-through).
+    GroupStart { option: bool },
+    /// Structural marker closing a group (pass-through).
+    GroupEnd { option: bool },
+}
+
+impl CgmNode {
+    /// "Valid" nodes carry a token; markers/root are traversed silently.
+    /// (The paper's `is_valid_node` in Algorithm 4.)
+    pub fn is_valid(&self) -> bool {
+        matches!(self, CgmNode::Keyword(_) | CgmNode::Param { .. } | CgmNode::Sink)
+    }
+}
+
+impl fmt::Display for CgmNode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CgmNode::Root => write!(f, "ROOT"),
+            CgmNode::Sink => write!(f, "SINK"),
+            CgmNode::Keyword(k) => write!(f, "{k}"),
+            CgmNode::Param { name, ty } => write!(f, "<{name}:{}>", ty.name()),
+            CgmNode::GroupStart { option } => {
+                write!(f, "{}", if *option { "[start" } else { "{start" })
+            }
+            CgmNode::GroupEnd { option } => {
+                write!(f, "{}", if *option { "end]" } else { "end}" })
+            }
+        }
+    }
+}
+
+/// The CLI graph model: a single-root, single-sink DAG over
+/// keyword/parameter/marker nodes.
+#[derive(Debug, Clone)]
+pub struct CliGraph {
+    nodes: Vec<CgmNode>,
+    /// Adjacency: successors of each node.
+    succ: Vec<Vec<CgmNodeId>>,
+}
+
+impl CliGraph {
+    /// Build the CGM of a parsed template.
+    pub fn build(struc: &CliStruc) -> CliGraph {
+        let mut g = CliGraph {
+            nodes: vec![CgmNode::Root, CgmNode::Sink],
+            succ: vec![Vec::new(), Vec::new()],
+        };
+        let exits = g.build_seq(&struc.elements, vec![g.root()]);
+        let sink = g.sink();
+        for e in exits {
+            g.add_edge(e, sink);
+        }
+        g
+    }
+
+    /// Root node id (always 0).
+    pub fn root(&self) -> CgmNodeId {
+        CgmNodeId(0)
+    }
+
+    /// Sink node id (always 1).
+    pub fn sink(&self) -> CgmNodeId {
+        CgmNodeId(1)
+    }
+
+    /// Borrow a node.
+    pub fn node(&self, id: CgmNodeId) -> &CgmNode {
+        &self.nodes[id.0]
+    }
+
+    /// Successors of `id` in insertion order.
+    pub fn successors(&self, id: CgmNodeId) -> &[CgmNodeId] {
+        &self.succ[id.0]
+    }
+
+    /// Total node count (including root/sink/markers).
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True for a freshly constructed empty graph (never after `build`).
+    pub fn is_empty(&self) -> bool {
+        self.nodes.len() <= 2
+    }
+
+    /// Number of keyword + parameter nodes.
+    pub fn token_nodes(&self) -> usize {
+        self.nodes
+            .iter()
+            .filter(|n| matches!(n, CgmNode::Keyword(_) | CgmNode::Param { .. }))
+            .count()
+    }
+
+    fn push(&mut self, node: CgmNode) -> CgmNodeId {
+        let id = CgmNodeId(self.nodes.len());
+        self.nodes.push(node);
+        self.succ.push(Vec::new());
+        id
+    }
+
+    fn add_edge(&mut self, from: CgmNodeId, to: CgmNodeId) {
+        if !self.succ[from.0].contains(&to) {
+            self.succ[from.0].push(to);
+        }
+    }
+
+    /// Wire a sequence of elements after the nodes in `prevs`; returns the
+    /// exit frontier of the sequence.
+    fn build_seq(&mut self, eles: &[Ele], mut prevs: Vec<CgmNodeId>) -> Vec<CgmNodeId> {
+        for ele in eles {
+            prevs = self.build_ele(ele, prevs);
+        }
+        prevs
+    }
+
+    fn build_ele(&mut self, ele: &Ele, prevs: Vec<CgmNodeId>) -> Vec<CgmNodeId> {
+        match ele {
+            Ele::Keyword(k) => {
+                let node = self.push(CgmNode::Keyword(k.clone()));
+                for p in prevs {
+                    self.add_edge(p, node);
+                }
+                vec![node]
+            }
+            Ele::Param(name) => {
+                let node = self.push(CgmNode::Param {
+                    name: name.clone(),
+                    ty: ParamType::infer(name),
+                });
+                for p in prevs {
+                    self.add_edge(p, node);
+                }
+                vec![node]
+            }
+            Ele::Select(branches) => self.build_group(branches, false, prevs),
+            Ele::Option(branches) => self.build_group(branches, true, prevs),
+        }
+    }
+
+    fn build_group(
+        &mut self,
+        branches: &[Vec<Ele>],
+        option: bool,
+        prevs: Vec<CgmNodeId>,
+    ) -> Vec<CgmNodeId> {
+        let start = self.push(CgmNode::GroupStart { option });
+        let end = self.push(CgmNode::GroupEnd { option });
+        for p in prevs {
+            self.add_edge(p, start);
+        }
+        for branch in branches {
+            let exits = self.build_seq(branch, vec![start]);
+            for e in exits {
+                self.add_edge(e, end);
+            }
+        }
+        if option {
+            // Algorithm 3: options may be skipped entirely.
+            self.add_edge(start, end);
+        }
+        vec![end]
+    }
+
+    /// Algorithm 4's `get_valid_succssors`: the reachable *valid* nodes
+    /// (keyword/param/sink) from `id`, traversing marker nodes silently.
+    pub fn valid_successors(&self, id: CgmNodeId) -> Vec<CgmNodeId> {
+        let mut out = Vec::new();
+        let mut visited = vec![false; self.nodes.len()];
+        let mut stack: Vec<CgmNodeId> = self.successors(id).to_vec();
+        while let Some(n) = stack.pop() {
+            if visited[n.0] {
+                continue;
+            }
+            visited[n.0] = true;
+            if self.node(n).is_valid() {
+                if !out.contains(&n) {
+                    out.push(n);
+                }
+            } else {
+                stack.extend_from_slice(self.successors(n));
+            }
+        }
+        out
+    }
+
+    /// Render a GraphViz `dot` description — handy for debugging and used
+    /// by the `fig6_cgm_demo` harness to draw the paper's toy example.
+    pub fn to_dot(&self) -> String {
+        let mut out = String::from("digraph cgm {\n  rankdir=LR;\n");
+        for (i, n) in self.nodes.iter().enumerate() {
+            let (shape, label) = match n {
+                CgmNode::Root => ("point", "root".to_string()),
+                CgmNode::Sink => ("doublecircle", "sink".to_string()),
+                CgmNode::Keyword(k) => ("ellipse", k.clone()),
+                CgmNode::Param { name, ty } => ("box", format!("<{name}>\\n{}", ty.name())),
+                CgmNode::GroupStart { option } => {
+                    ("circle", if *option { "[".into() } else { "{".into() })
+                }
+                CgmNode::GroupEnd { option } => {
+                    ("circle", if *option { "]".into() } else { "}".into() })
+                }
+            };
+            out.push_str(&format!("  n{i} [shape={shape}, label=\"{label}\"];\n"));
+        }
+        for (i, succs) in self.succ.iter().enumerate() {
+            for s in succs {
+                out.push_str(&format!("  n{i} -> n{};\n", s.0));
+            }
+        }
+        out.push_str("}\n");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nassim_syntax::parse_template;
+
+    fn build(t: &str) -> CliGraph {
+        CliGraph::build(&parse_template(t).unwrap())
+    }
+
+    #[test]
+    fn flat_template_is_a_chain() {
+        let g = build("peer <ipv4-address> group <group-name>");
+        // root → peer → <ipv4> → group → <name> → sink
+        assert_eq!(g.token_nodes(), 4);
+        let first = g.valid_successors(g.root());
+        assert_eq!(first.len(), 1);
+        assert_eq!(g.node(first[0]), &CgmNode::Keyword("peer".into()));
+    }
+
+    #[test]
+    fn select_group_fans_out() {
+        let g = build("filter-policy { <acl-number> | ip-prefix <name> | acl-name <acl> } { import | export }");
+        let after_head = g.valid_successors(g.valid_successors(g.root())[0]);
+        // Three branch entries: <acl-number>, ip-prefix, acl-name.
+        assert_eq!(after_head.len(), 3);
+    }
+
+    #[test]
+    fn option_group_is_skippable() {
+        let g = build("show vlan [ <vlan-id> ]");
+        let vlan_kw = g.valid_successors(g.valid_successors(g.root())[0]);
+        let after_vlan = g.valid_successors(vlan_kw[0]);
+        // Either the optional parameter or straight to the sink.
+        assert_eq!(after_vlan.len(), 2);
+        assert!(after_vlan.iter().any(|&n| g.node(n) == &CgmNode::Sink));
+        assert!(after_vlan
+            .iter()
+            .any(|&n| matches!(g.node(n), CgmNode::Param { name, .. } if name == "vlan-id")));
+    }
+
+    #[test]
+    fn select_group_is_not_skippable() {
+        let g = build("x { a | b }");
+        let after_x = g.valid_successors(g.valid_successors(g.root())[0]);
+        assert_eq!(after_x.len(), 2);
+        assert!(!after_x.iter().any(|&n| g.node(n) == &CgmNode::Sink));
+    }
+
+    #[test]
+    fn nested_options_compose_skips() {
+        let g = build("a [ b [ c ] ]");
+        let a = g.valid_successors(g.root())[0];
+        let after_a = g.valid_successors(a);
+        // b or sink.
+        assert_eq!(after_a.len(), 2);
+        let b = *after_a
+            .iter()
+            .find(|&&n| g.node(n) == &CgmNode::Keyword("b".into()))
+            .unwrap();
+        let after_b = g.valid_successors(b);
+        // c or sink.
+        assert_eq!(after_b.len(), 2);
+    }
+
+    #[test]
+    fn param_nodes_carry_inferred_types() {
+        let g = build("peer <ipv4-address> as-number <as-number>");
+        let params: Vec<_> = (0..g.len())
+            .map(CgmNodeId)
+            .filter_map(|id| match g.node(id) {
+                CgmNode::Param { name, ty } => Some((name.clone(), *ty)),
+                _ => None,
+            })
+            .collect();
+        assert!(params.contains(&("ipv4-address".to_string(), ParamType::Ipv4)));
+        assert!(params.contains(&("as-number".to_string(), ParamType::Int)));
+    }
+
+    #[test]
+    fn single_root_single_sink() {
+        let g = build("x { a | b } [ c ]");
+        assert_eq!(g.node(g.root()), &CgmNode::Root);
+        assert_eq!(g.node(g.sink()), &CgmNode::Sink);
+        // Every node reaches the sink (DAG connectivity).
+        for id in 0..g.len() {
+            if CgmNodeId(id) == g.sink() {
+                continue;
+            }
+            let mut stack = vec![CgmNodeId(id)];
+            let mut seen = vec![false; g.len()];
+            let mut reached = false;
+            while let Some(n) = stack.pop() {
+                if n == g.sink() {
+                    reached = true;
+                    break;
+                }
+                if seen[n.0] {
+                    continue;
+                }
+                seen[n.0] = true;
+                stack.extend_from_slice(g.successors(n));
+            }
+            assert!(reached, "node {id} cannot reach the sink");
+        }
+    }
+
+    #[test]
+    fn dot_rendering_mentions_all_tokens() {
+        let g = build("filter-policy { import | export }");
+        let dot = g.to_dot();
+        assert!(dot.contains("filter-policy"));
+        assert!(dot.contains("import"));
+        assert!(dot.contains("export"));
+        assert!(dot.starts_with("digraph"));
+    }
+}

@@ -1,0 +1,290 @@
+//! CLI instance–template matching (Algorithms 1 & 4 of the paper).
+//!
+//! Two matchers are provided:
+//!
+//! * [`is_cli_match`] — the paper's breadth-first frontier search with
+//!   keyword-priority candidate selection (Algorithm 4 returns keyword
+//!   matches *preferentially*: parameter candidates are only considered
+//!   when no keyword candidate matched the token). This is fast and is
+//!   what the Validator runs at scale.
+//! * [`match_with_bindings`] — a complete depth-first matcher that also
+//!   returns the parameter → value bindings of one accepting path. The
+//!   simulated device uses the bindings to apply configuration, and tests
+//!   use it as an oracle for the frontier matcher.
+//!
+//! Keyword priority is sound for real vendor grammars: a literal keyword
+//! at a position is never also a legal *value* for a sibling string
+//! parameter of the same command in practice, and preferring keywords is
+//! precisely what devices themselves do when disambiguating input.
+
+use crate::graph::{CgmNode, CgmNodeId, CliGraph};
+
+/// Outcome of matching one instance against one template graph.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MatchOutcome {
+    /// Did a root→sink path match all tokens?
+    pub matched: bool,
+    /// How many leading tokens were matched before failure (equals token
+    /// count on success) — useful for "closest template" diagnostics.
+    pub tokens_matched: usize,
+}
+
+/// Algorithm 1: `is_cli_match(cli, cli_graph)`. Breadth-first frontier
+/// search; at each step candidates are the valid successors of all
+/// currently matched states.
+pub fn is_cli_match(cli: &str, graph: &CliGraph) -> bool {
+    match_frontier(cli, graph).matched
+}
+
+/// Frontier matcher returning progress information.
+pub fn match_frontier(cli: &str, graph: &CliGraph) -> MatchOutcome {
+    let tokens: Vec<&str> = cli.split_whitespace().collect();
+    if tokens.is_empty() {
+        return MatchOutcome {
+            matched: false,
+            tokens_matched: 0,
+        };
+    }
+    // `next_candis = get_graph_root(...)` — the valid successors of root.
+    let mut candis = graph.valid_successors(graph.root());
+    let mut matched_states: Vec<CgmNodeId>;
+    for (i, token) in tokens.iter().enumerate() {
+        matched_states = match_next(token, &candis, graph);
+        if matched_states.is_empty() {
+            return MatchOutcome {
+                matched: false,
+                tokens_matched: i,
+            };
+        }
+        // `get_next_candis`.
+        let mut next = Vec::new();
+        for &st in &matched_states {
+            for s in graph.valid_successors(st) {
+                if !next.contains(&s) {
+                    next.push(s);
+                }
+            }
+        }
+        candis = next;
+        // States that already reached the sink stay reachable via `candis`
+        // containing the sink itself.
+        if i + 1 == tokens.len() {
+            // `is_reach_end(next_candis)`: after consuming every token,
+            // accept iff one of the matched states has the sink among its
+            // valid successors (or was itself followed only by the sink).
+            let reach_end = matched_states
+                .iter()
+                .any(|&st| graph.valid_successors(st).contains(&graph.sink()))
+                || candis.contains(&graph.sink());
+            return MatchOutcome {
+                matched: reach_end,
+                tokens_matched: tokens.len(),
+            };
+        }
+    }
+    unreachable!("loop returns on the final token");
+}
+
+/// Algorithm 4: `match_next` — keyword candidates first; parameter
+/// candidates only when no keyword matched.
+fn match_next(token: &str, candis: &[CgmNodeId], graph: &CliGraph) -> Vec<CgmNodeId> {
+    let mut matched = Vec::new();
+    for &c in candis {
+        if let CgmNode::Keyword(k) = graph.node(c) {
+            if k == token {
+                matched.push(c);
+            }
+        }
+    }
+    if !matched.is_empty() {
+        return matched;
+    }
+    for &c in candis {
+        if let CgmNode::Param { ty, .. } = graph.node(c) {
+            if ty.matches(token) {
+                matched.push(c);
+            }
+        }
+    }
+    matched
+}
+
+/// A complete matcher that returns `(param name, value)` bindings of one
+/// accepting path, or `None` if the instance does not match. Explores all
+/// candidates (no keyword-priority pruning) with memoisation on
+/// `(token index, node)`.
+pub fn match_with_bindings(cli: &str, graph: &CliGraph) -> Option<Vec<(String, String)>> {
+    let tokens: Vec<&str> = cli.split_whitespace().collect();
+    if tokens.is_empty() {
+        return None;
+    }
+    let mut dead: Vec<Vec<bool>> = vec![vec![false; graph.len()]; tokens.len() + 1];
+
+    fn dfs(
+        graph: &CliGraph,
+        tokens: &[&str],
+        pos: usize,
+        state: CgmNodeId,
+        dead: &mut [Vec<bool>],
+        bindings: &mut Vec<(String, String)>,
+    ) -> bool {
+        // `state` has consumed tokens[..pos]; try to finish from here.
+        if pos == tokens.len() {
+            return graph.valid_successors(state).contains(&graph.sink());
+        }
+        if dead[pos][state.0] {
+            return false;
+        }
+        for next in graph.valid_successors(state) {
+            let consumed = match graph.node(next) {
+                CgmNode::Keyword(k) => k == tokens[pos],
+                CgmNode::Param { ty, .. } => ty.matches(tokens[pos]),
+                _ => false,
+            };
+            if !consumed {
+                continue;
+            }
+            if let CgmNode::Param { name, .. } = graph.node(next) {
+                bindings.push((name.clone(), tokens[pos].to_string()));
+            }
+            if dfs(graph, tokens, pos + 1, next, dead, bindings) {
+                return true;
+            }
+            if matches!(graph.node(next), CgmNode::Param { .. }) {
+                bindings.pop();
+            }
+        }
+        dead[pos][state.0] = true;
+        false
+    }
+
+    let mut bindings = Vec::new();
+    if dfs(graph, &tokens, 0, graph.root(), &mut dead, &mut bindings) {
+        Some(bindings)
+    } else {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nassim_syntax::parse_template;
+
+    fn graph(t: &str) -> CliGraph {
+        CliGraph::build(&parse_template(t).unwrap())
+    }
+
+    const FILTER_POLICY: &str = "filter-policy { <acl-number> | ip-prefix <ip-prefix-name> | acl-name <acl-name> } { import | export }";
+
+    #[test]
+    fn paper_toy_example_matches() {
+        let g = graph(FILTER_POLICY);
+        // Figure 6's dotted green path.
+        assert!(is_cli_match("filter-policy acl-name acl1 export", &g));
+        assert!(is_cli_match("filter-policy 2000 import", &g));
+        assert!(is_cli_match("filter-policy ip-prefix pfx1 import", &g));
+    }
+
+    #[test]
+    fn paper_toy_example_rejects() {
+        let g = graph(FILTER_POLICY);
+        assert!(!is_cli_match("filter-policy import", &g)); // missing selector
+        assert!(!is_cli_match("filter-policy acl-name acl1", &g)); // missing mode
+        assert!(!is_cli_match("filter-policy acl-name acl1 export extra", &g));
+        assert!(!is_cli_match("filter-policies acl-name acl1 export", &g));
+        assert!(!is_cli_match("", &g));
+    }
+
+    #[test]
+    fn optional_parts_may_be_omitted() {
+        let g = graph("show vlan [ <vlan-id> ]");
+        assert!(is_cli_match("show vlan", &g));
+        assert!(is_cli_match("show vlan 100", &g));
+        assert!(!is_cli_match("show vlan 100 200", &g));
+        assert!(!is_cli_match("show vlan abc", &g)); // vlan-id is int-typed
+    }
+
+    #[test]
+    fn type_matching_on_parameters() {
+        let g = graph("peer <ipv4-address> as-number <as-number>");
+        assert!(is_cli_match("peer 10.1.1.1 as-number 65001", &g));
+        assert!(!is_cli_match("peer not-an-ip as-number 65001", &g));
+        assert!(!is_cli_match("peer 10.1.1.1 as-number sixty", &g));
+    }
+
+    #[test]
+    fn progress_reported_on_failure() {
+        let g = graph("peer <ipv4-address> as-number <as-number>");
+        let out = match_frontier("peer 10.1.1.1 as-number nope", &g);
+        assert!(!out.matched);
+        assert_eq!(out.tokens_matched, 3);
+    }
+
+    #[test]
+    fn bindings_extracted_on_match() {
+        let g = graph(FILTER_POLICY);
+        let b = match_with_bindings("filter-policy acl-name acl1 export", &g).unwrap();
+        assert_eq!(b, vec![("acl-name".to_string(), "acl1".to_string())]);
+        let b = match_with_bindings("filter-policy 2000 import", &g).unwrap();
+        assert_eq!(b, vec![("acl-number".to_string(), "2000".to_string())]);
+    }
+
+    #[test]
+    fn bindings_none_on_mismatch() {
+        let g = graph(FILTER_POLICY);
+        assert!(match_with_bindings("filter-policy bogus", &g).is_none());
+    }
+
+    #[test]
+    fn nested_group_instances() {
+        let g = graph("neighbor { <ip-addr> | <ip-prefix/length> } [ remote-as { <as-num> | route-map <name> } ]");
+        assert!(is_cli_match("neighbor 10.0.0.1", &g));
+        assert!(is_cli_match("neighbor 10.0.0.0/24 remote-as 65001", &g));
+        assert!(is_cli_match("neighbor 10.0.0.1 remote-as route-map rm1", &g));
+        assert!(!is_cli_match("neighbor 10.0.0.1 remote-as", &g));
+    }
+
+    #[test]
+    fn frontier_and_complete_matchers_agree() {
+        let templates = [
+            FILTER_POLICY,
+            "show vlan [ <vlan-id> ]",
+            "peer <ipv4-address> as-number <as-number>",
+            "stp instance <instance-id> root { primary | secondary }",
+            "a [ b [ c ] ] d",
+        ];
+        let instances = [
+            "filter-policy acl-name acl1 export",
+            "filter-policy import",
+            "show vlan",
+            "show vlan 42",
+            "peer 10.1.1.1 as-number 65001",
+            "stp instance 5 root primary",
+            "a d",
+            "a b d",
+            "a b c d",
+            "a c d",
+            "totally unrelated input",
+        ];
+        for t in &templates {
+            let g = graph(t);
+            for i in &instances {
+                assert_eq!(
+                    is_cli_match(i, &g),
+                    match_with_bindings(i, &g).is_some(),
+                    "matchers disagree on template `{t}` instance `{i}`"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn keyword_preferred_over_string_param() {
+        // `group` is both a keyword continuation and a plausible string
+        // value; the keyword path must win and still match.
+        let g = graph("peer <peer-name> [ group <group-name> ]");
+        assert!(is_cli_match("peer p1 group g1", &g));
+        assert!(is_cli_match("peer p1", &g));
+    }
+}

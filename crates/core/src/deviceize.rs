@@ -1,0 +1,103 @@
+//! Build a simulated-device model from a catalog + vendor style.
+//!
+//! The [`DeviceModel`] is the *firmware truth* used by §5.3's live
+//! validation: it accepts exactly the commands the catalog defines, in
+//! the vendor's surface syntax, with the vendor's view names. Undo/no
+//! forms are accepted as configuration commands (real devices do), so
+//! generated undo instances pass the acceptance + read-back loop.
+
+use nassim_datasets::catalog::Catalog;
+use nassim_datasets::style::VendorStyle;
+use nassim_device::model::{DeviceModel, ModelError};
+
+/// Assemble the device model of `style`'s rendering of `catalog`.
+pub fn device_model_from_catalog(
+    catalog: &Catalog,
+    style: &VendorStyle,
+) -> Result<DeviceModel, ModelError> {
+    let root = style.view_name("system");
+    let mut model = DeviceModel::new(root.clone());
+    // Views first (parents before children — iterate until fixpoint to
+    // stay independent of declaration order).
+    let mut pending: Vec<_> = catalog.views.iter().filter(|v| v.key != "system").collect();
+    while !pending.is_empty() {
+        let before = pending.len();
+        pending.retain(|v| {
+            let name = style.view_name(&v.key);
+            let parent = style.view_name(&v.parent);
+            if model.has_view(&parent) {
+                model
+                    .add_view(&name, &parent)
+                    .expect("fresh view under existing parent");
+                false
+            } else {
+                true
+            }
+        });
+        assert!(
+            pending.len() < before,
+            "view cycle or missing parent in catalog: {:?}",
+            pending.iter().map(|v| &v.key).collect::<Vec<_>>()
+        );
+    }
+    // Commands — registered under every view they work in.
+    for cmd in &catalog.commands {
+        let opens = cmd.opens.as_ref().map(|v| style.view_name(v));
+        for view_key in
+            std::iter::once(cmd.view.as_str()).chain(cmd.also_views.iter().map(String::as_str))
+        {
+            let view = style.view_name(view_key);
+            model.add_command(
+                &view,
+                &style.render_template(&cmd.template),
+                opens.as_deref(),
+            )?;
+            if cmd.has_undo {
+                model.add_command(&view, &style.render_undo(&cmd.template), None)?;
+            }
+        }
+    }
+    Ok(model)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nassim_datasets::style::vendor;
+    use nassim_device::Session;
+
+    #[test]
+    fn catalog_device_accepts_rendered_instances() {
+        let cat = Catalog::base();
+        let style = vendor("helix").unwrap();
+        let model = device_model_from_catalog(&cat, &style).unwrap();
+        assert_eq!(model.view_count(), cat.views.len());
+        let mut s = Session::new(&model);
+        s.exec("bgp 65001").unwrap();
+        s.exec("peer 10.0.0.2 as-number 65002").unwrap();
+        s.exec("undo peer 10.0.0.2 as-number 65002").unwrap();
+        s.exec("return").unwrap();
+        s.exec("vlan 100").unwrap();
+        assert_eq!(s.current_view(), "vlan view");
+    }
+
+    #[test]
+    fn vendor_surface_syntax_differs() {
+        let cat = Catalog::base();
+        let cirrus = device_model_from_catalog(&cat, &vendor("cirrus").unwrap()).unwrap();
+        let mut s = Session::new(&cirrus);
+        // cirrus says `neighbor`, not `peer`, inside `bgp`.
+        s.exec("bgp 65001").unwrap();
+        assert!(s.exec("peer 10.0.0.2 as-number 65002").is_err());
+        assert!(s.exec("neighbor 10.0.0.2 as-number 65002").is_ok());
+    }
+
+    #[test]
+    fn all_vendor_models_build() {
+        let cat = Catalog::with_scale(100);
+        for v in nassim_datasets::style::vendors() {
+            let model = device_model_from_catalog(&cat, &v).unwrap();
+            assert!(model.command_count() > cat.commands.len(), "{}", v.name);
+        }
+    }
+}

@@ -1,0 +1,130 @@
+//! The VDM construction pipeline (paper Figure 2, end to end).
+
+use nassim_parser::{run_parser, ParseRun, VendorParser};
+use nassim_validator::hierarchy::Derivation;
+use nassim_validator::syntax_stage::SyntaxAudit;
+use nassim_validator::vdm_build::VdmBuild;
+use nassim_validator::{audit_corpus, build_vdm, derive_hierarchy, VdmConstructionReport};
+
+/// Everything the construction phase produces for one vendor.
+pub struct Assimilation {
+    /// Parser output + TDD report.
+    pub parse: ParseRun,
+    /// Stage 1: formal syntax audit.
+    pub syntax: SyntaxAudit,
+    /// Stage 2: hierarchy derivation (votes, ambiguity, timings).
+    pub derivation: Derivation,
+    /// The assembled validated VDM plus placement diagnostics.
+    pub build: VdmBuild,
+}
+
+impl Assimilation {
+    /// Assemble the Table-4 style per-vendor report. `empirical` is the
+    /// stage-3 result plus the number of config files, when a config
+    /// corpus exists for this vendor.
+    pub fn report(
+        &self,
+        device_model: &str,
+        empirical: Option<(&nassim_validator::EmpiricalReport, usize)>,
+    ) -> VdmConstructionReport {
+        VdmConstructionReport::assemble(
+            &self.build.vdm.vendor,
+            device_model,
+            &self.build.vdm,
+            &self.syntax,
+            &self.derivation,
+            empirical,
+        )
+    }
+}
+
+/// Run the full construction phase: parse → audit → derive → build.
+pub fn assimilate<'a>(
+    parser: &dyn VendorParser,
+    pages: impl IntoIterator<Item = (&'a str, &'a str)>,
+) -> Assimilation {
+    let parse = run_parser(parser, pages);
+    let syntax = audit_corpus(&parse.pages);
+    let derivation = derive_hierarchy(&parse.pages);
+    let build = build_vdm(parser.vendor(), &parse.pages, &derivation);
+    Assimilation {
+        parse,
+        syntax,
+        derivation,
+        build,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nassim_datasets::{catalog::Catalog, manualgen, style};
+    use nassim_parser::parser_for;
+
+    fn assimilate_vendor(vendor: &str, opts: manualgen::GenOptions) -> Assimilation {
+        let cat = Catalog::base();
+        let m = manualgen::generate(&style::vendor(vendor).unwrap(), &cat, &opts);
+        let parser = parser_for(vendor).unwrap();
+        assimilate(
+            parser.as_ref(),
+            m.pages.iter().map(|p| (p.url.as_str(), p.html.as_str())),
+        )
+    }
+
+    #[test]
+    fn clean_helix_manual_assimilates_fully() {
+        let a = assimilate_vendor(
+            "helix",
+            manualgen::GenOptions {
+                seed: 5,
+                syntax_error_rate: 0.0,
+                ambiguity_rate: 0.0,
+                ..Default::default()
+            },
+        );
+        assert!(a.parse.report.passes(), "{}", a.parse.report);
+        assert_eq!(a.syntax.invalid_count(), 0);
+        assert!(a.build.unplaced_pages.is_empty(), "unplaced: {:?}", a.build.unplaced_pages);
+        // Every catalog command became at least one CLI-view pair.
+        assert!(a.build.vdm.cli_view_pairs() >= Catalog::base().commands.len());
+        assert_eq!(a.build.vdm.root_view, "system view");
+    }
+
+    #[test]
+    fn all_four_vendors_assimilate() {
+        for vendor in nassim_datasets::style::VENDORS {
+            let a = assimilate_vendor(
+                vendor,
+                manualgen::GenOptions {
+                    seed: 6,
+                    syntax_error_rate: 0.0,
+                    ambiguity_rate: 0.0,
+                    ..Default::default()
+                },
+            );
+            assert!(
+                a.build.unplaced_pages.is_empty(),
+                "{vendor}: unplaced pages {:?}",
+                a.build.unplaced_pages
+            );
+            let report = a.report("test", None);
+            assert!(report.cli_view_pairs > 0, "{vendor}");
+        }
+    }
+
+    #[test]
+    fn injected_defects_surface_in_the_report() {
+        let a = assimilate_vendor(
+            "helix",
+            manualgen::GenOptions {
+                seed: 7,
+                syntax_error_rate: 0.08,
+                ambiguity_rate: 0.3,
+                ..Default::default()
+            },
+        );
+        let report = a.report("test", None);
+        assert!(report.invalid_clis > 0);
+        assert!(report.ambiguous_views > 0);
+    }
+}

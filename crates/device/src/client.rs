@@ -1,0 +1,60 @@
+//! A blocking client for the device line protocol — what the Validator
+//! (and, conceptually, the SDN controller's Telnet driver) uses to push
+//! generated instances at a device and read back its configuration.
+
+use crate::protocol::Response;
+use std::io::{self, BufReader, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+/// A connected CLI client.
+pub struct DeviceClient {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl DeviceClient {
+    /// Connect to a device server.
+    pub fn connect(addr: SocketAddr) -> io::Result<DeviceClient> {
+        let stream = TcpStream::connect(addr)?;
+        // Validation commands are tiny; fail fast rather than hang if the
+        // server misbehaves.
+        stream.set_read_timeout(Some(Duration::from_secs(10)))?;
+        stream.set_write_timeout(Some(Duration::from_secs(10)))?;
+        stream.set_nodelay(true)?;
+        Ok(DeviceClient {
+            reader: BufReader::new(stream.try_clone()?),
+            writer: stream,
+        })
+    }
+
+    /// Execute one command line and read its framed response.
+    pub fn exec(&mut self, line: &str) -> io::Result<Response> {
+        debug_assert!(!line.contains('\n'), "one command per exec call");
+        self.writer.write_all(line.as_bytes())?;
+        self.writer.write_all(b"\n")?;
+        self.writer.flush()?;
+        Response::read_from(&mut self.reader)
+    }
+
+    /// Convenience: run `display current-configuration` and return the
+    /// config lines.
+    pub fn current_configuration(&mut self) -> io::Result<Vec<String>> {
+        match self.exec("display current-configuration")? {
+            Response::Output { lines } => Ok(lines),
+            other => Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("expected output block, got {other:?}"),
+            )),
+        }
+    }
+
+    /// Convenience: is `line` present in the device's configuration?
+    /// (The §5.3 read-back check.)
+    pub fn has_config_line(&mut self, line: &str) -> io::Result<bool> {
+        Ok(self
+            .current_configuration()?
+            .iter()
+            .any(|l| l.trim_start() == line.trim()))
+    }
+}

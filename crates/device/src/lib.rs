@@ -1,0 +1,47 @@
+//! # nassim-device
+//!
+//! A simulated network device — the substrate that stands in for the
+//! real devices the paper issues generated CLI instances to during
+//! empirical validation (§5.3: "we issue the instances directly to the
+//! devices for validation; finally, we use 'show' commands … to check
+//! whether the instance has been correctly configured").
+//!
+//! The simulation is deliberately faithful to how CLI devices behave:
+//!
+//! * [`model`] — the device's true configuration model: a view (command
+//!   mode) tree plus, per view, the set of accepted command templates as
+//!   CLI graph models;
+//! * [`session`] — a stateful CLI session: a view stack, command matching
+//!   against the current view, `quit`/`return` navigation, a hierarchical
+//!   configuration store, and `display current-configuration`;
+//! * [`protocol`] — the line protocol framing responses (`+OK`, `-ERR`,
+//!   `*N` output blocks);
+//! * [`server`] / [`client`] — a blocking TCP server (thread per
+//!   connection, std::net) and client, so the validation loop runs over a
+//!   real socket exactly as a Telnet-driven SDN controller would.
+//!
+//! ```
+//! use nassim_device::{model::DeviceModel, session::Session};
+//!
+//! let mut model = DeviceModel::new("system");
+//! model.add_view("bgp-view", "system").unwrap();
+//! model.add_command("system", "bgp <as-number>", Some("bgp-view")).unwrap();
+//! model.add_command("bgp-view", "router-id <ipv4-address>", None).unwrap();
+//!
+//! let mut s = Session::new(&model);
+//! assert!(s.exec("bgp 65001").is_ok());
+//! assert!(s.exec("router-id 1.1.1.1").is_ok());
+//! assert!(s.exec("no-such-command 1").is_err());
+//! ```
+
+pub mod client;
+pub mod model;
+pub mod protocol;
+pub mod server;
+pub mod session;
+
+pub use client::DeviceClient;
+pub use model::DeviceModel;
+pub use protocol::Response;
+pub use server::DeviceServer;
+pub use session::Session;

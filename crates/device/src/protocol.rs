@@ -1,0 +1,149 @@
+//! The line protocol spoken between [`crate::server`] and
+//! [`crate::client`].
+//!
+//! Requests are single command lines terminated by `\n` (what a Telnet
+//! driver would send). Responses are framed Redis-style so the client
+//! never guesses at boundaries:
+//!
+//! ```text
+//! +OK view=<current-view>\n         command accepted
+//! -ERR <message>\n                  command rejected
+//! *<n>\n<line-1>\n…<line-n>\n       n output lines follow
+//! ```
+
+use std::fmt;
+use std::io::{self, BufRead, Write};
+
+/// A framed server response.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Response {
+    /// Command accepted; the session is now in `view`.
+    Ok { view: String },
+    /// Command rejected.
+    Err { message: String },
+    /// Output block (e.g. a configuration dump).
+    Output { lines: Vec<String> },
+}
+
+impl fmt::Display for Response {
+    /// Renders the exact wire format documented in the module docs.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Response::Ok { view } => writeln!(f, "+OK view={view}"),
+            Response::Err { message } => writeln!(f, "-ERR {message}"),
+            Response::Output { lines } => {
+                writeln!(f, "*{}", lines.len())?;
+                for l in lines {
+                    writeln!(f, "{l}")?;
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+impl Response {
+    /// Write the framed response to `w`.
+    pub fn write_to(&self, w: &mut impl Write) -> io::Result<()> {
+        w.write_all(self.to_string().as_bytes())?;
+        w.flush()
+    }
+
+    /// Read one framed response from `r`.
+    pub fn read_from(r: &mut impl BufRead) -> io::Result<Response> {
+        let mut head = String::new();
+        if r.read_line(&mut head)? == 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "connection closed mid-response",
+            ));
+        }
+        let head = head.trim_end_matches(['\r', '\n']);
+        if let Some(rest) = head.strip_prefix("+OK view=") {
+            return Ok(Response::Ok {
+                view: rest.to_string(),
+            });
+        }
+        if let Some(rest) = head.strip_prefix("-ERR ") {
+            return Ok(Response::Err {
+                message: rest.to_string(),
+            });
+        }
+        if let Some(n) = head.strip_prefix('*') {
+            let n: usize = n.parse().map_err(|_| {
+                io::Error::new(io::ErrorKind::InvalidData, format!("bad count line: {head}"))
+            })?;
+            let mut lines = Vec::with_capacity(n);
+            for _ in 0..n {
+                let mut line = String::new();
+                if r.read_line(&mut line)? == 0 {
+                    return Err(io::Error::new(
+                        io::ErrorKind::UnexpectedEof,
+                        "connection closed inside output block",
+                    ));
+                }
+                lines.push(line.trim_end_matches(['\r', '\n']).to_string());
+            }
+            return Ok(Response::Output { lines });
+        }
+        Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("unparseable response head: {head}"),
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::BufReader;
+
+    fn round_trip(resp: Response) {
+        let mut buf = Vec::new();
+        resp.write_to(&mut buf).unwrap();
+        let mut reader = BufReader::new(buf.as_slice());
+        assert_eq!(Response::read_from(&mut reader).unwrap(), resp);
+    }
+
+    #[test]
+    fn ok_round_trips() {
+        round_trip(Response::Ok {
+            view: "BGP view".into(),
+        });
+    }
+
+    #[test]
+    fn err_round_trips() {
+        round_trip(Response::Err {
+            message: "unrecognized command".into(),
+        });
+    }
+
+    #[test]
+    fn output_round_trips() {
+        round_trip(Response::Output {
+            lines: vec!["bgp 65001".into(), " router-id 1.1.1.1".into()],
+        });
+        round_trip(Response::Output { lines: vec![] });
+    }
+
+    #[test]
+    fn multiple_responses_stream() {
+        let mut buf = Vec::new();
+        Response::Ok { view: "a".into() }.write_to(&mut buf).unwrap();
+        Response::Err { message: "x".into() }.write_to(&mut buf).unwrap();
+        let mut r = BufReader::new(buf.as_slice());
+        assert!(matches!(Response::read_from(&mut r).unwrap(), Response::Ok { .. }));
+        assert!(matches!(Response::read_from(&mut r).unwrap(), Response::Err { .. }));
+    }
+
+    #[test]
+    fn eof_and_garbage_are_errors() {
+        let mut r = BufReader::new(&b""[..]);
+        assert!(Response::read_from(&mut r).is_err());
+        let mut r = BufReader::new(&b"?what\n"[..]);
+        assert!(Response::read_from(&mut r).is_err());
+        let mut r = BufReader::new(&b"*2\nonly-one\n"[..]);
+        assert!(Response::read_from(&mut r).is_err());
+    }
+}

@@ -1,0 +1,255 @@
+//! A blocking TCP server exposing a [`DeviceModel`] as a CLI endpoint.
+//!
+//! One OS thread per connection, each with its own [`Session`] — the same
+//! isolation a real device gives concurrent Telnet sessions. The workload
+//! is short request/response lines at validation scale (thousands of
+//! commands), where a thread-per-connection blocking design is the
+//! simplest thing that is obviously correct; an async runtime would add
+//! machinery without adding capacity.
+
+use crate::model::DeviceModel;
+use crate::protocol::Response;
+use crate::session::{Accepted, Session};
+use parking_lot::Mutex;
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// A running device server; dropping the handle stops it.
+pub struct DeviceServer {
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    accept_thread: Option<JoinHandle<()>>,
+    /// Join handles of live connection threads.
+    conn_threads: Arc<Mutex<Vec<JoinHandle<()>>>>,
+}
+
+impl DeviceServer {
+    /// Bind to an ephemeral localhost port and start serving `model`.
+    pub fn spawn(model: Arc<DeviceModel>) -> io::Result<DeviceServer> {
+        let listener = TcpListener::bind(("127.0.0.1", 0))?;
+        let addr = listener.local_addr()?;
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let conn_threads: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
+
+        let accept_shutdown = Arc::clone(&shutdown);
+        let accept_conns = Arc::clone(&conn_threads);
+        let accept_thread = std::thread::Builder::new()
+            .name("device-accept".to_string())
+            .spawn(move || {
+                for stream in listener.incoming() {
+                    if accept_shutdown.load(Ordering::SeqCst) {
+                        break;
+                    }
+                    let Ok(stream) = stream else { continue };
+                    let model = Arc::clone(&model);
+                    let conn_shutdown = Arc::clone(&accept_shutdown);
+                    let handle = std::thread::Builder::new()
+                        .name("device-session".to_string())
+                        .spawn(move || {
+                            // A failed session is a client problem, not a
+                            // server problem; log-and-continue semantics.
+                            let _ = serve_connection(stream, &model, &conn_shutdown);
+                        })
+                        .expect("spawn session thread");
+                    accept_conns.lock().push(handle);
+                }
+            })?;
+
+        Ok(DeviceServer {
+            addr,
+            shutdown,
+            accept_thread: Some(accept_thread),
+            conn_threads,
+        })
+    }
+
+    /// The bound address clients connect to.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stop accepting and join all threads.
+    pub fn stop(&mut self) {
+        if self.shutdown.swap(true, Ordering::SeqCst) {
+            return; // already stopped
+        }
+        // Unblock the accept loop with a no-op connection.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+        for t in self.conn_threads.lock().drain(..) {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for DeviceServer {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+/// Serve one connection: read command lines, execute them on a fresh
+/// session, write framed responses. Returns when the peer closes or the
+/// server shuts down.
+///
+/// Reads use a short timeout so an idle session re-checks the shutdown
+/// flag; without it, `DeviceServer::stop` would deadlock joining a thread
+/// blocked in `read_line` on a still-open client.
+fn serve_connection(
+    stream: TcpStream,
+    model: &DeviceModel,
+    shutdown: &AtomicBool,
+) -> io::Result<()> {
+    stream.set_read_timeout(Some(std::time::Duration::from_millis(200)))?;
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut writer = stream;
+    let mut session = Session::new(model);
+    let mut line = String::new();
+    loop {
+        match reader.read_line(&mut line) {
+            Ok(0) => return Ok(()), // peer closed
+            Ok(_) => {}
+            Err(e)
+                if matches!(e.kind(), io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut) =>
+            {
+                // Timeout: `line` may hold a partial command (bytes read
+                // before the deadline stay accumulated) — keep it and
+                // retry unless we are shutting down.
+                if shutdown.load(Ordering::SeqCst) {
+                    return Ok(());
+                }
+                continue;
+            }
+            Err(e) => return Err(e),
+        }
+        if !line.ends_with('\n') {
+            // Partial line despite Ok (peer wrote without newline then
+            // paused); keep accumulating.
+            continue;
+        }
+        let input = line.trim_end_matches(['\r', '\n']);
+        if input == "\u{4}" || input == "logout" {
+            return Ok(());
+        }
+        let response = match session.exec(input) {
+            Ok(Accepted::Output(lines)) => Response::Output { lines },
+            Ok(_) => Response::Ok {
+                view: session.current_view().to_string(),
+            },
+            Err(e) => Response::Err { message: e.message },
+        };
+        response.write_to(&mut writer)?;
+        writer.flush()?;
+        line.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::client::DeviceClient;
+
+    fn model() -> Arc<DeviceModel> {
+        let mut m = DeviceModel::new("system");
+        m.add_view("bgp-view", "system").unwrap();
+        m.add_command("system", "bgp <as-number>", Some("bgp-view")).unwrap();
+        m.add_command("bgp-view", "router-id <ipv4-address>", None).unwrap();
+        m.add_command("system", "sysname <host-name>", None).unwrap();
+        Arc::new(m)
+    }
+
+    #[test]
+    fn serves_a_session_over_tcp() {
+        let mut server = DeviceServer::spawn(model()).unwrap();
+        let mut client = DeviceClient::connect(server.addr()).unwrap();
+        assert_eq!(
+            client.exec("bgp 65001").unwrap(),
+            Response::Ok { view: "bgp-view".into() }
+        );
+        assert_eq!(
+            client.exec("router-id 1.1.1.1").unwrap(),
+            Response::Ok { view: "bgp-view".into() }
+        );
+        match client.exec("display current-configuration").unwrap() {
+            Response::Output { lines } => {
+                assert_eq!(lines, vec!["bgp 65001", " router-id 1.1.1.1"]);
+            }
+            other => panic!("expected output, got {other:?}"),
+        }
+        server.stop();
+    }
+
+    #[test]
+    fn rejects_bad_commands_over_tcp() {
+        let mut server = DeviceServer::spawn(model()).unwrap();
+        let mut client = DeviceClient::connect(server.addr()).unwrap();
+        assert!(matches!(
+            client.exec("frobnicate 7").unwrap(),
+            Response::Err { .. }
+        ));
+        server.stop();
+    }
+
+    #[test]
+    fn sessions_are_isolated_per_connection() {
+        let mut server = DeviceServer::spawn(model()).unwrap();
+        let mut c1 = DeviceClient::connect(server.addr()).unwrap();
+        let mut c2 = DeviceClient::connect(server.addr()).unwrap();
+        c1.exec("bgp 65001").unwrap();
+        // c2 is still at the root: BGP-view commands fail there.
+        assert!(matches!(
+            c2.exec("router-id 1.1.1.1").unwrap(),
+            Response::Err { .. }
+        ));
+        // And c2's config is empty even though c1 configured something.
+        match c2.exec("display current-configuration").unwrap() {
+            Response::Output { lines } => assert!(lines.is_empty()),
+            other => panic!("expected output, got {other:?}"),
+        }
+        server.stop();
+    }
+
+    #[test]
+    fn concurrent_clients_do_not_interfere() {
+        let mut server = DeviceServer::spawn(model()).unwrap();
+        let addr = server.addr();
+        let handles: Vec<_> = (0..8)
+            .map(|i| {
+                std::thread::spawn(move || {
+                    let mut c = DeviceClient::connect(addr).unwrap();
+                    let asn = 65000 + i;
+                    assert!(matches!(
+                        c.exec(&format!("bgp {asn}")).unwrap(),
+                        Response::Ok { .. }
+                    ));
+                    assert!(matches!(
+                        c.exec(&format!("router-id 10.0.0.{i}")).unwrap(),
+                        Response::Ok { .. }
+                    ));
+                    match c.exec("display current-configuration").unwrap() {
+                        Response::Output { lines } => {
+                            assert_eq!(lines[0], format!("bgp {asn}"));
+                        }
+                        other => panic!("expected output, got {other:?}"),
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        server.stop();
+    }
+
+    #[test]
+    fn stop_is_idempotent() {
+        let mut server = DeviceServer::spawn(model()).unwrap();
+        server.stop();
+        server.stop();
+    }
+}

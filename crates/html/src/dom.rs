@@ -1,0 +1,475 @@
+//! Arena-based DOM tree built from the token stream.
+//!
+//! Nodes live in a flat `Vec` and reference each other by [`NodeId`], the
+//! usual Rust idiom for parent/child/sibling graphs without `Rc` cycles.
+//! The tree-construction pass applies the implicit-close rules that matter
+//! for manual pages: `<p>`, `<li>`, `<tr>`, `<td>`, … close their open
+//! predecessor, void elements (`<br>`, `<img>`, …) never take children,
+//! and stray end tags are ignored.
+
+use crate::tokenizer::{Token, Tokenizer};
+
+/// Index of a node within its [`Document`] arena.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub(crate) usize);
+
+/// An element node: tag name plus attributes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Element {
+    /// Lower-cased tag name.
+    pub name: String,
+    /// Attributes in document order (names lower-cased, values decoded).
+    pub attrs: Vec<(String, String)>,
+}
+
+impl Element {
+    /// Value of attribute `name`, if present.
+    pub fn attr(&self, name: &str) -> Option<&str> {
+        self.attrs
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// The `class` attribute split on whitespace.
+    pub fn classes(&self) -> impl Iterator<Item = &str> {
+        self.attr("class").unwrap_or("").split_ascii_whitespace()
+    }
+
+    /// True if the element's class list contains `class`.
+    pub fn has_class(&self, class: &str) -> bool {
+        self.classes().any(|c| c == class)
+    }
+}
+
+/// Payload of a DOM node.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NodeKind {
+    /// Synthetic root that parents all top-level nodes.
+    Root,
+    Element(Element),
+    Text(String),
+    Comment(String),
+}
+
+/// A node in the arena: payload plus tree links.
+#[derive(Debug, Clone)]
+pub struct Node {
+    pub kind: NodeKind,
+    pub parent: Option<NodeId>,
+    pub children: Vec<NodeId>,
+}
+
+impl Node {
+    /// The element payload, if this node is an element.
+    pub fn as_element(&self) -> Option<&Element> {
+        match &self.kind {
+            NodeKind::Element(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+/// Tags that never have children.
+const VOID_ELEMENTS: &[&str] = &[
+    "area", "base", "br", "col", "embed", "hr", "img", "input", "link", "meta",
+    "param", "source", "track", "wbr",
+];
+
+/// Returns the set of open tags that a start tag of `name` implicitly
+/// closes (HTML's "a new <p> ends the previous <p>" family of rules).
+fn implicitly_closes(name: &str) -> &'static [&'static str] {
+    match name {
+        "p" => &["p"],
+        "li" => &["li"],
+        "dt" | "dd" => &["dt", "dd"],
+        "tr" => &["tr", "td", "th"],
+        "td" | "th" => &["td", "th"],
+        "option" => &["option"],
+        "thead" | "tbody" | "tfoot" => &["thead", "tbody", "tfoot", "tr", "td", "th"],
+        _ => &[],
+    }
+}
+
+/// A parsed HTML document: node arena plus the synthetic root.
+#[derive(Debug, Clone)]
+pub struct Document {
+    nodes: Vec<Node>,
+}
+
+impl Document {
+    /// Parse `input` into a DOM. Never fails; malformed markup degrades
+    /// locally (see crate docs).
+    pub fn parse(input: &str) -> Document {
+        let mut doc = Document {
+            nodes: vec![Node {
+                kind: NodeKind::Root,
+                parent: None,
+                children: Vec::new(),
+            }],
+        };
+        let root = NodeId(0);
+        let mut stack: Vec<NodeId> = vec![root];
+
+        for token in Tokenizer::new(input) {
+            match token {
+                Token::StartTag {
+                    name,
+                    attrs,
+                    self_closing,
+                } => {
+                    // Apply implicit-close rules against the innermost
+                    // matching open element.
+                    let closes = implicitly_closes(&name);
+                    if !closes.is_empty() {
+                        if let Some(pos) = stack.iter().rposition(|&id| {
+                            doc.nodes[id.0]
+                                .as_element()
+                                .map(|e| closes.contains(&e.name.as_str()))
+                                .unwrap_or(false)
+                        }) {
+                            stack.truncate(pos);
+                        }
+                    }
+                    let parent = *stack.last().expect("stack holds root");
+                    let id = doc.push(
+                        NodeKind::Element(Element {
+                            name: name.clone(),
+                            attrs,
+                        }),
+                        parent,
+                    );
+                    if !self_closing && !VOID_ELEMENTS.contains(&name.as_str()) {
+                        stack.push(id);
+                    }
+                }
+                Token::EndTag { name } => {
+                    // Pop to the matching open tag; ignore stray end tags.
+                    if let Some(pos) = stack.iter().rposition(|&id| {
+                        doc.nodes[id.0]
+                            .as_element()
+                            .map(|e| e.name == name)
+                            .unwrap_or(false)
+                    }) {
+                        stack.truncate(pos);
+                    }
+                }
+                Token::Text(text) => {
+                    if !text.is_empty() {
+                        let parent = *stack.last().expect("stack holds root");
+                        doc.push(NodeKind::Text(text), parent);
+                    }
+                }
+                Token::Comment(body) => {
+                    let parent = *stack.last().expect("stack holds root");
+                    doc.push(NodeKind::Comment(body), parent);
+                }
+                Token::Doctype(_) => {}
+            }
+        }
+        doc
+    }
+
+    fn push(&mut self, kind: NodeKind, parent: NodeId) -> NodeId {
+        let id = NodeId(self.nodes.len());
+        self.nodes.push(Node {
+            kind,
+            parent: Some(parent),
+            children: Vec::new(),
+        });
+        self.nodes[parent.0].children.push(id);
+        id
+    }
+
+    /// The synthetic root node.
+    pub fn root(&self) -> NodeId {
+        NodeId(0)
+    }
+
+    /// Borrow a node by id.
+    pub fn node(&self, id: NodeId) -> &Node {
+        &self.nodes[id.0]
+    }
+
+    /// The element payload of `id`, if it is an element.
+    pub fn element(&self, id: NodeId) -> Option<&Element> {
+        self.node(id).as_element()
+    }
+
+    /// Number of nodes in the arena (including the root).
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True if the document contains only the synthetic root.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.len() == 1
+    }
+
+    /// Children of `id`, in document order.
+    pub fn children(&self, id: NodeId) -> impl Iterator<Item = NodeId> + '_ {
+        self.node(id).children.iter().copied()
+    }
+
+    /// Parent of `id` (None only for the root).
+    pub fn parent(&self, id: NodeId) -> Option<NodeId> {
+        self.node(id).parent
+    }
+
+    /// All descendants of `id` in document (pre-)order, excluding `id`.
+    pub fn descendants(&self, id: NodeId) -> Descendants<'_> {
+        Descendants {
+            doc: self,
+            stack: self.node(id).children.iter().rev().copied().collect(),
+        }
+    }
+
+    /// Ancestors of `id` from parent to root.
+    pub fn ancestors(&self, id: NodeId) -> impl Iterator<Item = NodeId> + '_ {
+        let mut cur = self.parent(id);
+        std::iter::from_fn(move || {
+            let next = cur?;
+            cur = self.parent(next);
+            Some(next)
+        })
+    }
+
+    /// Siblings after `id`, in document order.
+    pub fn following_siblings(&self, id: NodeId) -> impl Iterator<Item = NodeId> + '_ {
+        let parent = self.parent(id);
+        let mut after = Vec::new();
+        if let Some(p) = parent {
+            let kids = &self.node(p).children;
+            if let Some(pos) = kids.iter().position(|&k| k == id) {
+                after = kids[pos + 1..].to_vec();
+            }
+        }
+        after.into_iter()
+    }
+
+    /// Concatenated text of `id` and its descendants with whitespace runs
+    /// collapsed to single spaces and the result trimmed. This matches
+    /// what a human reads on the rendered page, which is the contract the
+    /// paper's corpus format needs.
+    pub fn text_of(&self, id: NodeId) -> String {
+        let mut raw = String::new();
+        self.collect_text(id, &mut raw);
+        normalize_ws(&raw)
+    }
+
+    /// Like [`Document::text_of`] but preserving line structure: block
+    /// elements (`p`, `div`, `li`, `tr`, `br`, …) introduce newlines.
+    /// Needed for `Examples` fields where indentation carries hierarchy.
+    pub fn text_lines(&self, id: NodeId) -> Vec<String> {
+        let mut raw = String::new();
+        self.collect_text_blocks(id, &mut raw);
+        raw.lines()
+            .map(|l| l.trim_end().to_string())
+            .filter(|l| !l.trim().is_empty())
+            .collect()
+    }
+
+    fn collect_text(&self, id: NodeId, out: &mut String) {
+        match &self.node(id).kind {
+            NodeKind::Text(t) => out.push_str(t),
+            NodeKind::Comment(_) => {}
+            _ => {
+                for child in self.children(id) {
+                    self.collect_text(child, out);
+                }
+            }
+        }
+    }
+
+    fn collect_text_blocks(&self, id: NodeId, out: &mut String) {
+        const BLOCK: &[&str] = &[
+            "p", "div", "li", "tr", "br", "pre", "h1", "h2", "h3", "h4", "h5",
+            "table", "ul", "ol", "dt", "dd", "section",
+        ];
+        match &self.node(id).kind {
+            NodeKind::Text(t) => out.push_str(t),
+            NodeKind::Comment(_) => {}
+            NodeKind::Element(e) => {
+                let block = BLOCK.contains(&e.name.as_str());
+                if block && !out.ends_with('\n') && !out.is_empty() {
+                    out.push('\n');
+                }
+                for child in self.children(id) {
+                    self.collect_text_blocks(child, out);
+                }
+                if block && !out.ends_with('\n') {
+                    out.push('\n');
+                }
+            }
+            NodeKind::Root => {
+                for child in self.children(id) {
+                    self.collect_text_blocks(child, out);
+                }
+            }
+        }
+    }
+}
+
+/// Collapse whitespace runs to single spaces and trim.
+pub(crate) fn normalize_ws(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    let mut in_ws = true; // leading whitespace is dropped
+    for ch in s.chars() {
+        if ch.is_whitespace() {
+            if !in_ws {
+                out.push(' ');
+                in_ws = true;
+            }
+        } else {
+            out.push(ch);
+            in_ws = false;
+        }
+    }
+    while out.ends_with(' ') {
+        out.pop();
+    }
+    out
+}
+
+/// Depth-first pre-order traversal (see [`Document::descendants`]).
+pub struct Descendants<'a> {
+    doc: &'a Document,
+    stack: Vec<NodeId>,
+}
+
+impl<'a> Iterator for Descendants<'a> {
+    type Item = NodeId;
+
+    fn next(&mut self) -> Option<NodeId> {
+        let id = self.stack.pop()?;
+        for &child in self.doc.node(id).children.iter().rev() {
+            self.stack.push(child);
+        }
+        Some(id)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_nested_tree() {
+        let doc = Document::parse("<div><p>a</p><p>b</p></div>");
+        let div = doc.children(doc.root()).next().unwrap();
+        assert_eq!(doc.element(div).unwrap().name, "div");
+        let ps: Vec<_> = doc.children(div).collect();
+        assert_eq!(ps.len(), 2);
+        assert_eq!(doc.text_of(ps[0]), "a");
+        assert_eq!(doc.text_of(ps[1]), "b");
+    }
+
+    #[test]
+    fn paragraph_implicitly_closes() {
+        // Missing </p>: second <p> must be a sibling, not a child.
+        let doc = Document::parse("<p>a<p>b");
+        let kids: Vec<_> = doc.children(doc.root()).collect();
+        assert_eq!(kids.len(), 2);
+        assert_eq!(doc.text_of(kids[1]), "b");
+    }
+
+    #[test]
+    fn list_items_implicitly_close() {
+        let doc = Document::parse("<ul><li>one<li>two<li>three</ul>");
+        let ul = doc.children(doc.root()).next().unwrap();
+        let lis: Vec<_> = doc
+            .children(ul)
+            .filter(|&id| doc.element(id).is_some())
+            .collect();
+        assert_eq!(lis.len(), 3);
+    }
+
+    #[test]
+    fn table_cells_implicitly_close() {
+        let doc = Document::parse("<table><tr><td>a<td>b<tr><td>c</table>");
+        let table = doc.children(doc.root()).next().unwrap();
+        let trs: Vec<_> = doc
+            .descendants(table)
+            .filter(|&id| doc.element(id).map(|e| e.name == "tr").unwrap_or(false))
+            .collect();
+        assert_eq!(trs.len(), 2);
+        let tds: Vec<_> = doc
+            .descendants(table)
+            .filter(|&id| doc.element(id).map(|e| e.name == "td").unwrap_or(false))
+            .collect();
+        assert_eq!(tds.len(), 3);
+    }
+
+    #[test]
+    fn void_elements_take_no_children() {
+        let doc = Document::parse("<br><p>x</p>");
+        let kids: Vec<_> = doc.children(doc.root()).collect();
+        assert_eq!(kids.len(), 2);
+        assert!(doc.node(kids[0]).children.is_empty());
+    }
+
+    #[test]
+    fn stray_end_tags_ignored() {
+        let doc = Document::parse("</div><p>ok</p></span>");
+        let kids: Vec<_> = doc.children(doc.root()).collect();
+        assert_eq!(kids.len(), 1);
+        assert_eq!(doc.text_of(kids[0]), "ok");
+    }
+
+    #[test]
+    fn unclosed_elements_closed_at_eof() {
+        let doc = Document::parse("<div><span>x");
+        let div = doc.children(doc.root()).next().unwrap();
+        let span = doc.children(div).next().unwrap();
+        assert_eq!(doc.text_of(span), "x");
+    }
+
+    #[test]
+    fn text_of_normalizes_whitespace() {
+        let doc = Document::parse("<p>  peer \n <b> &lt;ip&gt; </b>  group </p>");
+        let p = doc.children(doc.root()).next().unwrap();
+        assert_eq!(doc.text_of(p), "peer <ip> group");
+    }
+
+    #[test]
+    fn text_lines_respects_blocks() {
+        let doc = Document::parse("<div><p> bgp 100</p><p>  peer 10.1.1.1</p></div>");
+        let div = doc.children(doc.root()).next().unwrap();
+        assert_eq!(doc.text_lines(div), vec![" bgp 100", "  peer 10.1.1.1"]);
+    }
+
+    #[test]
+    fn ancestors_walk_to_root() {
+        let doc = Document::parse("<a><b><c>x</c></b></a>");
+        let a = doc.children(doc.root()).next().unwrap();
+        let b = doc.children(a).next().unwrap();
+        let c = doc.children(b).next().unwrap();
+        let chain: Vec<_> = doc.ancestors(c).collect();
+        assert_eq!(chain, vec![b, a, doc.root()]);
+    }
+
+    #[test]
+    fn following_siblings_in_order() {
+        let doc = Document::parse("<p>a</p><p>b</p><p>c</p>");
+        let kids: Vec<_> = doc.children(doc.root()).collect();
+        let sibs: Vec<_> = doc.following_siblings(kids[0]).collect();
+        assert_eq!(sibs, vec![kids[1], kids[2]]);
+    }
+
+    #[test]
+    fn element_class_helpers() {
+        let doc = Document::parse(r#"<p class="a  b c">x</p>"#);
+        let p = doc.children(doc.root()).next().unwrap();
+        let el = doc.element(p).unwrap();
+        assert!(el.has_class("b"));
+        assert!(!el.has_class("d"));
+        assert_eq!(el.classes().count(), 3);
+    }
+
+    #[test]
+    fn comments_excluded_from_text() {
+        let doc = Document::parse("<p>a<!-- hidden -->b</p>");
+        let p = doc.children(doc.root()).next().unwrap();
+        assert_eq!(doc.text_of(p), "ab");
+    }
+}

@@ -1,0 +1,39 @@
+//! # nassim-html
+//!
+//! A small, dependency-free HTML parsing substrate for the NAssim parser
+//! framework (the role BeautifulSoup plays in the paper's Python prototype).
+//!
+//! Vendor manuals are semi-structured HTML where the interesting signal is
+//! carried by *CSS class names* (see Table 1 of the paper). This crate
+//! therefore implements exactly what manual parsing needs, robustly:
+//!
+//! * a forgiving [`tokenizer`] that never fails on malformed input,
+//! * a [`dom`] tree built with implicit-close rules for the tags that
+//!   appear in real manuals (`<p>`, `<li>`, `<td>`, …),
+//! * [`select`]ors by tag name, class and attribute, with traversal
+//!   helpers (descendants, following siblings, ancestors),
+//! * whitespace-normalising text extraction ([`Document::text_of`]).
+//!
+//! Like the parsers in production HTML engines, parsing here is *total*:
+//! any byte sequence produces a tree, and anomalies degrade locally rather
+//! than aborting the document. Manuals are exactly the kind of input where
+//! strictness would be a bug — they are hand-written over years and full of
+//! inconsistencies (§2.2 of the paper).
+//!
+//! ```
+//! use nassim_html::Document;
+//!
+//! let doc = Document::parse(r#"<div class="sectiontitle">Format</div>
+//!                              <p class="cmd">peer &lt;ipv4-address&gt;</p>"#);
+//! let cmd = doc.select_class("cmd").next().unwrap();
+//! assert_eq!(doc.text_of(cmd), "peer <ipv4-address>");
+//! ```
+
+pub mod dom;
+pub mod entities;
+pub mod select;
+pub mod tokenizer;
+
+pub use dom::{Document, Element, Node, NodeId};
+pub use select::Selector;
+pub use tokenizer::{Token, Tokenizer};

@@ -1,0 +1,417 @@
+//! A forgiving HTML tokenizer.
+//!
+//! The tokenizer converts a byte-exact `&str` into a flat stream of
+//! [`Token`]s: start tags (with attributes), end tags, text, comments and
+//! doctypes. It implements the subset of the WHATWG tokenizer state machine
+//! that real-world manual pages exercise, with the same overriding rule:
+//! **never fail**. Malformed markup degrades to text.
+//!
+//! Raw-text elements (`<script>`, `<style>`) swallow their content up to
+//! the matching close tag, so JavaScript in manual pages cannot confuse
+//! element extraction.
+
+use crate::entities;
+
+/// One lexical unit of an HTML document.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Token {
+    /// `<name attr="value" …>`; `self_closing` records a trailing `/>`.
+    StartTag {
+        name: String,
+        attrs: Vec<(String, String)>,
+        self_closing: bool,
+    },
+    /// `</name>`.
+    EndTag { name: String },
+    /// A run of character data with entities already decoded.
+    Text(String),
+    /// `<!-- … -->`; retained because some vendors hide anchors in comments.
+    Comment(String),
+    /// `<!DOCTYPE …>` (content after the keyword, trimmed).
+    Doctype(String),
+}
+
+/// Streaming tokenizer over an input string.
+///
+/// ```
+/// use nassim_html::tokenizer::{Token, Tokenizer};
+/// let tokens: Vec<Token> = Tokenizer::new("<p class=x>hi</p>").collect();
+/// assert_eq!(tokens.len(), 3);
+/// ```
+pub struct Tokenizer<'a> {
+    input: &'a str,
+    pos: usize,
+    /// When set, we are inside a raw-text element and scan for its end tag.
+    raw_text_end: Option<&'static str>,
+}
+
+/// Elements whose content is raw text (no nested markup).
+const RAW_TEXT_ELEMENTS: &[&str] = &["script", "style"];
+
+impl<'a> Tokenizer<'a> {
+    /// Create a tokenizer reading from `input`.
+    pub fn new(input: &'a str) -> Self {
+        Tokenizer {
+            input,
+            pos: 0,
+            raw_text_end: None,
+        }
+    }
+
+    fn rest(&self) -> &'a str {
+        &self.input[self.pos..]
+    }
+
+    fn starts_with(&self, s: &str) -> bool {
+        self.rest().starts_with(s)
+    }
+
+    /// Consume raw text up to (not including) `</name`, for raw-text elements.
+    fn next_raw_text(&mut self, name: &str) -> Option<Token> {
+        let rest = self.rest();
+        let lower = rest.to_ascii_lowercase();
+        let close = format!("</{name}");
+        let end = lower.find(&close).unwrap_or(rest.len());
+        self.raw_text_end = None;
+        if end == 0 {
+            // Immediately at the close tag; fall through to normal tokenizing.
+            return self.next_token();
+        }
+        self.pos += end;
+        Some(Token::Text(rest[..end].to_string()))
+    }
+
+    fn next_token(&mut self) -> Option<Token> {
+        if self.pos >= self.input.len() {
+            return None;
+        }
+        if let Some(name) = self.raw_text_end {
+            return self.next_raw_text(name);
+        }
+        if self.starts_with("<!--") {
+            return Some(self.consume_comment());
+        }
+        if self.starts_with("<!") {
+            return Some(self.consume_doctype());
+        }
+        if self.starts_with("</") {
+            return Some(self.consume_end_tag());
+        }
+        if self.starts_with("<") && self.tag_name_follows() {
+            return Some(self.consume_start_tag());
+        }
+        Some(self.consume_text())
+    }
+
+    /// True when the char after `<` can begin a tag name; otherwise the `<`
+    /// is literal text (e.g. "a < b").
+    fn tag_name_follows(&self) -> bool {
+        self.rest()[1..]
+            .chars()
+            .next()
+            .map(|c| c.is_ascii_alphabetic())
+            .unwrap_or(false)
+    }
+
+    fn consume_comment(&mut self) -> Token {
+        let body_start = self.pos + 4;
+        match self.input[body_start..].find("-->") {
+            Some(end) => {
+                let body = &self.input[body_start..body_start + end];
+                self.pos = body_start + end + 3;
+                Token::Comment(body.to_string())
+            }
+            None => {
+                // Unterminated comment: swallow to end of input.
+                let body = &self.input[body_start..];
+                self.pos = self.input.len();
+                Token::Comment(body.to_string())
+            }
+        }
+    }
+
+    fn consume_doctype(&mut self) -> Token {
+        let body_start = self.pos + 2;
+        match self.input[body_start..].find('>') {
+            Some(end) => {
+                let body = &self.input[body_start..body_start + end];
+                self.pos = body_start + end + 1;
+                Token::Doctype(body.trim().to_string())
+            }
+            None => {
+                let body = &self.input[body_start..];
+                self.pos = self.input.len();
+                Token::Doctype(body.trim().to_string())
+            }
+        }
+    }
+
+    fn consume_end_tag(&mut self) -> Token {
+        let body_start = self.pos + 2;
+        let rest = &self.input[body_start..];
+        let end = rest.find('>').unwrap_or(rest.len());
+        let name = rest[..end]
+            .trim()
+            .trim_end_matches('/')
+            .to_ascii_lowercase();
+        self.pos = body_start + end + if end < rest.len() { 1 } else { 0 };
+        Token::EndTag { name }
+    }
+
+    fn consume_start_tag(&mut self) -> Token {
+        let mut chars = self.rest().char_indices().skip(1).peekable();
+        // Tag name.
+        let mut name_end = self.rest().len();
+        for (i, c) in chars.by_ref() {
+            if c.is_whitespace() || c == '>' || c == '/' {
+                name_end = i;
+                break;
+            }
+        }
+        let name = self.rest()[1..name_end].to_ascii_lowercase();
+        let mut cursor = self.pos + name_end;
+        let (attrs, self_closing, after) = parse_attrs(self.input, cursor);
+        cursor = after;
+        self.pos = cursor;
+        if !self_closing && RAW_TEXT_ELEMENTS.contains(&name.as_str()) {
+            // Remember to treat the following content as raw text.
+            self.raw_text_end = RAW_TEXT_ELEMENTS
+                .iter()
+                .find(|&&e| e == name)
+                .copied();
+        }
+        Token::StartTag {
+            name,
+            attrs,
+            self_closing,
+        }
+    }
+
+    fn consume_text(&mut self) -> Token {
+        let rest = self.rest();
+        // Text runs to the next '<' that opens markup, or end of input.
+        let mut end = rest.len();
+        let mut search_from = if rest.starts_with('<') { 1 } else { 0 };
+        while let Some(off) = rest[search_from..].find('<') {
+            let i = search_from + off;
+            let next = rest[i + 1..].chars().next();
+            let opens_markup = matches!(
+                next,
+                Some(c) if c.is_ascii_alphabetic() || c == '/' || c == '!'
+            );
+            if opens_markup {
+                end = i;
+                break;
+            }
+            search_from = i + 1;
+        }
+        let text = &rest[..end];
+        self.pos += end;
+        Token::Text(entities::decode(text))
+    }
+}
+
+/// Parse attributes starting at byte offset `start` (just after the tag
+/// name). Returns `(attrs, self_closing, position_after_tag)`.
+fn parse_attrs(input: &str, start: usize) -> (Vec<(String, String)>, bool, usize) {
+    let mut attrs = Vec::new();
+    let mut self_closing = false;
+    let bytes = input.as_bytes();
+    let mut i = start;
+    loop {
+        // Skip whitespace.
+        while i < bytes.len() && bytes[i].is_ascii_whitespace() {
+            i += 1;
+        }
+        if i >= bytes.len() {
+            return (attrs, self_closing, i);
+        }
+        match bytes[i] {
+            b'>' => return (attrs, self_closing, i + 1),
+            b'/' => {
+                self_closing = true;
+                i += 1;
+            }
+            _ => {
+                // Attribute name.
+                let name_start = i;
+                while i < bytes.len()
+                    && !bytes[i].is_ascii_whitespace()
+                    && bytes[i] != b'='
+                    && bytes[i] != b'>'
+                    && bytes[i] != b'/'
+                {
+                    i += 1;
+                }
+                let name = input[name_start..i].to_ascii_lowercase();
+                // Skip whitespace before a possible '='.
+                let mut j = i;
+                while j < bytes.len() && bytes[j].is_ascii_whitespace() {
+                    j += 1;
+                }
+                let value = if j < bytes.len() && bytes[j] == b'=' {
+                    j += 1;
+                    while j < bytes.len() && bytes[j].is_ascii_whitespace() {
+                        j += 1;
+                    }
+                    let (v, after) = parse_attr_value(input, j);
+                    i = after;
+                    v
+                } else {
+                    // Boolean attribute.
+                    i = j.min(bytes.len());
+                    String::new()
+                };
+                if !name.is_empty() {
+                    attrs.push((name, entities::decode(&value)));
+                }
+            }
+        }
+    }
+}
+
+/// Parse a quoted or unquoted attribute value starting at `start`.
+fn parse_attr_value(input: &str, start: usize) -> (String, usize) {
+    let bytes = input.as_bytes();
+    if start >= bytes.len() {
+        return (String::new(), start);
+    }
+    match bytes[start] {
+        q @ (b'"' | b'\'') => {
+            let rest = &input[start + 1..];
+            match rest.find(q as char) {
+                Some(end) => (rest[..end].to_string(), start + 1 + end + 1),
+                None => (rest.to_string(), input.len()),
+            }
+        }
+        _ => {
+            let mut i = start;
+            while i < bytes.len()
+                && !bytes[i].is_ascii_whitespace()
+                && bytes[i] != b'>'
+            {
+                i += 1;
+            }
+            (input[start..i].to_string(), i)
+        }
+    }
+}
+
+impl<'a> Iterator for Tokenizer<'a> {
+    type Item = Token;
+
+    fn next(&mut self) -> Option<Token> {
+        self.next_token()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(s: &str) -> Vec<Token> {
+        Tokenizer::new(s).collect()
+    }
+
+    fn start(name: &str, attrs: &[(&str, &str)]) -> Token {
+        Token::StartTag {
+            name: name.into(),
+            attrs: attrs
+                .iter()
+                .map(|&(k, v)| (k.to_string(), v.to_string()))
+                .collect(),
+            self_closing: false,
+        }
+    }
+
+    #[test]
+    fn simple_element() {
+        assert_eq!(
+            toks("<p>hi</p>"),
+            vec![
+                start("p", &[]),
+                Token::Text("hi".into()),
+                Token::EndTag { name: "p".into() },
+            ]
+        );
+    }
+
+    #[test]
+    fn attributes_quoted_unquoted_boolean() {
+        let t = toks(r#"<div class="a b" id=main hidden data-x='y'>"#);
+        assert_eq!(
+            t,
+            vec![start(
+                "div",
+                &[("class", "a b"), ("id", "main"), ("hidden", ""), ("data-x", "y")]
+            )]
+        );
+    }
+
+    #[test]
+    fn self_closing_tag() {
+        let t = toks("<br/><img src=x />");
+        assert!(matches!(&t[0], Token::StartTag { self_closing: true, name, .. } if name == "br"));
+        assert!(matches!(&t[1], Token::StartTag { self_closing: true, name, .. } if name == "img"));
+    }
+
+    #[test]
+    fn tag_names_case_folded() {
+        let t = toks("<DIV CLASS=x></DIV>");
+        assert_eq!(
+            t,
+            vec![start("div", &[("class", "x")]), Token::EndTag { name: "div".into() }]
+        );
+    }
+
+    #[test]
+    fn entities_decoded_in_text_and_attrs() {
+        let t = toks(r#"<p title="a &amp; b">x &lt; y</p>"#);
+        assert_eq!(t[0], start("p", &[("title", "a & b")]));
+        assert_eq!(t[1], Token::Text("x < y".into()));
+    }
+
+    #[test]
+    fn literal_less_than_is_text() {
+        let t = toks("if a < 3 then");
+        assert_eq!(t, vec![Token::Text("if a < 3 then".into())]);
+    }
+
+    #[test]
+    fn comment_and_doctype() {
+        let t = toks("<!DOCTYPE html><!-- note --><p></p>");
+        assert_eq!(t[0], Token::Doctype("DOCTYPE html".into()));
+        assert_eq!(t[1], Token::Comment(" note ".into()));
+    }
+
+    #[test]
+    fn unterminated_comment_swallows_rest() {
+        let t = toks("<!-- oops <p>never</p>");
+        assert_eq!(t, vec![Token::Comment(" oops <p>never</p>".into())]);
+    }
+
+    #[test]
+    fn script_content_is_raw_text() {
+        let t = toks("<script>if (a<b && c>d) { x(); }</script><p>after</p>");
+        assert_eq!(t[1], Token::Text("if (a<b && c>d) { x(); }".into()));
+        assert_eq!(t[2], Token::EndTag { name: "script".into() });
+        assert_eq!(t[3], start("p", &[]));
+    }
+
+    #[test]
+    fn unclosed_tag_at_eof() {
+        let t = toks("<div class=x");
+        assert_eq!(t, vec![start("div", &[("class", "x")])]);
+    }
+
+    #[test]
+    fn empty_input_yields_nothing() {
+        assert!(toks("").is_empty());
+    }
+
+    #[test]
+    fn end_tag_with_whitespace() {
+        let t = toks("<p>x</p >");
+        assert_eq!(t[2], Token::EndTag { name: "p".into() });
+    }
+}

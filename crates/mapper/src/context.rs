@@ -1,0 +1,177 @@
+//! Context extraction — §6.1.
+//!
+//! For a parameter p of model M, c(p) = [s⁰, s¹, …] is the list of text
+//! sequences carrying its semantics. The paper finds these valuable: "the
+//! name of parameters and CLI commands, the description of parameters,
+//! the parent views, and the function description of the CLI commands".
+//! UDM attributes contribute their name, engineer annotation, tree path
+//! and value type. kᵥ and kᵤ differ (5 vs 4), which Eq. 2's weight vector
+//! absorbs.
+
+use nassim_corpus::format::placeholder_tokens;
+use nassim_corpus::{Udm, UdmNodeId, Vdm, VdmNodeId};
+use serde::{Deserialize, Serialize};
+
+/// The extracted context of one parameter: an ordered list of sequences.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Context {
+    pub sequences: Vec<String>,
+}
+
+impl Context {
+    /// Number of sequences (k_M).
+    pub fn k(&self) -> usize {
+        self.sequences.len()
+    }
+
+    /// All sequences joined — the single-text view used by IR and by
+    /// fine-tuning pair construction.
+    pub fn joined(&self) -> String {
+        self.sequences.join(" ; ")
+    }
+}
+
+/// A parameter occurrence on a VDM, addressed for evaluation.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct VdmParamRef {
+    pub node: VdmNodeId,
+    /// Placeholder token without brackets, e.g. `neighbor-addr`.
+    pub token: String,
+}
+
+/// Extract c(p) for one VDM parameter occurrence (kᵥ = 5).
+pub fn vdm_param_context(vdm: &Vdm, param: &VdmParamRef) -> Context {
+    let node = vdm.node(param.node);
+    let entry = vdm.corpus_of(param.node);
+    let para_info = entry
+        .map(|e| {
+            e.para_def
+                .iter()
+                .filter(|pd| {
+                    pd.paras
+                        .split_whitespace()
+                        .any(|t| t.trim_matches(['<', '>']) == param.token)
+                })
+                .map(|pd| pd.info.clone())
+                .collect::<Vec<_>>()
+                .join(" ")
+        })
+        .unwrap_or_default();
+    let func = entry.map(|e| e.func_def.clone()).unwrap_or_default();
+    let views = entry
+        .map(|e| e.parent_views.join(", "))
+        .unwrap_or_else(|| node.view.clone());
+    Context {
+        sequences: vec![
+            param.token.clone(),
+            node.template.clone(),
+            para_info,
+            views,
+            func,
+        ],
+    }
+}
+
+/// Extract the context of one UDM leaf attribute (kᵤ = 4).
+pub fn udm_leaf_context(udm: &Udm, leaf: UdmNodeId) -> Context {
+    let attr = udm.node(leaf);
+    Context {
+        sequences: vec![
+            attr.name.clone(),
+            attr.description.clone(),
+            udm.path_of(leaf).replace('/', " "),
+            attr.value_type.clone(),
+        ],
+    }
+}
+
+/// Enumerate every parameter occurrence of a VDM with its context —
+/// the Mapper's work list.
+pub fn vdm_param_refs(vdm: &Vdm) -> Vec<VdmParamRef> {
+    let mut out = Vec::new();
+    for (id, node) in vdm.iter() {
+        for token in placeholder_tokens(&node.template) {
+            out.push(VdmParamRef { node: id, token });
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nassim_corpus::{CorpusEntry, ParaDef};
+
+    fn sample_vdm() -> Vdm {
+        let mut vdm = Vdm::new("helix", "system view");
+        let entry = CorpusEntry {
+            clis: vec!["peer <ipv4-address> group <group-name>".into()],
+            func_def: "Adds a peer to a peer group.".into(),
+            parent_views: vec!["BGP view".into()],
+            para_def: vec![
+                ParaDef::new("ipv4-address", "Specifies the IPv4 address of a peer."),
+                ParaDef::new("group-name", "Specifies the name of a peer group."),
+            ],
+            examples: vec![],
+            source: "manual://helix/bgp/bgp.peer-group".into(),
+        };
+        let ei = vdm.push_corpus(entry);
+        let root = vdm.root();
+        vdm.add_node(
+            root,
+            "peer <ipv4-address> group <group-name>",
+            "BGP view",
+            Some(ei),
+            None,
+        );
+        vdm
+    }
+
+    #[test]
+    fn vdm_context_has_five_sequences() {
+        let vdm = sample_vdm();
+        let refs = vdm_param_refs(&vdm);
+        assert_eq!(refs.len(), 2);
+        let ip = refs.iter().find(|r| r.token == "ipv4-address").unwrap();
+        let ctx = vdm_param_context(&vdm, ip);
+        assert_eq!(ctx.k(), 5);
+        assert_eq!(ctx.sequences[0], "ipv4-address");
+        assert!(ctx.sequences[1].starts_with("peer <"));
+        assert_eq!(ctx.sequences[2], "Specifies the IPv4 address of a peer.");
+        assert_eq!(ctx.sequences[3], "BGP view");
+        assert!(ctx.sequences[4].contains("peer group"));
+    }
+
+    #[test]
+    fn context_selects_the_right_paradef() {
+        let vdm = sample_vdm();
+        let refs = vdm_param_refs(&vdm);
+        let grp = refs.iter().find(|r| r.token == "group-name").unwrap();
+        let ctx = vdm_param_context(&vdm, grp);
+        assert!(ctx.sequences[2].contains("peer group"));
+        assert!(!ctx.sequences[2].contains("IPv4 address"));
+    }
+
+    #[test]
+    fn udm_context_has_four_sequences() {
+        let mut udm = Udm::new("u");
+        let bgp = udm.ensure_path(&["protocols", "bgp", "neighbor"]);
+        let leaf = udm.add(bgp, "peer-as", "AS number of the remote peer.", "uint32");
+        let ctx = udm_leaf_context(&udm, leaf);
+        assert_eq!(ctx.k(), 4);
+        assert_eq!(ctx.sequences[0], "peer-as");
+        assert_eq!(ctx.sequences[2], "protocols bgp neighbor peer-as");
+        assert_eq!(ctx.sequences[3], "uint32");
+    }
+
+    #[test]
+    fn joined_contains_every_sequence() {
+        let vdm = sample_vdm();
+        let refs = vdm_param_refs(&vdm);
+        let ctx = vdm_param_context(&vdm, &refs[0]);
+        let joined = ctx.joined();
+        for s in &ctx.sequences {
+            assert!(joined.contains(s.as_str()));
+        }
+    }
+}

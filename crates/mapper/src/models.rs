@@ -1,0 +1,411 @@
+//! The compared mapping models and Eq. 2 similarity — §6.2 / §7.3.
+//!
+//! All models expose one operation: rank the UDM's leaf attributes for a
+//! given VDM-parameter context. Three families are implemented exactly as
+//! the paper compares them:
+//!
+//! * **IR** — TF-IDF cosine over the joined context texts;
+//! * **DL** — a sentence [`Embedder`] (SBERT-like, SimCSE-like or
+//!   NetBERT) encoding each context sequence separately; parameter pairs
+//!   are scored by Eq. 2's weighted row-wise cosine of the two context
+//!   embedding matrices;
+//! * **IR+DL** — IR produces a top-`shortlist` (50 in the paper)
+//!   candidate set, DL re-ranks it. The re-rank score keeps a small IR
+//!   prior (`IR_BLEND`) so the composite degrades to IR's ordering when
+//!   the encoder is uninformative — the behaviour an engineer shipping
+//!   the paper's §7.3 composite would implement.
+
+use crate::context::{udm_leaf_context, Context};
+use nassim_corpus::{Udm, UdmNodeId};
+use nassim_nlp::tensor::cosine;
+use nassim_nlp::{Encoder, TfIdf, Vocab};
+
+/// Anything that turns one text into one vector.
+pub trait Embedder {
+    fn embed(&self, text: &str) -> Vec<f32>;
+}
+
+/// The transformer encoder + vocabulary as an [`Embedder`].
+pub struct EncoderEmbedder<'a> {
+    pub encoder: &'a Encoder,
+    pub vocab: &'a Vocab,
+}
+
+impl Embedder for EncoderEmbedder<'_> {
+    fn embed(&self, text: &str) -> Vec<f32> {
+        self.encoder.embed_text(self.vocab, text)
+    }
+}
+
+/// A context embedding matrix E = e(c(p)) ∈ R^(k×m) (Eq. 1).
+#[derive(Debug, Clone)]
+pub struct ContextEmbedding {
+    pub rows: Vec<Vec<f32>>,
+}
+
+/// Embed each sequence of `ctx` separately (Eq. 1).
+pub fn embed_context(embedder: &dyn Embedder, ctx: &Context) -> ContextEmbedding {
+    ContextEmbedding {
+        rows: ctx.sequences.iter().map(|s| embedder.embed(s)).collect(),
+    }
+}
+
+/// Eq. 2: weighted sum of the k_V × k_U row-wise cosine similarities.
+/// `weights` must have length k_V × k_U and sum to 1; `None` uses the
+/// uniform vector (the paper's "simplest setting").
+pub fn context_similarity(
+    ev: &ContextEmbedding,
+    eu: &ContextEmbedding,
+    weights: Option<&[f32]>,
+) -> f32 {
+    let kv = ev.rows.len();
+    let ku = eu.rows.len();
+    if kv == 0 || ku == 0 {
+        return 0.0;
+    }
+    let uniform = 1.0 / (kv * ku) as f32;
+    let mut sim = 0.0;
+    for (i, vrow) in ev.rows.iter().enumerate() {
+        for (j, urow) in eu.rows.iter().enumerate() {
+            let w = weights.map(|w| w[i * ku + j]).unwrap_or(uniform);
+            sim += w * cosine(vrow, urow);
+        }
+    }
+    sim
+}
+
+/// Weight of the IR score blended into the IR+DL composite's re-rank
+/// (0 = the paper's pure re-rank; the TF-IDF scores and Eq.-2 cosines are
+/// both in [0,1]-ish ranges so a fixed blend is meaningful).
+pub const IR_BLEND: f32 = 0.35;
+
+/// Which ranking strategy a [`Mapper`] uses.
+enum Strategy<'a> {
+    Ir,
+    Dl {
+        embedder: &'a dyn Embedder,
+    },
+    IrDl {
+        embedder: &'a dyn Embedder,
+        shortlist: usize,
+    },
+}
+
+/// A ready-to-query mapper over one UDM.
+pub struct Mapper<'a> {
+    udm: &'a Udm,
+    leaves: Vec<UdmNodeId>,
+    leaf_contexts: Vec<Context>,
+    /// TF-IDF fitted on the joined leaf contexts (all strategies keep it;
+    /// IR-based ones query it).
+    ir: TfIdf,
+    /// Pre-computed leaf context embeddings (DL strategies).
+    leaf_embeddings: Vec<ContextEmbedding>,
+    strategy: Strategy<'a>,
+    /// Optional Eq. 2 weight vector (length k_V × k_U).
+    pub weights: Option<Vec<f32>>,
+}
+
+impl<'a> Mapper<'a> {
+    fn base(udm: &'a Udm, strategy: Strategy<'a>) -> Mapper<'a> {
+        let leaves = udm.leaves();
+        let leaf_contexts: Vec<Context> =
+            leaves.iter().map(|&l| udm_leaf_context(udm, l)).collect();
+        let joined: Vec<String> = leaf_contexts.iter().map(Context::joined).collect();
+        let ir = TfIdf::fit(joined.iter().map(String::as_str));
+        let leaf_embeddings = match &strategy {
+            Strategy::Ir => Vec::new(),
+            Strategy::Dl { embedder } | Strategy::IrDl { embedder, .. } => leaf_contexts
+                .iter()
+                .map(|c| embed_context(*embedder, c))
+                .collect(),
+        };
+        Mapper {
+            udm,
+            leaves,
+            leaf_contexts,
+            ir,
+            leaf_embeddings,
+            strategy,
+            weights: None,
+        }
+    }
+
+    /// Pure information-retrieval mapper (TF-IDF).
+    pub fn ir(udm: &'a Udm) -> Mapper<'a> {
+        Mapper::base(udm, Strategy::Ir)
+    }
+
+    /// Pure DL mapper over `embedder`.
+    pub fn dl(udm: &'a Udm, embedder: &'a dyn Embedder) -> Mapper<'a> {
+        Mapper::base(udm, Strategy::Dl { embedder })
+    }
+
+    /// IR shortlist (paper: top-50) re-ranked by `embedder`.
+    pub fn ir_dl(udm: &'a Udm, embedder: &'a dyn Embedder, shortlist: usize) -> Mapper<'a> {
+        Mapper::base(udm, Strategy::IrDl { embedder, shortlist })
+    }
+
+    /// The UDM this mapper ranks over.
+    pub fn udm(&self) -> &Udm {
+        self.udm
+    }
+
+    /// Number of candidate leaves.
+    pub fn candidate_count(&self) -> usize {
+        self.leaves.len()
+    }
+
+    /// Context of candidate `leaf` (for human-readable recommendations).
+    pub fn leaf_context(&self, leaf: UdmNodeId) -> Option<&Context> {
+        self.leaves
+            .iter()
+            .position(|&l| l == leaf)
+            .map(|i| &self.leaf_contexts[i])
+    }
+
+    /// Rank UDM leaves for one VDM-parameter context; returns the top `k`
+    /// `(leaf, score)` pairs, best first — the Mapper's human-editable
+    /// recommendation list.
+    pub fn recommend(&self, ctx: &Context, k: usize) -> Vec<(UdmNodeId, f32)> {
+        let mut scored: Vec<(usize, f32)> = match &self.strategy {
+            Strategy::Ir => self
+                .ir
+                .top_k(&ctx.joined(), self.leaves.len())
+                .into_iter()
+                .collect(),
+            Strategy::Dl { embedder } => {
+                let ev = embed_context(*embedder, ctx);
+                (0..self.leaves.len())
+                    .map(|i| {
+                        (
+                            i,
+                            context_similarity(
+                                &ev,
+                                &self.leaf_embeddings[i],
+                                self.weights.as_deref(),
+                            ),
+                        )
+                    })
+                    .collect()
+            }
+            Strategy::IrDl { embedder, shortlist } => {
+                let shortlist = self.ir.top_k(&ctx.joined(), *shortlist);
+                let ev = embed_context(*embedder, ctx);
+                shortlist
+                    .into_iter()
+                    .map(|(i, ir_score)| {
+                        let dl = context_similarity(
+                            &ev,
+                            &self.leaf_embeddings[i],
+                            self.weights.as_deref(),
+                        );
+                        (i, dl + IR_BLEND * ir_score)
+                    })
+                    .collect()
+            }
+        };
+        scored.sort_by(|a, b| {
+            b.1.partial_cmp(&a.1)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.0.cmp(&b.0))
+        });
+        scored
+            .into_iter()
+            .take(k)
+            .map(|(i, s)| (self.leaves[i], s))
+            .collect()
+    }
+}
+
+/// Grid-search a non-uniform Eq. 2 weight vector on a labelled validation
+/// set: greedy coordinate ascent over a small weight grid, maximising
+/// recall@1. Returns the best weight vector found (normalised to sum 1).
+pub fn grid_search_weights(
+    mapper: &Mapper<'_>,
+    validation: &[(Context, UdmNodeId)],
+    kv: usize,
+    ku: usize,
+) -> Vec<f32> {
+    let n = kv * ku;
+    let mut best = vec![1.0 / n as f32; n];
+    let mut best_score = weight_score(mapper, validation, &best);
+    let grid = [0.5f32, 1.0, 2.0, 4.0];
+    for dim in 0..n {
+        for &g in &grid {
+            let mut cand = best.clone();
+            cand[dim] *= g;
+            let sum: f32 = cand.iter().sum();
+            for w in &mut cand {
+                *w /= sum;
+            }
+            let score = weight_score(mapper, validation, &cand);
+            if score > best_score {
+                best_score = score;
+                best = cand;
+            }
+        }
+    }
+    best
+}
+
+fn weight_score(mapper: &Mapper<'_>, validation: &[(Context, UdmNodeId)], w: &[f32]) -> f32 {
+    // Temporarily rank with the candidate weights.
+    let mut hits = 0;
+    for (ctx, truth) in validation {
+        let scored = {
+            // Re-implement the DL scoring inline with custom weights to
+            // avoid mutating the mapper.
+            let embedder: &dyn Embedder = match &mapper.strategy {
+                Strategy::Dl { embedder } => *embedder,
+                Strategy::IrDl { embedder, .. } => *embedder,
+                Strategy::Ir => return 0.0, // weights are a DL concept
+            };
+            let ev = embed_context(embedder, ctx);
+            let mut scored: Vec<(usize, f32)> = (0..mapper.leaves.len())
+                .map(|i| (i, context_similarity(&ev, &mapper.leaf_embeddings[i], Some(w))))
+                .collect();
+            scored.sort_by(|a, b| {
+                b.1.partial_cmp(&a.1)
+                    .unwrap_or(std::cmp::Ordering::Equal)
+                    .then(a.0.cmp(&b.0))
+            });
+            scored
+        };
+        if scored.first().map(|&(i, _)| mapper.leaves[i]) == Some(*truth) {
+            hits += 1;
+        }
+    }
+    hits as f32 / validation.len().max(1) as f32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nassim_corpus::Udm;
+
+    /// A deterministic bag-of-characters embedder for tests: texts sharing
+    /// words get similar vectors.
+    struct HashEmbedder;
+    impl Embedder for HashEmbedder {
+        fn embed(&self, text: &str) -> Vec<f32> {
+            let mut v = vec![0.0f32; 32];
+            for word in text.to_ascii_lowercase().split_whitespace() {
+                let mut h: u32 = 2166136261;
+                for b in word.bytes() {
+                    h ^= b as u32;
+                    h = h.wrapping_mul(16777619);
+                }
+                v[(h % 32) as usize] += 1.0;
+            }
+            v
+        }
+    }
+
+    fn sample_udm() -> Udm {
+        let mut udm = Udm::new("u");
+        let bgp = udm.ensure_path(&["protocols", "bgp", "neighbor"]);
+        udm.add(bgp, "peer-as", "autonomous system number of the remote peer", "uint32");
+        udm.add(bgp, "neighbor-address", "ipv4 address of the bgp neighbor", "ipv4-address");
+        let vlan = udm.ensure_path(&["vlans", "vlan"]);
+        udm.add(vlan, "vlan-id", "identifier of the vlan", "uint16");
+        udm
+    }
+
+    fn query(text: &str) -> Context {
+        Context {
+            sequences: vec![text.to_string()],
+        }
+    }
+
+    #[test]
+    fn ir_mapper_ranks_lexically_similar_leaf_first() {
+        let udm = sample_udm();
+        let m = Mapper::ir(&udm);
+        let top = m.recommend(&query("the identifier of the vlan"), 3);
+        assert_eq!(udm.path_of(top[0].0), "vlans/vlan/vlan-id");
+    }
+
+    #[test]
+    fn dl_mapper_uses_embeddings() {
+        let udm = sample_udm();
+        let e = HashEmbedder;
+        let m = Mapper::dl(&udm, &e);
+        let top = m.recommend(&query("ipv4 address of the bgp neighbor"), 3);
+        assert_eq!(udm.path_of(top[0].0), "protocols/bgp/neighbor/neighbor-address");
+    }
+
+    #[test]
+    fn ir_dl_respects_shortlist() {
+        let udm = sample_udm();
+        let e = HashEmbedder;
+        // Shortlist of 1: DL can only re-rank IR's single candidate.
+        let m = Mapper::ir_dl(&udm, &e, 1);
+        let top = m.recommend(&query("identifier of the vlan"), 3);
+        assert_eq!(top.len(), 1);
+    }
+
+    #[test]
+    fn recommendations_are_sorted_and_truncated() {
+        let udm = sample_udm();
+        let m = Mapper::ir(&udm);
+        let top = m.recommend(&query("peer"), 2);
+        assert_eq!(top.len(), 2);
+        assert!(top[0].1 >= top[1].1);
+    }
+
+    #[test]
+    fn eq2_uniform_weighting_averages_pairs() {
+        let ev = ContextEmbedding {
+            rows: vec![vec![1.0, 0.0], vec![0.0, 1.0]],
+        };
+        let eu = ContextEmbedding {
+            rows: vec![vec![1.0, 0.0]],
+        };
+        // Pairs: (1,0)·(1,0)=1 and (0,1)·(1,0)=0 → uniform avg 0.5.
+        assert!((context_similarity(&ev, &eu, None) - 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn eq2_custom_weights_shift_the_score() {
+        let ev = ContextEmbedding {
+            rows: vec![vec![1.0, 0.0], vec![0.0, 1.0]],
+        };
+        let eu = ContextEmbedding {
+            rows: vec![vec![1.0, 0.0]],
+        };
+        let sim = context_similarity(&ev, &eu, Some(&[1.0, 0.0]));
+        assert!((sim - 1.0).abs() < 1e-6);
+        let sim = context_similarity(&ev, &eu, Some(&[0.0, 1.0]));
+        assert!(sim.abs() < 1e-6);
+    }
+
+    #[test]
+    fn grid_search_never_worsens_recall() {
+        let udm = sample_udm();
+        let e = HashEmbedder;
+        let m = Mapper::dl(&udm, &e);
+        let validation: Vec<(Context, _)> = vec![
+            (query("identifier of the vlan"), udm.lookup("vlans/vlan/vlan-id").unwrap()),
+            (
+                query("autonomous system number of the peer"),
+                udm.lookup("protocols/bgp/neighbor/peer-as").unwrap(),
+            ),
+        ];
+        let uniform = vec![1.0 / 4.0; 4]; // k_V=1, k_U=4
+        let tuned = grid_search_weights(&m, &validation, 1, 4);
+        assert!(
+            weight_score(&m, &validation, &tuned) >= weight_score(&m, &validation, &uniform)
+        );
+        assert!((tuned.iter().sum::<f32>() - 1.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn leaf_context_lookup() {
+        let udm = sample_udm();
+        let m = Mapper::ir(&udm);
+        let leaf = udm.lookup("vlans/vlan/vlan-id").unwrap();
+        let ctx = m.leaf_context(leaf).unwrap();
+        assert_eq!(ctx.sequences[0], "vlan-id");
+    }
+}

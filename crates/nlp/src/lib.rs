@@ -1,0 +1,40 @@
+//! # nassim-nlp
+//!
+//! A from-scratch NLP substrate for the NAssim Mapper (§6 of the paper).
+//!
+//! The paper encodes parameter context with SBERT/SimCSE/NetBERT —
+//! pretrained PyTorch transformers on a V100. None of that is available
+//! to an offline pure-Rust build, so this crate implements the whole
+//! stack at laptop scale:
+//!
+//! * [`tensor`] — a dense row-major `f32` matrix with the linear algebra
+//!   the encoder needs;
+//! * [`autograd`] — a tape-based reverse-mode automatic differentiation
+//!   engine over matrices (the "tiny candle");
+//! * [`tokenizer`] — word-level tokenisation + vocabulary;
+//! * [`tfidf`] — TF-IDF vectors and cosine retrieval (the paper's IR
+//!   baseline);
+//! * [`transformer`] — a small transformer sentence encoder (token +
+//!   position embeddings, multi-head self-attention, FFN, layer norm,
+//!   mean pooling);
+//! * [`training`] — Adam, the SBERT-style siamese cosine regression
+//!   objective, the SimCSE-style in-batch contrastive objective, and
+//!   training loops.
+//!
+//! The architecture is ~4 orders of magnitude smaller than BERT; what is
+//! preserved is the *training recipe* — pre-train on sentence matching,
+//! fine-tune on labelled pairs (domain adaptation) — because that recipe,
+//! not parameter count, drives the relative model ordering in the paper's
+//! Table 5.
+
+pub mod autograd;
+pub mod tensor;
+pub mod tfidf;
+pub mod tokenizer;
+pub mod training;
+pub mod transformer;
+
+pub use tensor::Matrix;
+pub use tfidf::TfIdf;
+pub use tokenizer::{tokenize, Vocab};
+pub use transformer::{Encoder, EncoderConfig};

@@ -1,0 +1,158 @@
+//! Word-level tokenisation and vocabulary.
+//!
+//! Context sentences in this domain are short technical prose ("Specifies
+//! the IPv4 address of a peer.") plus identifier-ish tokens
+//! (`ipv4-address`, `peer-as`). The tokenizer lower-cases, splits on
+//! whitespace and punctuation, and additionally splits hyphenated
+//! identifiers into their parts *while keeping the joined form* — so
+//! `peer-as` shares evidence with both `peer` and `as`, which is where
+//! most of the cross-vendor signal lives.
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Tokenise one text into lower-case word tokens.
+pub fn tokenize(text: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    for raw in text.split(|c: char| c.is_whitespace() || ",.;:()[]{}<>\"'`/\\|=".contains(c)) {
+        let word = raw.trim_matches('-').to_ascii_lowercase();
+        if word.is_empty() {
+            continue;
+        }
+        out.push(word.clone());
+        if word.contains('-') {
+            for part in word.split('-').filter(|p| !p.is_empty()) {
+                out.push(part.to_string());
+            }
+        }
+    }
+    out
+}
+
+/// Token id of the out-of-vocabulary symbol.
+pub const UNK: usize = 0;
+
+/// A frequency-filtered vocabulary mapping tokens to dense ids.
+/// Id 0 is reserved for `<unk>`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Vocab {
+    token_to_id: BTreeMap<String, usize>,
+    id_to_token: Vec<String>,
+}
+
+impl Vocab {
+    /// Build from an iterator of texts, keeping tokens with at least
+    /// `min_freq` occurrences.
+    pub fn build<'a>(texts: impl IntoIterator<Item = &'a str>, min_freq: usize) -> Vocab {
+        let mut freq: BTreeMap<String, usize> = BTreeMap::new();
+        for text in texts {
+            for tok in tokenize(text) {
+                *freq.entry(tok).or_default() += 1;
+            }
+        }
+        let mut id_to_token = vec!["<unk>".to_string()];
+        let mut token_to_id = BTreeMap::new();
+        for (tok, n) in freq {
+            if n >= min_freq {
+                token_to_id.insert(tok.clone(), id_to_token.len());
+                id_to_token.push(tok);
+            }
+        }
+        Vocab {
+            token_to_id,
+            id_to_token,
+        }
+    }
+
+    /// Number of entries including `<unk>`.
+    pub fn len(&self) -> usize {
+        self.id_to_token.len()
+    }
+
+    /// True when only `<unk>` exists.
+    pub fn is_empty(&self) -> bool {
+        self.id_to_token.len() <= 1
+    }
+
+    /// Id of `token`, or [`UNK`].
+    pub fn id(&self, token: &str) -> usize {
+        self.token_to_id.get(token).copied().unwrap_or(UNK)
+    }
+
+    /// Token of `id`.
+    pub fn token(&self, id: usize) -> &str {
+        &self.id_to_token[id]
+    }
+
+    /// Encode a text to ids, truncated to `max_len` tokens (0 = no cap).
+    pub fn encode(&self, text: &str, max_len: usize) -> Vec<usize> {
+        let mut ids: Vec<usize> = tokenize(text).iter().map(|t| self.id(t)).collect();
+        if max_len > 0 && ids.len() > max_len {
+            ids.truncate(max_len);
+        }
+        if ids.is_empty() {
+            ids.push(UNK);
+        }
+        ids
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tokenize_lowercases_and_splits_punctuation() {
+        assert_eq!(
+            tokenize("Specifies the IPv4 address, of a peer."),
+            vec!["specifies", "the", "ipv4", "address", "of", "a", "peer"]
+        );
+    }
+
+    #[test]
+    fn hyphenated_identifiers_keep_joined_and_split_forms() {
+        let toks = tokenize("peer-as value");
+        assert_eq!(toks, vec!["peer-as", "peer", "as", "value"]);
+    }
+
+    #[test]
+    fn brackets_and_slashes_are_separators() {
+        assert_eq!(
+            tokenize("<ipv4-address> a/b {x|y}"),
+            vec!["ipv4-address", "ipv4", "address", "a", "b", "x", "y"]
+        );
+    }
+
+    #[test]
+    fn vocab_filters_by_frequency() {
+        let texts = ["peer peer address", "peer rare"];
+        let v = Vocab::build(texts.iter().copied(), 2);
+        assert_eq!(v.id("peer") != UNK, true);
+        assert_eq!(v.id("rare"), UNK);
+        assert_eq!(v.id("never-seen"), UNK);
+    }
+
+    #[test]
+    fn encode_truncates_and_never_returns_empty() {
+        let v = Vocab::build(["a b c d e"].iter().copied(), 1);
+        assert_eq!(v.encode("a b c d e", 3).len(), 3);
+        assert_eq!(v.encode("", 8), vec![UNK]);
+        assert_eq!(v.encode("!!!", 8), vec![UNK]);
+    }
+
+    #[test]
+    fn ids_round_trip() {
+        let v = Vocab::build(["alpha beta beta"].iter().copied(), 1);
+        let id = v.id("beta");
+        assert_eq!(v.token(id), "beta");
+        assert_eq!(v.token(UNK), "<unk>");
+    }
+
+    #[test]
+    fn vocab_is_deterministic() {
+        let a = Vocab::build(["x y z z y"].iter().copied(), 1);
+        let b = Vocab::build(["x y z z y"].iter().copied(), 1);
+        assert_eq!(a.id("z"), b.id("z"));
+        assert_eq!(a.len(), b.len());
+    }
+}

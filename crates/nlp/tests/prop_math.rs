@@ -1,0 +1,92 @@
+//! Property tests for the numeric substrate: linear-algebra identities,
+//! softmax/normalisation invariants, tokenizer/vocab totality, TF-IDF
+//! self-retrieval.
+
+use nassim_nlp::tensor::{cosine, Matrix};
+use nassim_nlp::tokenizer::{tokenize, Vocab};
+use nassim_nlp::TfIdf;
+use proptest::prelude::*;
+
+fn arb_matrix(rows: usize, cols: usize) -> impl Strategy<Value = Matrix> {
+    prop::collection::vec(-10.0f32..10.0, rows * cols)
+        .prop_map(move |data| Matrix::from_vec(rows, cols, data))
+}
+
+proptest! {
+    /// (A·B)ᵀ = Bᵀ·Aᵀ.
+    #[test]
+    fn matmul_transpose_identity(a in arb_matrix(3, 4), b in arb_matrix(4, 2)) {
+        let left = a.matmul(&b).transpose();
+        let right = b.transpose().matmul(&a.transpose());
+        for (x, y) in left.data.iter().zip(&right.data) {
+            prop_assert!((x - y).abs() < 1e-3, "{x} vs {y}");
+        }
+    }
+
+    /// Matmul distributes over addition: A(B+C) = AB + AC.
+    #[test]
+    fn matmul_distributes(a in arb_matrix(2, 3), b in arb_matrix(3, 3), c in arb_matrix(3, 3)) {
+        let left = a.matmul(&b.add(&c));
+        let right = a.matmul(&b).add(&a.matmul(&c));
+        for (x, y) in left.data.iter().zip(&right.data) {
+            prop_assert!((x - y).abs() < 1e-2, "{x} vs {y}");
+        }
+    }
+
+    /// Softmax rows are probability distributions.
+    #[test]
+    fn softmax_rows_are_distributions(m in arb_matrix(4, 5)) {
+        let s = m.softmax_rows();
+        for r in 0..s.rows {
+            let sum: f32 = s.row(r).iter().sum();
+            prop_assert!((sum - 1.0).abs() < 1e-4);
+            prop_assert!(s.row(r).iter().all(|&v| (0.0..=1.0).contains(&v)));
+        }
+    }
+
+    /// Cosine similarity is symmetric and bounded.
+    #[test]
+    fn cosine_symmetric_bounded(a in prop::collection::vec(-5.0f32..5.0, 8),
+                                b in prop::collection::vec(-5.0f32..5.0, 8)) {
+        let ab = cosine(&a, &b);
+        let ba = cosine(&b, &a);
+        prop_assert!((ab - ba).abs() < 1e-5);
+        prop_assert!((-1.0001..=1.0001).contains(&ab));
+        // Self-similarity is 1 for non-zero vectors.
+        if a.iter().any(|&v| v != 0.0) {
+            prop_assert!((cosine(&a, &a) - 1.0).abs() < 1e-4);
+        }
+    }
+
+    /// Tokenisation is total and produces no empty tokens.
+    #[test]
+    fn tokenize_total(text in "\\PC{0,120}") {
+        for tok in tokenize(&text) {
+            prop_assert!(!tok.is_empty());
+            prop_assert_eq!(tok.to_ascii_lowercase(), tok.clone());
+        }
+    }
+
+    /// Vocab encode never returns an empty sequence and respects max_len.
+    #[test]
+    fn encode_respects_bounds(corpus in "[a-z ]{0,80}", query in "\\PC{0,60}", max in 1usize..16) {
+        let v = Vocab::build([corpus.as_str()], 1);
+        let ids = v.encode(&query, max);
+        prop_assert!(!ids.is_empty());
+        prop_assert!(ids.len() <= max);
+        prop_assert!(ids.iter().all(|&i| i < v.len()));
+    }
+
+    /// TF-IDF: each fitted document retrieves itself at rank 1 (ties
+    /// permitting: score must equal the top score).
+    #[test]
+    fn tfidf_self_retrieval(docs in prop::collection::vec("[a-z]{2,8}( [a-z]{2,8}){0,6}", 1..6)) {
+        let t = TfIdf::fit(docs.iter().map(String::as_str));
+        for (i, d) in docs.iter().enumerate() {
+            let top = t.top_k(d, docs.len());
+            let self_score = top.iter().find(|(j, _)| *j == i).map(|&(_, s)| s).unwrap_or(0.0);
+            prop_assert!((self_score - top[0].1).abs() < 1e-5,
+                "doc {} self-score {} below top {}", i, self_score, top[0].1);
+        }
+    }
+}

@@ -1,0 +1,218 @@
+//! Shared extraction components the vendor parsers compose.
+//!
+//! Each helper corresponds to one "basic parsing component" of the
+//! framework (§2.3: "NetOps teams can then compose basic parsing
+//! components and configure CSS class names to build a customized
+//! parser").
+
+use nassim_html::{Document, NodeId};
+
+/// Reconstruct CLI template text from a span-marked element.
+///
+/// In manual RTF, parameters are distinguished from keywords only by font
+/// markup; the corpus format requires them in angle brackets (Appendix B).
+/// Elements whose class is in `param_classes` are therefore emitted as
+/// `<text>`; everything else contributes its text verbatim. The result is
+/// whitespace-normalised.
+pub fn cli_text(doc: &Document, node: NodeId, param_classes: &[&str]) -> String {
+    let mut out = String::new();
+    collect_cli(doc, node, param_classes, &mut out);
+    // Normalise whitespace.
+    out.split_whitespace().collect::<Vec<_>>().join(" ")
+}
+
+fn collect_cli(doc: &Document, node: NodeId, param_classes: &[&str], out: &mut String) {
+    use nassim_html::dom::NodeKind;
+    match &doc.node(node).kind {
+        NodeKind::Text(t) => out.push_str(t),
+        NodeKind::Comment(_) => {}
+        NodeKind::Element(el) => {
+            let is_param = param_classes.iter().any(|c| el.has_class(c));
+            if is_param {
+                out.push('<');
+                out.push_str(doc.text_of(node).trim());
+                out.push('>');
+                out.push(' ');
+            } else {
+                for child in doc.children(node) {
+                    collect_cli(doc, child, param_classes, out);
+                }
+            }
+        }
+        NodeKind::Root => {
+            for child in doc.children(node) {
+                collect_cli(doc, child, param_classes, out);
+            }
+        }
+    }
+}
+
+/// The run of following siblings of `header` up to (exclusive) the next
+/// sibling that satisfies `is_next_header`. This is the generic "section
+/// body" slicer for header-delimited layouts (helix `sectiontitle`, norsk
+/// `h3` headers).
+pub fn section_body<'a>(
+    doc: &'a Document,
+    header: NodeId,
+    mut is_next_header: impl FnMut(&Document, NodeId) -> bool + 'a,
+) -> Vec<NodeId> {
+    let mut out = Vec::new();
+    for sib in doc.following_siblings(header) {
+        if is_next_header(doc, sib) {
+            break;
+        }
+        out.push(sib);
+    }
+    out
+}
+
+/// Parse a labelled definition like `name: description` or
+/// `name — description` where `name` is the text of the first descendant
+/// carrying one of `name_classes`. Returns `(name, description)`.
+pub fn labelled_definition(
+    doc: &Document,
+    node: NodeId,
+    name_classes: &[&str],
+) -> Option<(String, String)> {
+    let name_node = doc.descendants(node).find(|&id| {
+        doc.element(id)
+            .map(|e| name_classes.iter().any(|c| e.has_class(c)))
+            .unwrap_or(false)
+    });
+    let full = doc.text_of(node);
+    let name = match name_node {
+        Some(id) => doc.text_of(id),
+        None => {
+            // Fallback: no configured name span matched — recover the name
+            // from the `name: description` / `name — description` text
+            // shape. (This keeps ParaDef parseable when a parser's span
+            // classes are wrong, so the Appendix-B self-check can expose
+            // the CLI-side mismatch instead of both sides failing mutely.)
+            let sep = full.find([':', '\u{2014}'])?;
+            full[..sep].trim().to_string()
+        }
+    };
+    // Strip the leading name and a separator (":" or em-dash or "-").
+    let desc = full
+        .strip_prefix(&name)
+        .unwrap_or(&full)
+        .trim_start()
+        .trim_start_matches([':', '\u{2014}', '-'])
+        .trim()
+        .to_string();
+    if name.is_empty() || name.contains(' ') {
+        None
+    } else {
+        Some((name, desc))
+    }
+}
+
+/// Extract the lines of every `<pre>` example snippet under `node`
+/// (inclusive), one `Vec<String>` per snippet, indentation preserved.
+pub fn example_snippets(doc: &Document, nodes: &[NodeId]) -> Vec<Vec<String>> {
+    let mut out = Vec::new();
+    for &n in nodes {
+        let mut pres: Vec<NodeId> = Vec::new();
+        if doc.element(n).map(|e| e.name == "pre").unwrap_or(false) {
+            pres.push(n);
+        }
+        pres.extend(doc.descendants(n).filter(|&id| {
+            doc.element(id).map(|e| e.name == "pre").unwrap_or(false)
+        }));
+        for pre in pres {
+            let lines = doc.text_lines(pre);
+            if !lines.is_empty() {
+                out.push(lines);
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nassim_html::Selector;
+
+    #[test]
+    fn cli_text_wraps_param_spans() {
+        let doc = Document::parse(
+            r#"<p><span class="kw">peer</span> <span class="pv">ipv4-address</span> <span class="kw">group</span> <span class="pv">group-name</span></p>"#,
+        );
+        let p = doc.select_first(&Selector::parse("p")).unwrap();
+        assert_eq!(
+            cli_text(&doc, p, &["pv"]),
+            "peer <ipv4-address> group <group-name>"
+        );
+    }
+
+    #[test]
+    fn cli_text_keeps_punctuation_tokens() {
+        let doc = Document::parse(
+            r#"<p><span class="kw">filter-policy</span> { <span class="pv">acl-number</span> | <span class="kw">ip-prefix</span> <span class="pv">name</span> } { <span class="kw">import</span> | <span class="kw">export</span> }</p>"#,
+        );
+        let p = doc.select_first(&Selector::parse("p")).unwrap();
+        assert_eq!(
+            cli_text(&doc, p, &["pv"]),
+            "filter-policy { <acl-number> | ip-prefix <name> } { import | export }"
+        );
+    }
+
+    #[test]
+    fn cli_text_respects_multiple_param_classes() {
+        let doc = Document::parse(
+            r#"<p><span class="kw">vlan</span> <span class="alt">vlan-id</span></p>"#,
+        );
+        let p = doc.select_first(&Selector::parse("p")).unwrap();
+        assert_eq!(cli_text(&doc, p, &["pv", "alt"]), "vlan <vlan-id>");
+        // A parser missing the variant class sees the param as a keyword —
+        // the Appendix-B self-check failure mode.
+        assert_eq!(cli_text(&doc, p, &["pv"]), "vlan vlan-id");
+    }
+
+    #[test]
+    fn section_body_stops_at_next_header() {
+        let doc = Document::parse(
+            r#"<div class="h">A</div><p>a1</p><p>a2</p><div class="h">B</div><p>b1</p>"#,
+        );
+        let headers: Vec<_> = doc.select_class("h").collect();
+        let body = section_body(&doc, headers[0], |d, id| {
+            d.element(id).map(|e| e.has_class("h")).unwrap_or(false)
+        });
+        assert_eq!(body.len(), 2);
+        assert_eq!(doc.text_of(body[1]), "a2");
+    }
+
+    #[test]
+    fn labelled_definition_splits_name_and_desc() {
+        let doc = Document::parse(
+            r#"<p class="d"><span class="nm">vlan-id</span>: The VLAN identifier.</p>"#,
+        );
+        let p = doc.select_first(&Selector::parse("p.d")).unwrap();
+        let (name, desc) = labelled_definition(&doc, p, &["nm"]).unwrap();
+        assert_eq!(name, "vlan-id");
+        assert_eq!(desc, "The VLAN identifier.");
+    }
+
+    #[test]
+    fn labelled_definition_handles_em_dash() {
+        let doc = Document::parse(
+            r#"<p class="d"><span class="nm">as-num</span> &mdash; AS number of the peer.</p>"#,
+        );
+        let p = doc.select_first(&Selector::parse("p.d")).unwrap();
+        let (name, desc) = labelled_definition(&doc, p, &["nm"]).unwrap();
+        assert_eq!(name, "as-num");
+        assert_eq!(desc, "AS number of the peer.");
+    }
+
+    #[test]
+    fn example_snippets_preserve_indentation() {
+        let doc = Document::parse("<pre class=ex>bgp 100\n peer 10.1.1.1 group test</pre>");
+        let pre = doc.select_first(&Selector::parse("pre")).unwrap();
+        let snippets = example_snippets(&doc, &[pre]);
+        assert_eq!(
+            snippets,
+            vec![vec!["bgp 100".to_string(), " peer 10.1.1.1 group test".to_string()]]
+        );
+    }
+}

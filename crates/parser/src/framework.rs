@@ -1,0 +1,225 @@
+//! The parser framework: the `VendorParser` trait and the TDD harness.
+//!
+//! The paper's base `Parser` class contributes two things to every
+//! subclass: a consolidated testing scheme (Appendix B) and report
+//! generation that guides parser improvement. [`run_parser`] is that base
+//! class: it runs any [`VendorParser`] over a page set, applies the
+//! corpus-format tests to each parsed entry, and produces the two-part
+//! [`TddReport`] of §4 — a *summary of key attributes* (pages with
+//! problematic/empty `CLIs` fields, with links back to the manual) and a
+//! *status of corpus* (every problematic field of every entry).
+
+use nassim_corpus::{CorpusEntry, CorpusViolation};
+use std::fmt;
+
+/// One successfully parsed manual page.
+#[derive(Debug, Clone)]
+pub struct ParsedPage {
+    /// Source page URL (kept for report links and VDM provenance).
+    pub url: String,
+    /// The vendor-independent corpus entry.
+    pub entry: CorpusEntry,
+    /// For vendors whose manuals state hierarchy explicitly (norsk): the
+    /// view-name path from the root view to the command's working view.
+    pub context_path: Option<Vec<String>>,
+    /// For explicit-hierarchy vendors: the view this command opens, as
+    /// stated by the manual's command-tree section.
+    pub enters_view: Option<String>,
+}
+
+/// A vendor-specific manual parser (`Parser_<vendor>` in the paper).
+///
+/// Implementations are intentionally small — a table of CSS classes plus
+/// composition of `extract` components; the framework supplies testing
+/// and reporting.
+pub trait VendorParser {
+    /// Vendor identifier, e.g. `helix`.
+    fn vendor(&self) -> &str;
+
+    /// Parse one page. Returns `None` for pages that do not document a
+    /// command (prefaces, chapter indexes).
+    fn parse_page(&self, url: &str, html: &str) -> Option<ParsedPage>;
+}
+
+/// One entry of the "summary of key attributes" report part.
+#[derive(Debug, Clone)]
+pub struct KeyAttrProblem {
+    pub url: String,
+    pub reason: String,
+}
+
+/// One entry of the "status of corpus" report part.
+#[derive(Debug, Clone)]
+pub struct CorpusStatus {
+    pub url: String,
+    pub violations: Vec<CorpusViolation>,
+}
+
+/// The TDD violation report (§4, report structure of the paper).
+#[derive(Debug, Clone, Default)]
+pub struct TddReport {
+    pub total_pages: usize,
+    pub parsed: usize,
+    pub skipped: usize,
+    /// Part 1: pages whose `CLIs` field is problematic or empty.
+    pub key_attr_problems: Vec<KeyAttrProblem>,
+    /// Part 2: all problematic fields of each corpus entry.
+    pub corpus_status: Vec<CorpusStatus>,
+}
+
+impl TddReport {
+    /// True when every parsed entry passed every Appendix-B test.
+    pub fn passes(&self) -> bool {
+        self.key_attr_problems.is_empty() && self.corpus_status.is_empty()
+    }
+
+    /// Total violation count across both report parts.
+    pub fn violation_count(&self) -> usize {
+        self.key_attr_problems.len()
+            + self
+                .corpus_status
+                .iter()
+                .map(|s| s.violations.len())
+                .sum::<usize>()
+    }
+}
+
+impl fmt::Display for TddReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "TDD report: {}/{} pages parsed ({} skipped), {} violations",
+            self.parsed,
+            self.total_pages,
+            self.skipped,
+            self.violation_count()
+        )?;
+        if !self.key_attr_problems.is_empty() {
+            writeln!(f, "— summary of key attributes —")?;
+            for p in &self.key_attr_problems {
+                writeln!(f, "  {}: {}", p.url, p.reason)?;
+            }
+        }
+        if !self.corpus_status.is_empty() {
+            writeln!(f, "— status of corpus —")?;
+            for s in &self.corpus_status {
+                for v in &s.violations {
+                    writeln!(f, "  {}: {}", s.url, v)?;
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// The outcome of running a parser over a manual.
+#[derive(Debug, Clone)]
+pub struct ParseRun {
+    pub pages: Vec<ParsedPage>,
+    pub report: TddReport,
+}
+
+/// Run `parser` over `(url, html)` pages and validate every parsed entry
+/// — the `parsing()` + `validating()` workflow of Figure 2.
+pub fn run_parser<'a>(
+    parser: &dyn VendorParser,
+    pages: impl IntoIterator<Item = (&'a str, &'a str)>,
+) -> ParseRun {
+    let mut parsed_pages = Vec::new();
+    let mut report = TddReport::default();
+    for (url, html) in pages {
+        report.total_pages += 1;
+        match parser.parse_page(url, html) {
+            None => report.skipped += 1,
+            Some(parsed) => {
+                report.parsed += 1;
+                // Part 1: key attribute ('CLIs') summary.
+                if parsed.entry.clis.is_empty()
+                    || parsed.entry.clis.iter().all(|c| c.trim().is_empty())
+                {
+                    report.key_attr_problems.push(KeyAttrProblem {
+                        url: parsed.url.clone(),
+                        reason: "empty CLIs field".to_string(),
+                    });
+                }
+                // Part 2: full per-entry status.
+                let violations = parsed.entry.check();
+                if !violations.is_empty() {
+                    report.corpus_status.push(CorpusStatus {
+                        url: parsed.url.clone(),
+                        violations,
+                    });
+                }
+                parsed_pages.push(parsed);
+            }
+        }
+    }
+    ParseRun {
+        pages: parsed_pages,
+        report,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nassim_corpus::ParaDef;
+
+    /// A toy parser for exercising the harness without HTML.
+    struct ToyParser {
+        break_paradef: bool,
+    }
+
+    impl VendorParser for ToyParser {
+        fn vendor(&self) -> &str {
+            "toy"
+        }
+        fn parse_page(&self, url: &str, html: &str) -> Option<ParsedPage> {
+            if html.contains("preface") {
+                return None;
+            }
+            let mut entry = CorpusEntry {
+                clis: vec!["vlan <vlan-id>".into()],
+                func_def: "Creates a VLAN.".into(),
+                parent_views: vec!["system view".into()],
+                para_def: vec![ParaDef::new("vlan-id", "VLAN identifier.")],
+                examples: vec![vec!["vlan 10".into()]],
+                source: url.to_string(),
+            };
+            if self.break_paradef {
+                entry.para_def.clear(); // self-check violation
+            }
+            Some(ParsedPage {
+                url: url.to_string(),
+                entry,
+                context_path: None,
+                enters_view: None,
+            })
+        }
+    }
+
+    fn pages() -> Vec<(&'static str, &'static str)> {
+        vec![
+            ("manual://toy/preface", "preface"),
+            ("manual://toy/vlan", "page"),
+        ]
+    }
+
+    #[test]
+    fn healthy_parser_passes() {
+        let run = run_parser(&ToyParser { break_paradef: false }, pages());
+        assert_eq!(run.report.parsed, 1);
+        assert_eq!(run.report.skipped, 1);
+        assert!(run.report.passes(), "{}", run.report);
+    }
+
+    #[test]
+    fn broken_parser_is_reported() {
+        let run = run_parser(&ToyParser { break_paradef: true }, pages());
+        assert!(!run.report.passes());
+        assert_eq!(run.report.corpus_status.len(), 1);
+        let text = run.report.to_string();
+        assert!(text.contains("status of corpus"));
+        assert!(text.contains("vlan-id"));
+    }
+}

@@ -1,0 +1,196 @@
+//! `Parser_helix` — the Huawei-style manual parser.
+//!
+//! Helix pages use `sectiontitle` header divs whose *text* labels the
+//! section (`Format`, `Function`, `Views`, `Parameters`, `Examples` — the
+//! Table-1 Huawei pattern); section bodies are the following siblings up
+//! to the next header.
+
+use crate::extract::{cli_text, example_snippets, labelled_definition, section_body};
+use crate::framework::{ParsedPage, VendorParser};
+use nassim_corpus::{CorpusEntry, ParaDef};
+use nassim_html::{Document, NodeId};
+
+/// CSS/class configuration; [`ParserHelix::new`] holds the complete table
+/// discovered through the TDD loop.
+pub struct ParserHelix {
+    /// Class of section-header divs.
+    pub section_class: String,
+    /// Classes marking parameter spans inside CLI text.
+    pub param_classes: Vec<String>,
+}
+
+impl ParserHelix {
+    /// The full configuration.
+    pub fn new() -> ParserHelix {
+        ParserHelix {
+            section_class: "sectiontitle".to_string(),
+            param_classes: vec!["paramvalue".to_string()],
+        }
+    }
+
+    fn is_header(&self, doc: &Document, id: NodeId) -> bool {
+        doc.element(id)
+            .map(|e| e.has_class(&self.section_class))
+            .unwrap_or(false)
+    }
+
+    /// Body nodes of the section whose header text equals `label`.
+    fn section(&self, doc: &Document, label: &str) -> Vec<NodeId> {
+        doc.select_class(&self.section_class)
+            .find(|&id| doc.text_of(id) == label)
+            .map(|header| section_body(doc, header, |d, id| self.is_header(d, id)))
+            .unwrap_or_default()
+    }
+}
+
+impl Default for ParserHelix {
+    fn default() -> Self {
+        ParserHelix::new()
+    }
+}
+
+impl VendorParser for ParserHelix {
+    fn vendor(&self) -> &str {
+        "helix"
+    }
+
+    fn parse_page(&self, url: &str, html: &str) -> Option<ParsedPage> {
+        let doc = Document::parse(html);
+        let format = self.section(&doc, "Format");
+        if format.is_empty() {
+            return None; // preface / index page
+        }
+        let params: Vec<&str> = self.param_classes.iter().map(String::as_str).collect();
+        let clis: Vec<String> = format
+            .iter()
+            .map(|&n| cli_text(&doc, n, &params))
+            .filter(|s| !s.is_empty())
+            .collect();
+        let func_def = self
+            .section(&doc, "Function")
+            .iter()
+            .map(|&n| doc.text_of(n))
+            .collect::<Vec<_>>()
+            .join(" ");
+        let parent_views: Vec<String> = self
+            .section(&doc, "Views")
+            .iter()
+            .map(|&n| doc.text_of(n))
+            .filter(|s| !s.is_empty())
+            .collect();
+        let para_def: Vec<ParaDef> = self
+            .section(&doc, "Parameters")
+            .iter()
+            .filter_map(|&n| labelled_definition(&doc, n, &params))
+            .map(|(name, info)| ParaDef::new(name, info))
+            .collect();
+        let examples = example_snippets(&doc, &self.section(&doc, "Examples"));
+        Some(ParsedPage {
+            url: url.to_string(),
+            entry: CorpusEntry {
+                clis,
+                func_def,
+                parent_views,
+                para_def,
+                examples,
+                source: url.to_string(),
+            },
+            context_path: None,
+            enters_view: None,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::framework::run_parser;
+    use nassim_datasets::{catalog::Catalog, manualgen, style};
+
+    fn manual() -> manualgen::Manual {
+        manualgen::generate(
+            &style::vendor("helix").unwrap(),
+            &Catalog::base(),
+            &manualgen::GenOptions {
+                seed: 21,
+                syntax_error_rate: 0.0,
+                ambiguity_rate: 0.0,
+                ..Default::default()
+            },
+        )
+    }
+
+    #[test]
+    fn parses_clean_manual_without_violations() {
+        let m = manual();
+        let run = run_parser(
+            &ParserHelix::new(),
+            m.pages.iter().map(|p| (p.url.as_str(), p.html.as_str())),
+        );
+        assert_eq!(run.report.skipped, 1, "only the preface is skipped");
+        assert!(run.report.passes(), "{}", run.report);
+        assert_eq!(run.pages.len(), m.catalog.commands.len());
+    }
+
+    #[test]
+    fn reconstructs_paper_style_corpus_entry() {
+        let m = manual();
+        let page = m.pages.iter().find(|p| p.command_key == "bgp.peer-group").unwrap();
+        let parsed = ParserHelix::new().parse_page(&page.url, &page.html).unwrap();
+        assert_eq!(
+            parsed.entry.clis,
+            vec![
+                "peer <peer-address> group <group-name>".to_string(),
+                "undo peer <peer-address> group <group-name>".to_string(),
+            ]
+        );
+        // bgp.peer-group is a multi-view command: one `Views` line per
+        // working view, in catalog order.
+        assert_eq!(
+            parsed.entry.parent_views,
+            vec!["BGP view".to_string(), "BGP-IPv4 unicast view".to_string()]
+        );
+        assert_eq!(parsed.entry.para_def.len(), 2);
+        assert_eq!(parsed.entry.para_def[0].paras, "peer-address");
+        assert!(!parsed.entry.examples.is_empty());
+        // Example shows the opener with indentation.
+        let snippet = &parsed.entry.examples[0];
+        assert!(snippet[0].starts_with("bgp "));
+        assert!(snippet.last().unwrap().starts_with(" peer "));
+    }
+
+    #[test]
+    fn undo_forms_documented_on_same_page() {
+        let m = manual();
+        let page = m.pages.iter().find(|p| p.command_key == "vlan.create").unwrap();
+        let parsed = ParserHelix::new().parse_page(&page.url, &page.html).unwrap();
+        assert_eq!(parsed.entry.clis.len(), 2);
+        assert!(parsed.entry.clis[1].starts_with("undo vlan"));
+    }
+
+    #[test]
+    fn preface_is_skipped() {
+        let m = manual();
+        assert!(ParserHelix::new()
+            .parse_page(&m.pages[0].url, &m.pages[0].html)
+            .is_none());
+    }
+
+    #[test]
+    fn misconfigured_param_class_caught_by_selfcheck() {
+        // Simulate the Appendix-B scenario: parser configured with a wrong
+        // parameter class treats params as keywords; the self-check test
+        // must flag it.
+        let m = manual();
+        let broken = ParserHelix {
+            section_class: "sectiontitle".into(),
+            param_classes: vec!["not-the-real-class".into()],
+        };
+        let run = run_parser(
+            &broken,
+            m.pages.iter().map(|p| (p.url.as_str(), p.html.as_str())),
+        );
+        assert!(!run.report.passes());
+        assert!(run.report.violation_count() > 50);
+    }
+}

@@ -1,0 +1,53 @@
+//! # nassim-parser
+//!
+//! The NAssim Parser Framework (§4 of the paper): per-vendor manual
+//! parsers that extract the vendor-independent corpus format of Table 3
+//! from HTML manual pages, developed under a Test-Driven Development
+//! workflow.
+//!
+//! Architecture (Figure 2):
+//!
+//! * [`framework`] — the [`VendorParser`] trait (the `Parser` base class),
+//!   the TDD harness [`framework::run_parser`] that applies the
+//!   Appendix-B validation tests to every parsed entry and produces the
+//!   two-part violation report, and [`framework::ParsedPage`];
+//! * [`extract`] — shared extraction components the vendor parsers
+//!   compose: span-marked CLI text reconstruction, section slicing,
+//!   labelled-definition parsing;
+//! * [`cirrus`], [`helix`], [`norsk`], [`h4c`] — the four
+//!   `Parser_<vendor>` implementations, each configured by a small table
+//!   of CSS class names (the paper's ~50-LoC-per-vendor adaption cost).
+//!
+//! ```
+//! use nassim_datasets::{catalog::Catalog, manualgen, style};
+//! use nassim_parser::{framework::run_parser, helix::ParserHelix};
+//!
+//! let cat = Catalog::base();
+//! let manual = manualgen::generate(
+//!     &style::vendor("helix").unwrap(), &cat, &Default::default());
+//! let run = run_parser(
+//!     &ParserHelix::new(),
+//!     manual.pages.iter().map(|p| (p.url.as_str(), p.html.as_str())),
+//! );
+//! assert!(run.pages.len() > 70);
+//! ```
+
+pub mod cirrus;
+pub mod extract;
+pub mod framework;
+pub mod h4c;
+pub mod helix;
+pub mod norsk;
+
+pub use framework::{run_parser, ParseRun, ParsedPage, TddReport, VendorParser};
+
+/// The full-strength parser for a vendor name, or `None` if unknown.
+pub fn parser_for(vendor: &str) -> Option<Box<dyn VendorParser>> {
+    match vendor {
+        "cirrus" => Some(Box::new(cirrus::ParserCirrus::new())),
+        "helix" => Some(Box::new(helix::ParserHelix::new())),
+        "norsk" => Some(Box::new(norsk::ParserNorsk::new())),
+        "h4c" => Some(Box::new(h4c::ParserH4c::new())),
+        _ => None,
+    }
+}

@@ -1,0 +1,220 @@
+//! `Parser_norsk` — the Nokia-style manual parser.
+//!
+//! Norsk pages use `h3` headers with stable classes (`SyntaxHeader`,
+//! `ContextHeader`, …). They carry **no examples**; instead the `Context`
+//! section states the full view path explicitly, which this parser
+//! extracts into [`ParsedPage::context_path`] — the Table-4 footnote's
+//! "extra functions" that let hierarchy be read rather than derived.
+
+use crate::extract::{cli_text, labelled_definition, section_body};
+use crate::framework::{ParsedPage, VendorParser};
+use nassim_corpus::{CorpusEntry, ParaDef};
+use nassim_html::{Document, NodeId};
+
+/// Class configuration for the norsk parser.
+pub struct ParserNorsk {
+    pub syntax_header: String,
+    pub context_header: String,
+    pub description_header: String,
+    pub parameters_header: String,
+    pub tree_header: String,
+    /// Classes marking parameter spans.
+    pub param_classes: Vec<String>,
+}
+
+impl ParserNorsk {
+    /// The full configuration.
+    pub fn new() -> ParserNorsk {
+        ParserNorsk {
+            syntax_header: "SyntaxHeader".into(),
+            context_header: "ContextHeader".into(),
+            description_header: "DescriptionHeader".into(),
+            parameters_header: "ParametersHeader".into(),
+            tree_header: "TreeHeader".into(),
+            param_classes: vec!["ArgText".into()],
+        }
+    }
+
+    fn is_any_header(doc: &Document, id: NodeId) -> bool {
+        doc.element(id)
+            .map(|e| e.name == "h3")
+            .unwrap_or(false)
+    }
+
+    fn section(&self, doc: &Document, header_class: &str) -> Vec<NodeId> {
+        doc.select_class(header_class)
+            .next()
+            .map(|h| section_body(doc, h, Self::is_any_header))
+            .unwrap_or_default()
+    }
+}
+
+impl Default for ParserNorsk {
+    fn default() -> Self {
+        ParserNorsk::new()
+    }
+}
+
+impl VendorParser for ParserNorsk {
+    fn vendor(&self) -> &str {
+        "norsk"
+    }
+
+    fn parse_page(&self, url: &str, html: &str) -> Option<ParsedPage> {
+        let doc = Document::parse(html);
+        let syntax = self.section(&doc, &self.syntax_header);
+        if syntax.is_empty() {
+            return None;
+        }
+        let params: Vec<&str> = self.param_classes.iter().map(String::as_str).collect();
+        let clis: Vec<String> = syntax
+            .iter()
+            .map(|&n| cli_text(&doc, n, &params))
+            .filter(|s| !s.is_empty())
+            .collect();
+        // Context: explicit view paths "configure > configure BGP > …",
+        // one paragraph per working view (multi-view commands have
+        // several).
+        let context_paths: Vec<Vec<String>> = self
+            .section(&doc, &self.context_header)
+            .iter()
+            .map(|&n| doc.text_of(n))
+            .filter(|t| !t.trim().is_empty())
+            .map(|t| {
+                t.split('>')
+                    .map(str::trim)
+                    .filter(|s| !s.is_empty())
+                    .map(str::to_string)
+                    .collect()
+            })
+            .collect();
+        let parent_views: Vec<String> = context_paths
+            .iter()
+            .filter_map(|p| p.last().cloned())
+            .collect();
+        let context_path: Vec<String> = context_paths.first().cloned().unwrap_or_default();
+        // Explicit command tree: "Enters: <view name>" on container pages.
+        let enters_view = self
+            .section(&doc, &self.tree_header)
+            .iter()
+            .map(|&n| doc.text_of(n))
+            .find_map(|t| t.strip_prefix("Enters:").map(|v| v.trim().to_string()));
+        let func_def = self
+            .section(&doc, &self.description_header)
+            .iter()
+            .map(|&n| doc.text_of(n))
+            .collect::<Vec<_>>()
+            .join(" ");
+        // Parameters live in a definition list: dt holds the name span,
+        // the following dd holds the description.
+        let para_def: Vec<ParaDef> = self
+            .section(&doc, &self.parameters_header)
+            .iter()
+            .flat_map(|&n| {
+                let mut defs = Vec::new();
+                let dts: Vec<NodeId> = doc
+                    .descendants(n)
+                    .filter(|&id| doc.element(id).map(|e| e.name == "dt").unwrap_or(false))
+                    .collect();
+                for dt in dts {
+                    if let Some((name, _)) = labelled_definition(&doc, dt, &params) {
+                        let desc = doc
+                            .following_siblings(dt)
+                            .find(|&id| {
+                                doc.element(id).map(|e| e.name == "dd").unwrap_or(false)
+                            })
+                            .map(|dd| doc.text_of(dd))
+                            .unwrap_or_default();
+                        defs.push(ParaDef::new(name, desc));
+                    }
+                }
+                defs
+            })
+            .collect();
+        Some(ParsedPage {
+            url: url.to_string(),
+            entry: CorpusEntry {
+                clis,
+                func_def,
+                parent_views,
+                para_def,
+                examples: Vec::new(),
+                source: url.to_string(),
+            },
+            context_path: Some(context_path),
+            enters_view,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::framework::run_parser;
+    use nassim_datasets::{catalog::Catalog, manualgen, style};
+
+    fn manual() -> manualgen::Manual {
+        manualgen::generate(
+            &style::vendor("norsk").unwrap(),
+            &Catalog::base(),
+            &manualgen::GenOptions {
+                seed: 41,
+                syntax_error_rate: 0.0,
+                ambiguity_rate: 0.0,
+                ..Default::default()
+            },
+        )
+    }
+
+    #[test]
+    fn parses_with_explicit_context_paths() {
+        let m = manual();
+        let page = m.pages.iter().find(|p| p.command_key == "bgp.af-pref").unwrap();
+        let parsed = ParserNorsk::new().parse_page(&page.url, &page.html).unwrap();
+        let path = parsed.context_path.as_ref().unwrap();
+        assert_eq!(
+            path,
+            &vec![
+                "configure".to_string(),
+                "configure BGP".to_string(),
+                "configure BGP-IPv4 unicast".to_string(),
+            ]
+        );
+        assert_eq!(parsed.entry.parent_views, vec!["configure BGP-IPv4 unicast"]);
+        assert!(parsed.entry.examples.is_empty());
+    }
+
+    #[test]
+    fn norsk_examples_field_violates_nothing() {
+        // Norsk entries legitimately have empty Examples (list-of-lists may
+        // be empty per Table 3 — only CLIs/ParentViews are non-empty).
+        let m = manual();
+        let run = run_parser(
+            &ParserNorsk::new(),
+            m.pages.iter().map(|p| (p.url.as_str(), p.html.as_str())),
+        );
+        assert!(run.report.passes(), "{}", run.report);
+    }
+
+    #[test]
+    fn vendor_renames_visible_in_clis() {
+        let m = manual();
+        let page = m.pages.iter().find(|p| p.command_key == "bgp.peer-as").unwrap();
+        let parsed = ParserNorsk::new().parse_page(&page.url, &page.html).unwrap();
+        // norsk renames as-number → autonomous-system (Table-2 divergence).
+        assert!(
+            parsed.entry.clis[0].contains("<autonomous-system>"),
+            "{:?}",
+            parsed.entry.clis
+        );
+    }
+
+    #[test]
+    fn dl_parameter_lists_are_parsed() {
+        let m = manual();
+        let page = m.pages.iter().find(|p| p.command_key == "bgp.timer").unwrap();
+        let parsed = ParserNorsk::new().parse_page(&page.url, &page.html).unwrap();
+        assert_eq!(parsed.entry.para_def.len(), 2);
+        assert!(parsed.entry.para_def[0].info.contains("keepalive"));
+    }
+}

@@ -1,0 +1,365 @@
+//! Command styling conventions as explicit Backus-Naur Form.
+//!
+//! §5.1: *"We express these command conventions/syntax into their
+//! equivalent Backus Normal Form (BNF), and then transform them into CLI
+//! command syntax parsers."* This module makes that first step a value:
+//! a [`Grammar`] is data, renderable as BNF text for reports, and runnable
+//! as a recognizer through a generic interpreter.
+//!
+//! The production parser in [`crate::template`] is hand-written for speed
+//! and good diagnostics; tests assert both accept the same language.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A BNF expression.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Expr {
+    /// A literal terminal, e.g. `"{"`.
+    Terminal(String),
+    /// A character class with a label, e.g. keyword characters.
+    CharClass {
+        label: String,
+        /// Predicate is stored as the set of extra punctuation allowed on
+        /// top of ASCII alphanumerics (keeps the type `Eq`/printable).
+        extra: Vec<char>,
+    },
+    /// Reference to another rule.
+    Rule(String),
+    /// Sequence of expressions.
+    Seq(Vec<Expr>),
+    /// Ordered-choice alternation.
+    Alt(Vec<Expr>),
+    /// Zero-or-one.
+    Opt(Box<Expr>),
+    /// One-or-more.
+    Many1(Box<Expr>),
+}
+
+impl Expr {
+    fn fmt_bnf(&self, f: &mut fmt::Formatter<'_>, parenthesize: bool) -> fmt::Result {
+        match self {
+            Expr::Terminal(t) => write!(f, "\"{t}\""),
+            Expr::CharClass { label, .. } => write!(f, "<{label}>"),
+            Expr::Rule(name) => write!(f, "{name}"),
+            Expr::Seq(items) => {
+                if parenthesize {
+                    write!(f, "( ")?;
+                }
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, " ")?;
+                    }
+                    item.fmt_bnf(f, true)?;
+                }
+                if parenthesize {
+                    write!(f, " )")?;
+                }
+                Ok(())
+            }
+            Expr::Alt(items) => {
+                if parenthesize {
+                    write!(f, "( ")?;
+                }
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, " | ")?;
+                    }
+                    item.fmt_bnf(f, true)?;
+                }
+                if parenthesize {
+                    write!(f, " )")?;
+                }
+                Ok(())
+            }
+            Expr::Opt(inner) => {
+                inner.fmt_bnf(f, true)?;
+                write!(f, "?")
+            }
+            Expr::Many1(inner) => {
+                inner.fmt_bnf(f, true)?;
+                write!(f, "+")
+            }
+        }
+    }
+}
+
+/// A named-rule grammar.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Grammar {
+    /// Rule bodies by name (BTreeMap for stable rendering order).
+    pub rules: BTreeMap<String, Expr>,
+    /// Name of the start rule.
+    pub start: String,
+}
+
+impl fmt::Display for Grammar {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // Start rule first, then the rest alphabetically.
+        let mut names: Vec<&String> = self.rules.keys().collect();
+        names.sort_by_key(|n| (*n != &self.start, n.as_str()));
+        for name in names {
+            write!(f, "{name} ::= ")?;
+            self.rules[name].fmt_bnf(f, false)?;
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+impl Grammar {
+    /// Recognize `input` against rule `start` (whole-string match).
+    /// Interpretation uses ordered choice with backtracking; whitespace
+    /// between tokens is implicit, matching the template conventions.
+    pub fn accepts(&self, input: &str) -> bool {
+        let Some(expr) = self.rules.get(&self.start) else {
+            return false;
+        };
+        self.match_expr(expr, input, 0)
+            .into_iter()
+            .any(|end| input[end..].trim().is_empty())
+    }
+
+    /// All offsets reachable after matching `expr` starting at `pos`.
+    /// Returning the full frontier (not just the first match) makes the
+    /// interpreter complete for the non-left-recursive grammars used here.
+    fn match_expr(&self, expr: &Expr, s: &str, pos: usize) -> Vec<usize> {
+        let skip = |p: usize| {
+            let b = s.as_bytes();
+            let mut i = p;
+            while i < b.len() && b[i].is_ascii_whitespace() {
+                i += 1;
+            }
+            i
+        };
+        match expr {
+            Expr::Terminal(t) => {
+                let start = skip(pos);
+                if s[start..].starts_with(t.as_str()) {
+                    vec![start + t.len()]
+                } else {
+                    vec![]
+                }
+            }
+            Expr::CharClass { extra, .. } => {
+                let start = skip(pos);
+                let rest = &s[start..];
+                let end = rest
+                    .char_indices()
+                    .find(|&(_, ch)| !(ch.is_ascii_alphanumeric() || extra.contains(&ch)))
+                    .map(|(i, _)| i)
+                    .unwrap_or(rest.len());
+                if end == 0 {
+                    vec![]
+                } else {
+                    vec![start + end]
+                }
+            }
+            Expr::Rule(name) => match self.rules.get(name) {
+                Some(body) => self.match_expr(body, s, pos),
+                None => vec![],
+            },
+            Expr::Seq(items) => {
+                let mut frontier = vec![pos];
+                for item in items {
+                    let mut next = Vec::new();
+                    for &p in &frontier {
+                        next.extend(self.match_expr(item, s, p));
+                    }
+                    next.sort_unstable();
+                    next.dedup();
+                    frontier = next;
+                    if frontier.is_empty() {
+                        break;
+                    }
+                }
+                frontier
+            }
+            Expr::Alt(items) => {
+                let mut out = Vec::new();
+                for item in items {
+                    out.extend(self.match_expr(item, s, pos));
+                }
+                out.sort_unstable();
+                out.dedup();
+                out
+            }
+            Expr::Opt(inner) => {
+                let mut out = self.match_expr(inner, s, pos);
+                out.push(pos);
+                out.sort_unstable();
+                out.dedup();
+                out
+            }
+            Expr::Many1(inner) => {
+                let mut out = Vec::new();
+                let mut frontier = self.match_expr(inner, s, pos);
+                frontier.sort_unstable();
+                frontier.dedup();
+                while !frontier.is_empty() {
+                    let mut next = Vec::new();
+                    for &p in &frontier {
+                        if !out.contains(&p) {
+                            out.push(p);
+                            next.extend(self.match_expr(inner, s, p));
+                        }
+                    }
+                    next.sort_unstable();
+                    next.dedup();
+                    next.retain(|p| !out.contains(p));
+                    frontier = next;
+                }
+                out.sort_unstable();
+                out
+            }
+        }
+    }
+}
+
+/// The CLI command-template conventions of Figure 4, as BNF. This is the
+/// grammar [`crate::template::parse_template`] implements.
+pub fn command_grammar() -> Grammar {
+    let keyword_extra = vec!['-', '_', '.', ':', '/', '+', '*', '@'];
+    let param_extra = vec!['-', '_', '.', '/'];
+    let mut rules = BTreeMap::new();
+    rules.insert(
+        "template".to_string(),
+        Expr::Many1(Box::new(Expr::Rule("element".into()))),
+    );
+    rules.insert(
+        "element".to_string(),
+        Expr::Alt(vec![
+            Expr::Rule("placeholder".into()),
+            Expr::Rule("select".into()),
+            Expr::Rule("option".into()),
+            Expr::Rule("keyword".into()),
+        ]),
+    );
+    rules.insert(
+        "placeholder".to_string(),
+        Expr::Seq(vec![
+            Expr::Terminal("<".into()),
+            Expr::CharClass {
+                label: "param-name".into(),
+                extra: param_extra,
+            },
+            Expr::Terminal(">".into()),
+        ]),
+    );
+    rules.insert(
+        "select".to_string(),
+        Expr::Seq(vec![
+            Expr::Terminal("{".into()),
+            Expr::Rule("branches".into()),
+            Expr::Terminal("}".into()),
+        ]),
+    );
+    rules.insert(
+        "option".to_string(),
+        Expr::Seq(vec![
+            Expr::Terminal("[".into()),
+            Expr::Rule("branches".into()),
+            Expr::Terminal("]".into()),
+        ]),
+    );
+    rules.insert(
+        "branches".to_string(),
+        Expr::Seq(vec![
+            Expr::Rule("branch".into()),
+            Expr::Many1(Box::new(Expr::Seq(vec![
+                Expr::Terminal("|".into()),
+                Expr::Rule("branch".into()),
+            ])))
+            .optional(),
+        ]),
+    );
+    rules.insert(
+        "branch".to_string(),
+        Expr::Many1(Box::new(Expr::Rule("element".into()))),
+    );
+    rules.insert(
+        "keyword".to_string(),
+        Expr::CharClass {
+            label: "keyword".into(),
+            extra: keyword_extra,
+        },
+    );
+    Grammar {
+        rules,
+        start: "template".to_string(),
+    }
+}
+
+impl Expr {
+    /// Wrap in `Opt` — small builder sugar for grammar definitions.
+    fn optional(self) -> Expr {
+        Expr::Opt(Box::new(self))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::template::parse_template;
+
+    #[test]
+    fn renders_readable_bnf() {
+        let g = command_grammar();
+        let text = g.to_string();
+        assert!(text.starts_with("template ::="));
+        assert!(text.contains("select ::= \"{\" branches \"}\""));
+        assert!(text.contains("option ::= \"[\" branches \"]\""));
+    }
+
+    #[test]
+    fn accepts_valid_templates() {
+        let g = command_grammar();
+        for t in [
+            "show vlan [ <vlan-id> ]",
+            "peer <ipv4-address> group <group-name>",
+            "filter-policy { <acl-number> | ip-prefix <ip-prefix-name> } { import | export }",
+            "neighbor { <ip> } [ remote-as { <as> [ <.as> ] | route-map <name> } ]",
+        ] {
+            assert!(g.accepts(t), "should accept: {t}");
+        }
+    }
+
+    #[test]
+    fn rejects_invalid_templates() {
+        let g = command_grammar();
+        for t in [
+            "",
+            "a { b",
+            "a b }",
+            "a { }",
+            "a { b | }",
+            "peer <unclosed",
+            "a [ b } ",
+        ] {
+            assert!(!g.accepts(t), "should reject: {t}");
+        }
+    }
+
+    #[test]
+    fn agrees_with_production_parser() {
+        let g = command_grammar();
+        let cases = [
+            "vlan <vlan-id>",
+            "undo vlan <vlan-id>",
+            "stp instance <id> root { primary | secondary }",
+            "display vlan [ <vlan-id> ]",
+            "x { a | b [ c ] } y",
+            "bad { template",
+            "also ] bad",
+            "{ | }",
+            "ok [ nested { deep <p> | alt } end ]",
+        ];
+        for t in cases {
+            assert_eq!(
+                g.accepts(t),
+                parse_template(t).is_ok(),
+                "grammar and parser disagree on: {t}"
+            );
+        }
+    }
+}

@@ -1,0 +1,43 @@
+//! # nassim-syntax
+//!
+//! Formal syntax machinery for CLI command templates (§5.1 and Appendix C
+//! of the paper).
+//!
+//! Vendor manuals describe each command with a *template* using styling
+//! conventions documented in the manual preamble (Figure 4):
+//!
+//! * `keyword` — literal token, entered as shown;
+//! * `<param>` — placeholder the operator substitutes a value for;
+//! * `{ a | b }` — mandatory choice between branches;
+//! * `[ a | b ]` — optional part (with or without alternation);
+//! * groups nest arbitrarily.
+//!
+//! The paper expresses these conventions in Backus-Naur Form and generates
+//! a syntax parser with pyparsing. This crate does the same natively:
+//!
+//! * [`combinator`] — a small parser-combinator toolkit (the pyparsing
+//!   substitute),
+//! * [`bnf`] — the command conventions as an explicit BNF grammar value,
+//!   renderable as text and runnable as a recognizer,
+//! * [`template`] — the production recursive-descent parser that builds
+//!   the nested CLI structure (`clistruc`, Figure 16) consumed by CGM
+//!   construction,
+//! * [`validate`] — formal syntax validation: precise, human-readable
+//!   diagnoses (unpaired bracket, empty branch, …) for auditing manuals.
+//!
+//! ```
+//! use nassim_syntax::template::parse_template;
+//!
+//! let s = parse_template(
+//!     "filter-policy { <acl-number> | ip-prefix <ip-prefix-name> } { import | export }",
+//! ).unwrap();
+//! assert_eq!(s.elements.len(), 3); // keyword + two select groups
+//! ```
+
+pub mod bnf;
+pub mod combinator;
+pub mod template;
+pub mod validate;
+
+pub use template::{parse_template, CliStruc, Ele};
+pub use validate::{validate_template, SyntaxDiagnosis, SyntaxErrorKind};

@@ -1,0 +1,101 @@
+//! Property tests for the CLI-template grammar.
+//!
+//! The central invariants: (1) any template assembled from the grammar's
+//! own constructors renders to text that parses back to the identical
+//! structure; (2) validation is total — arbitrary byte soup never panics;
+//! (3) the hand-written parser and the BNF interpreter accept the same
+//! language.
+
+use nassim_syntax::bnf::command_grammar;
+use nassim_syntax::template::{parse_template, CliStruc, Ele};
+use nassim_syntax::validate_template;
+use proptest::prelude::*;
+
+/// Strategy for keywords (grammar-legal token characters).
+fn keyword() -> impl Strategy<Value = String> {
+    "[a-z][a-z0-9-]{0,8}".prop_map(|s| s)
+}
+
+/// Strategy for placeholder names.
+fn param_name() -> impl Strategy<Value = String> {
+    "[a-z][a-z0-9-]{0,10}".prop_map(|s| s)
+}
+
+/// Recursive strategy for template elements, with depth-bounded groups.
+fn element() -> impl Strategy<Value = Ele> {
+    let leaf = prop_oneof![
+        keyword().prop_map(Ele::Keyword),
+        param_name().prop_map(Ele::Param),
+    ];
+    leaf.prop_recursive(3, 24, 4, |inner| {
+        let branch = prop::collection::vec(inner, 1..4);
+        let branches = prop::collection::vec(branch, 1..4);
+        prop_oneof![
+            branches.clone().prop_map(Ele::Select),
+            branches.prop_map(Ele::Option),
+        ]
+    })
+}
+
+fn template() -> impl Strategy<Value = CliStruc> {
+    prop::collection::vec(element(), 1..6).prop_map(|elements| CliStruc { elements })
+}
+
+proptest! {
+    /// render → parse is the identity on structures.
+    #[test]
+    fn render_parse_round_trip(struc in template()) {
+        let text = struc.render();
+        let reparsed = parse_template(&text)
+            .unwrap_or_else(|e| panic!("rendered template failed to parse: `{text}`: {e:?}"));
+        prop_assert_eq!(reparsed, struc);
+    }
+
+    /// Validation never panics, on anything.
+    #[test]
+    fn validation_is_total(input in "\\PC{0,60}") {
+        let _ = validate_template(&input);
+    }
+
+    /// Validation agrees with parseability.
+    #[test]
+    fn validation_agrees_with_parser(input in "[a-z0-9<>{}\\[\\]| .-]{0,40}") {
+        let v = validate_template(&input).is_ok();
+        let p = parse_template(&input).is_ok();
+        prop_assert_eq!(v, p, "validate={} parse={} on `{}`", v, p, input);
+    }
+
+    /// The BNF interpreter and the production parser accept the same
+    /// language (on grammar-generated inputs and mutations thereof).
+    #[test]
+    fn bnf_agrees_with_parser(struc in template(), mutate in 0usize..4) {
+        let mut text = struc.render();
+        // Apply a mutation so both acceptance and rejection are exercised.
+        match mutate {
+            1 => text = text.replacen('}', "", 1),
+            2 => text.push(']'),
+            3 => text = text.replacen('>', "", 1),
+            _ => {}
+        }
+        let g = command_grammar();
+        prop_assert_eq!(
+            g.accepts(&text),
+            parse_template(&text).is_ok(),
+            "grammar and parser disagree on `{}`", text
+        );
+    }
+
+    /// Params and keywords harvested from the structure appear in the
+    /// rendered text.
+    #[test]
+    fn accessors_consistent_with_render(struc in template()) {
+        let text = struc.render();
+        for p in struc.params() {
+            let bracketed = format!("<{p}>");
+            prop_assert!(text.contains(&bracketed));
+        }
+        for k in struc.keywords() {
+            prop_assert!(text.contains(k));
+        }
+    }
+}

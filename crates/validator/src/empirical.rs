@@ -1,0 +1,396 @@
+//! Stage 3 — validation with empirical data (§5.3, Figure 8).
+//!
+//! Two complementary checks:
+//!
+//! * [`validate_config_files`] — replay configuration files collected
+//!   from running devices against the validated VDM. For each instance
+//!   line: find its matching template *in the view implied by the
+//!   file's indentation structure*, and verify the parent instance's
+//!   template actually opens that view. Unmatched instances are recorded
+//!   with their reason for expert audit.
+//! * [`validate_on_device`] — for templates the empirical data never
+//!   exercises, generate instances from their CGMs, push them to a live
+//!   (simulated) device over TCP — navigating the opener chain first —
+//!   and read back `display current-configuration` to confirm the line
+//!   took effect.
+
+use nassim_cgm::{generate, matching::is_cli_match, CliGraph};
+use nassim_corpus::{Vdm, VdmNodeId};
+use nassim_device::{DeviceClient, Response};
+use nassim_syntax::parse_template;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::Serialize;
+use std::collections::BTreeMap;
+use std::io;
+use std::net::SocketAddr;
+
+/// Why a config line failed validation (Figure 8's recorded reasons).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
+pub enum UnmatchReason {
+    /// No template in the whole VDM matches the instance.
+    NoTemplate,
+    /// A template matches, but not in the view the file structure
+    /// implies (parent/child mismatch on the hierarchy).
+    WrongHierarchy { matched_elsewhere_in: Vec<String> },
+}
+
+/// One failed config line.
+#[derive(Debug, Clone, Serialize)]
+pub struct UnmatchedInstance {
+    pub file: String,
+    pub line_no: usize,
+    pub line: String,
+    pub reason: UnmatchReason,
+}
+
+/// The stage-3 result over a config corpus.
+#[derive(Debug, Clone, Default)]
+pub struct EmpiricalReport {
+    /// Instance lines examined.
+    pub total_instances: usize,
+    /// Lines matched to a template in the correct view.
+    pub matched: usize,
+    pub failures: Vec<UnmatchedInstance>,
+    /// VDM node ids that matched at least one empirical instance (the
+    /// "used templates" set; its complement feeds device validation).
+    pub used_nodes: Vec<VdmNodeId>,
+}
+
+impl EmpiricalReport {
+    /// The Table-4 matching ratio.
+    pub fn matching_ratio(&self) -> f64 {
+        if self.total_instances == 0 {
+            return 1.0;
+        }
+        self.matched as f64 / self.total_instances as f64
+    }
+}
+
+/// Compiled matcher over a VDM: per-view template graphs.
+pub struct VdmMatcher<'v> {
+    /// node → graph (indexed by node id order of `nodes`).
+    graphs: BTreeMap<VdmNodeId, CliGraph>,
+    /// view name → node ids working in that view.
+    by_view: BTreeMap<&'v str, Vec<VdmNodeId>>,
+}
+
+impl<'v> VdmMatcher<'v> {
+    /// Compile every parseable node template.
+    pub fn new(vdm: &'v Vdm) -> VdmMatcher<'v> {
+        let mut graphs = BTreeMap::new();
+        let mut by_view: BTreeMap<&str, Vec<VdmNodeId>> = BTreeMap::new();
+        for (id, node) in vdm.iter() {
+            if let Ok(struc) = parse_template(&node.template) {
+                graphs.insert(id, CliGraph::build(&struc));
+                by_view.entry(node.view.as_str()).or_default().push(id);
+            }
+        }
+        let _ = vdm; // borrowed only during construction
+        VdmMatcher { graphs, by_view }
+    }
+
+    /// Nodes in `view` matching `instance`.
+    pub fn match_in_view(&self, view: &str, instance: &str) -> Vec<VdmNodeId> {
+        self.by_view
+            .get(view)
+            .map(|nodes| {
+                nodes
+                    .iter()
+                    .copied()
+                    .filter(|id| is_cli_match(instance, &self.graphs[id]))
+                    .collect()
+            })
+            .unwrap_or_default()
+    }
+
+    /// All nodes matching `instance`, anywhere.
+    pub fn match_anywhere(&self, instance: &str) -> Vec<VdmNodeId> {
+        self.graphs
+            .iter()
+            .filter(|(_, g)| is_cli_match(instance, g))
+            .map(|(&id, _)| id)
+            .collect()
+    }
+
+    /// The compiled graph of `id`, if its template parsed.
+    pub fn graph(&self, id: VdmNodeId) -> Option<&CliGraph> {
+        self.graphs.get(&id)
+    }
+}
+
+/// Replay `files` (name, lines) against the VDM.
+pub fn validate_config_files<'a>(
+    vdm: &Vdm,
+    files: impl IntoIterator<Item = (&'a str, &'a [String])>,
+) -> EmpiricalReport {
+    let matcher = VdmMatcher::new(vdm);
+    let mut report = EmpiricalReport::default();
+    let mut used: Vec<VdmNodeId> = Vec::new();
+
+    for (file, lines) in files {
+        // Stack of (indent, view entered by that line's matched node).
+        let mut stack: Vec<(usize, String)> = Vec::new();
+        for (line_no, line) in lines.iter().enumerate() {
+            if line.trim().is_empty() {
+                continue;
+            }
+            report.total_instances += 1;
+            let indent = line.len() - line.trim_start().len();
+            let instance = line.trim_start();
+            while stack.last().map(|&(d, _)| d >= indent).unwrap_or(false) {
+                stack.pop();
+            }
+            let view = stack
+                .last()
+                .map(|(_, v)| v.clone())
+                .unwrap_or_else(|| vdm.root_view.clone());
+            let matches = matcher.match_in_view(&view, instance);
+            match matches.first() {
+                Some(&node) => {
+                    report.matched += 1;
+                    used.push(node);
+                    if let Some(entered) = &vdm.node(node).enters_view {
+                        stack.push((indent, entered.clone()));
+                    }
+                }
+                None => {
+                    let elsewhere = matcher.match_anywhere(instance);
+                    let reason = if elsewhere.is_empty() {
+                        UnmatchReason::NoTemplate
+                    } else {
+                        UnmatchReason::WrongHierarchy {
+                            matched_elsewhere_in: elsewhere
+                                .iter()
+                                .map(|&id| vdm.node(id).view.clone())
+                                .collect(),
+                        }
+                    };
+                    report.failures.push(UnmatchedInstance {
+                        file: file.to_string(),
+                        line_no: line_no + 1,
+                        line: line.clone(),
+                        reason,
+                    });
+                }
+            }
+        }
+    }
+    used.sort_unstable();
+    used.dedup();
+    report.used_nodes = used;
+    report
+}
+
+/// Result of pushing generated instances at a live device.
+#[derive(Debug, Clone, Default)]
+pub struct DeviceValidation {
+    /// Nodes exercised.
+    pub nodes_tested: usize,
+    /// Instances the device accepted.
+    pub accepted: usize,
+    /// Accepted instances whose read-back check found the config line.
+    pub readback_ok: usize,
+    /// Failures: (template, instance, what went wrong).
+    pub failures: Vec<(String, String, String)>,
+}
+
+/// Generate one instance per node in `nodes` and push it to the device at
+/// `addr`, navigating the opener chain first (§5.3's scheme for commands
+/// unused in empirical configurations).
+pub fn validate_on_device(
+    vdm: &Vdm,
+    nodes: &[VdmNodeId],
+    addr: SocketAddr,
+    seed: u64,
+) -> io::Result<DeviceValidation> {
+    let matcher = VdmMatcher::new(vdm);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut client = DeviceClient::connect(addr)?;
+    let mut out = DeviceValidation::default();
+
+    'nodes: for &id in nodes {
+        let Some(graph) = matcher.graph(id) else { continue };
+        out.nodes_tested += 1;
+        let instance = generate::sample_instance(graph, &mut rng);
+        let template = vdm.node(id).template.clone();
+
+        // Navigate: enter the opener chain of the node's view.
+        let mut chain: Vec<VdmNodeId> = Vec::new();
+        let mut cur = vdm.node(id).parent;
+        while let Some(c) = cur {
+            if c == vdm.root() {
+                break;
+            }
+            chain.push(c);
+            cur = vdm.node(c).parent;
+        }
+        chain.reverse();
+        let _ = client.exec("return");
+        for &opener in &chain {
+            let Some(og) = matcher.graph(opener) else {
+                out.failures.push((template.clone(), instance.clone(),
+                    "opener template unparseable".into()));
+                continue 'nodes;
+            };
+            let oi = generate::sample_instance(og, &mut rng);
+            match client.exec(&oi)? {
+                Response::Ok { .. } => {}
+                Response::Err { message } => {
+                    out.failures.push((template.clone(), oi, format!("opener rejected: {message}")));
+                    continue 'nodes;
+                }
+                Response::Output { .. } => {}
+            }
+        }
+        // Issue the instance itself.
+        match client.exec(&instance)? {
+            Response::Ok { .. } => {
+                out.accepted += 1;
+                if client.has_config_line(&instance)? {
+                    out.readback_ok += 1;
+                } else {
+                    out.failures.push((
+                        template,
+                        instance,
+                        "accepted but absent from running configuration".into(),
+                    ));
+                }
+            }
+            Response::Output { .. } => {
+                // Operational (`display`-class) command: executing it *is*
+                // the check; there is no config line to read back.
+                out.accepted += 1;
+                out.readback_ok += 1;
+            }
+            Response::Err { message } => {
+                out.failures.push((template, instance, format!("rejected: {message}")));
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nassim_corpus::Vdm;
+
+    /// A tiny hand-built VDM: bgp → peer, plus sysname at the root.
+    fn vdm() -> Vdm {
+        let mut v = Vdm::new("helix", "system view");
+        let root = v.root();
+        let bgp = v.add_node(root, "bgp <as-number>", "system view", None, Some("BGP view".into()));
+        v.add_node(bgp, "peer <ipv4-address> as-number <as-number>", "BGP view", None, None);
+        v.add_node(root, "sysname <host-name>", "system view", None, None);
+        v
+    }
+
+    #[test]
+    fn matches_hierarchical_config() {
+        let v = vdm();
+        let lines = vec![
+            "sysname core1".to_string(),
+            "bgp 65001".to_string(),
+            " peer 10.0.0.2 as-number 65002".to_string(),
+        ];
+        let report = validate_config_files(&v, [("f1", lines.as_slice())]);
+        assert_eq!(report.total_instances, 3);
+        assert_eq!(report.matched, 3);
+        assert!((report.matching_ratio() - 1.0).abs() < 1e-9);
+        assert_eq!(report.used_nodes.len(), 3);
+    }
+
+    #[test]
+    fn unknown_command_reported_as_no_template() {
+        let v = vdm();
+        let lines = vec!["frobnicate 12".to_string()];
+        let report = validate_config_files(&v, [("f1", lines.as_slice())]);
+        assert_eq!(report.matched, 0);
+        assert_eq!(report.failures[0].reason, UnmatchReason::NoTemplate);
+        assert_eq!(report.failures[0].line_no, 1);
+    }
+
+    #[test]
+    fn view_violation_reported_as_wrong_hierarchy() {
+        let v = vdm();
+        // `peer …` at the root view: the template exists, but only under
+        // the BGP view.
+        let lines = vec!["peer 10.0.0.2 as-number 65002".to_string()];
+        let report = validate_config_files(&v, [("f1", lines.as_slice())]);
+        assert_eq!(report.matched, 0);
+        match &report.failures[0].reason {
+            UnmatchReason::WrongHierarchy { matched_elsewhere_in } => {
+                assert_eq!(matched_elsewhere_in, &vec!["BGP view".to_string()]);
+            }
+            other => panic!("expected WrongHierarchy, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn dedent_closes_views() {
+        let v = vdm();
+        let lines = vec![
+            "bgp 65001".to_string(),
+            " peer 10.0.0.2 as-number 65002".to_string(),
+            "sysname edge1".to_string(), // back at root after dedent
+        ];
+        let report = validate_config_files(&v, [("f1", lines.as_slice())]);
+        assert_eq!(report.matched, 3);
+    }
+
+    #[test]
+    fn used_nodes_deduplicated() {
+        let v = vdm();
+        let lines = vec!["sysname a".to_string(), "sysname b".to_string()];
+        let report = validate_config_files(&v, [("f1", lines.as_slice())]);
+        assert_eq!(report.matched, 2);
+        assert_eq!(report.used_nodes.len(), 1);
+    }
+
+    #[test]
+    fn device_validation_round_trip() {
+        use nassim_device::{DeviceModel, DeviceServer};
+        use std::sync::Arc;
+        let v = vdm();
+        // Device model mirrors the VDM (a correct manual).
+        let mut m = DeviceModel::new("system view");
+        m.add_view("BGP view", "system view").unwrap();
+        m.add_command("system view", "bgp <as-number>", Some("BGP view")).unwrap();
+        m.add_command("BGP view", "peer <ipv4-address> as-number <as-number>", None).unwrap();
+        m.add_command("system view", "sysname <host-name>", None).unwrap();
+        let mut server = DeviceServer::spawn(Arc::new(m)).unwrap();
+
+        let nodes: Vec<VdmNodeId> = v.walk();
+        let result = validate_on_device(&v, &nodes, server.addr(), 7).unwrap();
+        assert_eq!(result.nodes_tested, 3);
+        assert_eq!(result.accepted, 3, "failures: {:?}", result.failures);
+        assert_eq!(result.readback_ok, 3);
+        server.stop();
+    }
+
+    #[test]
+    fn device_rejects_templates_the_firmware_lacks() {
+        use nassim_device::{DeviceModel, DeviceServer};
+        use std::sync::Arc;
+        let mut v = vdm();
+        let root = v.root();
+        // The manual documents a command the device does not implement —
+        // exactly the defect §5.3's live testing exists to catch.
+        v.add_node(root, "phantom-feature <x>", "system view", None, None);
+        let mut m = DeviceModel::new("system view");
+        m.add_view("BGP view", "system view").unwrap();
+        m.add_command("system view", "bgp <as-number>", Some("BGP view")).unwrap();
+        m.add_command("BGP view", "peer <ipv4-address> as-number <as-number>", None).unwrap();
+        m.add_command("system view", "sysname <host-name>", None).unwrap();
+        let mut server = DeviceServer::spawn(Arc::new(m)).unwrap();
+
+        let nodes: Vec<VdmNodeId> = v.walk();
+        let result = validate_on_device(&v, &nodes, server.addr(), 7).unwrap();
+        assert_eq!(result.nodes_tested, 4);
+        assert_eq!(result.accepted, 3);
+        assert_eq!(result.failures.len(), 1);
+        assert!(result.failures[0].0.starts_with("phantom-feature"));
+        server.stop();
+    }
+}

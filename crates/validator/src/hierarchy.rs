@@ -1,0 +1,456 @@
+//! Stage 2 — model hierarchy derivation and validation (§5.2).
+//!
+//! The derivation exploits `Examples` fields: each snippet shows an
+//! *instantiated* version of the page's CLI under its parent CLI
+//! instances, with indentation carrying nesting. For every snippet we:
+//!
+//! 1. confirm the innermost line instantiates the page's own template
+//!    (CGM instance–template matching, Algorithm 1);
+//! 2. track back by prefix indentation to the parent CLI instance;
+//! 3. search all corpora for templates matching the parent instance;
+//! 4. cast a vote: *"view V (the page's working view) is entered by
+//!    template T"*.
+//!
+//! Votes are aggregated per view with majority voting; views with
+//! conflicting evidence — the Figure-7 shared-snippet problem — or with
+//! no usable evidence are flagged ambiguous, each with its candidate
+//! openers and example provenance, "so that NetOps can review them later".
+//!
+//! Manuals that state hierarchy explicitly (norsk context paths +
+//! `Enters:` tree sections) bypass derivation: their evidence enters as
+//! authoritative votes.
+
+use nassim_cgm::{matching::is_cli_match, CliGraph};
+use nassim_parser::ParsedPage;
+use nassim_syntax::parse_template;
+use std::collections::BTreeMap;
+use std::time::{Duration, Instant};
+
+/// Sentinel opener index meaning "the view is a root view" (the snippet
+/// showed the command at indentation 0 with no parent line).
+pub const ROOT_OPENER: usize = usize::MAX;
+
+/// Why a view was flagged ambiguous.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AmbiguityReason {
+    /// Distinct openers received comparable vote counts.
+    ConflictingEvidence,
+    /// The view appears in `ParentViews` but no snippet could be
+    /// associated with it.
+    NoEvidence,
+}
+
+/// An ambiguous view, recorded for expert review.
+#[derive(Debug, Clone)]
+pub struct AmbiguousView {
+    /// Vendor view name, e.g. `VPN instance MSDP view`.
+    pub view: String,
+    pub reason: AmbiguityReason,
+    /// Candidate opener page indices with their vote counts.
+    pub candidates: Vec<(usize, usize)>,
+}
+
+/// Derivation statistics (Table 4 rows).
+#[derive(Debug, Clone, Default)]
+pub struct DerivationStats {
+    /// Snippets inspected.
+    pub example_snippets: usize,
+    /// Votes successfully cast.
+    pub votes_cast: usize,
+    /// Snippets whose innermost line did not match the page's template
+    /// (manual defect or parse loss).
+    pub self_match_failures: usize,
+    /// Wall-clock time of CGM construction for all corpora.
+    pub cgm_build_time: Duration,
+    /// Wall-clock time of derivation proper.
+    pub derivation_time: Duration,
+}
+
+/// The derivation result.
+#[derive(Debug, Clone)]
+pub struct Derivation {
+    /// view name → winning opener: page index into the input slice, or
+    /// [`ROOT_OPENER`] for root views.
+    pub openers: BTreeMap<String, usize>,
+    /// Full vote tally per view (for certainty quantification).
+    pub votes: BTreeMap<String, BTreeMap<usize, usize>>,
+    /// Views flagged for expert review.
+    pub ambiguous: Vec<AmbiguousView>,
+    /// The root view name (most root-voted), if any.
+    pub root_view: Option<String>,
+    pub stats: DerivationStats,
+}
+
+impl Derivation {
+    /// Number of ambiguous views (Table 4 row).
+    pub fn ambiguous_count(&self) -> usize {
+        self.ambiguous.len()
+    }
+}
+
+/// Compiled template graphs for one page, bucketed for fast lookup.
+pub struct CorpusGraphs {
+    /// (page index, cli index) → graph.
+    pub graphs: Vec<Vec<CliGraph>>,
+    /// head keyword → (page, cli) pairs whose template starts with it.
+    head_index: BTreeMap<String, Vec<(usize, usize)>>,
+    /// Templates with no leading keyword (start with a group) — always
+    /// candidates.
+    headless: Vec<(usize, usize)>,
+}
+
+impl CorpusGraphs {
+    /// Compile every parseable CLI form of every page. Invalid templates
+    /// (stage-1 failures) are skipped — they cannot match anything.
+    pub fn build(pages: &[ParsedPage]) -> CorpusGraphs {
+        let mut graphs = Vec::with_capacity(pages.len());
+        let mut head_index: BTreeMap<String, Vec<(usize, usize)>> = BTreeMap::new();
+        let mut headless = Vec::new();
+        for (pi, page) in pages.iter().enumerate() {
+            let mut page_graphs = Vec::new();
+            for (ci, cli) in page.entry.clis.iter().enumerate() {
+                match parse_template(cli) {
+                    Ok(struc) => {
+                        match struc.head_keyword() {
+                            Some(head) => head_index
+                                .entry(head.to_string())
+                                .or_default()
+                                .push((pi, ci)),
+                            None => headless.push((pi, ci)),
+                        }
+                        page_graphs.push(CliGraph::build(&struc));
+                    }
+                    Err(_) => {
+                        // Placeholder so (page, cli) indexing stays aligned.
+                        page_graphs.push(CliGraph::build(
+                            &parse_template("__invalid__").expect("sentinel parses"),
+                        ));
+                    }
+                }
+            }
+            graphs.push(page_graphs);
+        }
+        CorpusGraphs {
+            graphs,
+            head_index,
+            headless,
+        }
+    }
+
+    /// Pages whose templates could match `instance` (bucketed by its
+    /// first token, plus all headless templates).
+    pub fn candidates(&self, instance: &str) -> Vec<(usize, usize)> {
+        let mut out = Vec::new();
+        if let Some(first) = instance.split_whitespace().next() {
+            if let Some(bucket) = self.head_index.get(first) {
+                out.extend_from_slice(bucket);
+            }
+        }
+        out.extend_from_slice(&self.headless);
+        out
+    }
+
+    /// All pages whose template matches `instance` exactly.
+    pub fn matching_pages(&self, instance: &str) -> Vec<usize> {
+        let mut out: Vec<usize> = self
+            .candidates(instance)
+            .into_iter()
+            .filter(|&(pi, ci)| is_cli_match(instance, &self.graphs[pi][ci]))
+            .map(|(pi, _)| pi)
+            .collect();
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+}
+
+/// A view is flagged ambiguous when the winning opener holds less than
+/// this share of its votes. Misleading shared snippets split a view's
+/// evidence roughly in half (well below the threshold); a single spurious
+/// template match among many corroborating snippets stays above it.
+const WINNER_SHARE_THRESHOLD: f64 = 0.75;
+
+/// Derive the hierarchy of a parsed corpus.
+pub fn derive_hierarchy(pages: &[ParsedPage]) -> Derivation {
+    let t0 = Instant::now();
+    let corpus = CorpusGraphs::build(pages);
+    let cgm_build_time = t0.elapsed();
+
+    let t1 = Instant::now();
+    let mut votes: BTreeMap<String, BTreeMap<usize, usize>> = BTreeMap::new();
+    let mut stats = DerivationStats {
+        cgm_build_time,
+        ..DerivationStats::default()
+    };
+    let mut root_votes: BTreeMap<String, usize> = BTreeMap::new();
+
+    for (pi, page) in pages.iter().enumerate() {
+        let Some(view) = page.entry.parent_views.first() else {
+            continue;
+        };
+        // Explicit hierarchy (norsk): authoritative, no derivation needed.
+        if let Some(path) = &page.context_path {
+            if path.len() <= 1 {
+                if let Some(v) = path.first().or(page.entry.parent_views.first()) {
+                    *root_votes.entry(v.clone()).or_default() += 1;
+                }
+            }
+            if let Some(enters) = &page.enters_view {
+                // This page opens `enters`: authoritative vote.
+                *votes
+                    .entry(enters.clone())
+                    .or_default()
+                    .entry(pi)
+                    .or_default() += 1;
+                stats.votes_cast += 1;
+            }
+            continue;
+        }
+        // Example-based derivation. Manuals list one snippet per working
+        // view in `ParentViews` order (multi-view commands); when counts
+        // line up, pair snippet j with view j, otherwise attribute all
+        // snippets to the primary view.
+        let paired = page.entry.parent_views.len() == page.entry.examples.len()
+            && page.entry.parent_views.len() > 1;
+        for (j, snippet) in page.entry.examples.iter().enumerate() {
+            let view = if paired {
+                &page.entry.parent_views[j]
+            } else {
+                view
+            };
+            stats.example_snippets += 1;
+            let Some(last) = snippet.last() else { continue };
+            let child_indent = indent_of(last);
+            let child_instance = last.trim_start();
+            // Step 1: the innermost line must instantiate this page's CLI.
+            let self_matches = corpus
+                .candidates(child_instance)
+                .into_iter()
+                .any(|(p, c)| p == pi && is_cli_match(child_instance, &corpus.graphs[p][c]));
+            if !self_matches {
+                stats.self_match_failures += 1;
+                continue;
+            }
+            if child_indent == 0 {
+                // No parent line: the working view is a root view.
+                *root_votes.entry(view.clone()).or_default() += 1;
+                continue;
+            }
+            // Step 2: track back to the parent instance by indentation.
+            let parent_line = snippet[..snippet.len() - 1]
+                .iter()
+                .rev()
+                .find(|l| indent_of(l) < child_indent);
+            let Some(parent_line) = parent_line else {
+                continue;
+            };
+            // Step 3: find templates matching the parent instance.
+            let parents = corpus.matching_pages(parent_line.trim_start());
+            // Step 4: vote.
+            for parent_pi in parents {
+                *votes
+                    .entry(view.clone())
+                    .or_default()
+                    .entry(parent_pi)
+                    .or_default() += 1;
+                stats.votes_cast += 1;
+            }
+        }
+    }
+
+    // Aggregate: majority voting with conflict detection.
+    let mut openers = BTreeMap::new();
+    let mut ambiguous = Vec::new();
+    for (view, tally) in &votes {
+        let mut ranked: Vec<(usize, usize)> = tally.iter().map(|(&p, &v)| (p, v)).collect();
+        ranked.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        let (winner, winner_votes) = ranked[0];
+        openers.insert(view.clone(), winner);
+        let total_votes: usize = ranked.iter().map(|&(_, v)| v).sum();
+        if ranked.len() > 1
+            && (winner_votes as f64) < (total_votes as f64) * WINNER_SHARE_THRESHOLD
+        {
+            ambiguous.push(AmbiguousView {
+                view: view.clone(),
+                reason: AmbiguityReason::ConflictingEvidence,
+                candidates: ranked.clone(),
+            });
+        }
+    }
+    // Views referenced as working views but never derived and not roots.
+    for page in pages {
+        for view in &page.entry.parent_views {
+            if !openers.contains_key(view)
+                && !root_votes.contains_key(view)
+                && !ambiguous.iter().any(|a| &a.view == view)
+            {
+                ambiguous.push(AmbiguousView {
+                    view: view.clone(),
+                    reason: AmbiguityReason::NoEvidence,
+                    candidates: Vec::new(),
+                });
+            }
+        }
+    }
+    // Root view: the most root-voted name; record ROOT_OPENER for each.
+    let root_view = root_votes
+        .iter()
+        .max_by_key(|(_, &v)| v)
+        .map(|(k, _)| k.clone());
+    for view in root_votes.keys() {
+        openers.entry(view.clone()).or_insert(ROOT_OPENER);
+    }
+
+    stats.derivation_time = t1.elapsed();
+    Derivation {
+        openers,
+        votes,
+        ambiguous,
+        root_view,
+        stats,
+    }
+}
+
+fn indent_of(line: &str) -> usize {
+    line.len() - line.trim_start().len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nassim_corpus::CorpusEntry;
+
+    fn page(
+        url: &str,
+        cli: &str,
+        view: &str,
+        examples: Vec<Vec<&str>>,
+    ) -> ParsedPage {
+        ParsedPage {
+            url: url.to_string(),
+            entry: CorpusEntry {
+                clis: vec![cli.to_string()],
+                func_def: String::new(),
+                parent_views: vec![view.to_string()],
+                para_def: Vec::new(),
+                examples: examples
+                    .into_iter()
+                    .map(|s| s.into_iter().map(str::to_string).collect())
+                    .collect(),
+                source: url.to_string(),
+            },
+            context_path: None,
+            enters_view: None,
+        }
+    }
+
+    fn bgp_pages() -> Vec<ParsedPage> {
+        vec![
+            // 0: the opener.
+            page("p0", "bgp <as-number>", "system view", vec![vec!["bgp 100"]]),
+            // 1, 2: children with the paper's Figure-3 style snippets.
+            page(
+                "p1",
+                "peer <ipv4-address> group <group-name>",
+                "BGP view",
+                vec![vec!["bgp 100", " peer 10.1.1.1 group test"]],
+            ),
+            page(
+                "p2",
+                "router-id <ipv4-address>",
+                "BGP view",
+                vec![vec!["bgp 200", " router-id 1.1.1.1"]],
+            ),
+        ]
+    }
+
+    #[test]
+    fn derives_the_paper_example() {
+        let pages = bgp_pages();
+        let d = derive_hierarchy(&pages);
+        // "it follows that the CLI command bgp <as-number> enters the
+        // 'BGP view'".
+        assert_eq!(d.openers.get("BGP view"), Some(&0));
+        assert_eq!(d.root_view.as_deref(), Some("system view"));
+        assert!(d.ambiguous.is_empty(), "{:?}", d.ambiguous);
+        assert_eq!(d.votes["BGP view"][&0], 2); // two corroborating snippets
+    }
+
+    #[test]
+    fn conflicting_evidence_flags_ambiguity() {
+        let mut pages = bgp_pages();
+        // A second opener-looking template that also matches "vpn 300"-ish
+        // parents: make p3 a child whose snippet shows a different parent.
+        pages.push(page("p3", "msdp-peer <ipv4-address>", "BGP view",
+            vec![vec!["ospf 1", " msdp-peer 2.2.2.2"]]));
+        pages.push(page("p4", "ospf <ospf-process-id>", "system view", vec![vec!["ospf 1"]]));
+        let d = derive_hierarchy(&pages);
+        // BGP view now has votes for both `bgp` (2) and `ospf` (1) — the
+        // runner-up exceeds the conflict ratio.
+        let amb = d
+            .ambiguous
+            .iter()
+            .find(|a| a.view == "BGP view")
+            .expect("BGP view flagged");
+        assert_eq!(amb.reason, AmbiguityReason::ConflictingEvidence);
+        assert_eq!(amb.candidates.len(), 2);
+        // Majority still wins for tree construction.
+        assert_eq!(d.openers["BGP view"], 0);
+    }
+
+    #[test]
+    fn no_evidence_flags_ambiguity() {
+        let pages = vec![page("p0", "mystery <x>", "Orphan view", vec![])];
+        let d = derive_hierarchy(&pages);
+        let amb = d.ambiguous.iter().find(|a| a.view == "Orphan view").unwrap();
+        assert_eq!(amb.reason, AmbiguityReason::NoEvidence);
+    }
+
+    #[test]
+    fn self_match_failures_counted() {
+        // Snippet's innermost line does not instantiate the page's CLI.
+        let pages = vec![page(
+            "p0",
+            "vlan <vlan-id>",
+            "system view",
+            vec![vec!["something else entirely"]],
+        )];
+        let d = derive_hierarchy(&pages);
+        assert_eq!(d.stats.self_match_failures, 1);
+    }
+
+    #[test]
+    fn explicit_context_bypasses_derivation() {
+        let mut opener = page("p0", "bgp <autonomous-system>", "configure", vec![]);
+        opener.context_path = Some(vec!["configure".into()]);
+        opener.enters_view = Some("configure BGP".into());
+        let mut child = page("p1", "router-id <ip-address>", "configure BGP", vec![]);
+        child.context_path = Some(vec!["configure".into(), "configure BGP".into()]);
+        let d = derive_hierarchy(&[opener, child]);
+        assert_eq!(d.openers.get("configure BGP"), Some(&0));
+        assert_eq!(d.root_view.as_deref(), Some("configure"));
+        assert_eq!(d.stats.example_snippets, 0, "no examples inspected");
+    }
+
+    #[test]
+    fn nested_views_derive_transitively() {
+        let pages = vec![
+            page("p0", "bgp <as-number>", "system view", vec![vec!["bgp 100"]]),
+            page(
+                "p1",
+                "ipv4-family unicast",
+                "BGP view",
+                vec![vec!["bgp 100", " ipv4-family unicast"]],
+            ),
+            page(
+                "p2",
+                "preference <preference>",
+                "BGP-IPv4 view",
+                vec![vec!["bgp 100", " ipv4-family unicast", "  preference 120"]],
+            ),
+        ];
+        let d = derive_hierarchy(&pages);
+        assert_eq!(d.openers["BGP view"], 0);
+        assert_eq!(d.openers["BGP-IPv4 view"], 1);
+    }
+}

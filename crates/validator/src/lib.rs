@@ -1,0 +1,35 @@
+//! # nassim-validator
+//!
+//! The NAssim Validator (§5 of the paper): three escalating validation
+//! stages that turn the *preliminary* VDM produced by the Parser
+//! Framework into a *validated* VDM, surfacing every manual defect for
+//! expert review along the way.
+//!
+//! * [`syntax_stage`] — **formal syntax validation** (§5.1):
+//!   command-level auditing of every `CLIs` field against the BNF-derived
+//!   template grammar, with classified diagnoses and candidate fixes.
+//! * [`hierarchy`] — **model hierarchy derivation and validation**
+//!   (§5.2): inter-command-level. Derives the view tree from `Examples`
+//!   snippets via indentation tracking + CGM instance–template matching
+//!   with majority voting, or ingests explicit context paths for
+//!   Nokia-style manuals; flags ambiguous views.
+//! * [`vdm_build`] — assembles the semantics-enhanced VDM tree from the
+//!   derivation result.
+//! * [`empirical`] — **validation with empirical data** (§5.3):
+//!   snippet-level. Replays configuration files from running devices
+//!   against the VDM (Figure 8), and drives a live (simulated) device
+//!   over TCP with generated instances for templates the empirical data
+//!   never exercises, read-back-checking each one.
+//! * [`report`] — the per-vendor construction report behind Table 4.
+
+pub mod empirical;
+pub mod hierarchy;
+pub mod report;
+pub mod syntax_stage;
+pub mod vdm_build;
+
+pub use empirical::{validate_config_files, EmpiricalReport};
+pub use hierarchy::{derive_hierarchy, Derivation};
+pub use report::VdmConstructionReport;
+pub use syntax_stage::{audit_corpus, SyntaxAudit};
+pub use vdm_build::build_vdm;

@@ -1,0 +1,3 @@
+//! Workspace umbrella package hosting the cross-crate integration tests in
+//! `tests/` and the runnable examples in `examples/`. All functionality
+//! lives in the `nassim-*` crates; see the `nassim` facade crate.
