@@ -21,6 +21,24 @@ fn bench_encoder(c: &mut Criterion) {
     }
     group.finish();
 
+    // Batch embedding — the shape of mapper construction — serial vs
+    // fanned out over nassim-exec workers.
+    let batch_ids: Vec<Vec<usize>> = (0..64)
+        .map(|s| (0..16).map(|i| 1 + (s + i) % (vocab.len() - 1)).collect())
+        .collect();
+    let parallel_workers = nassim_exec::threads().max(4);
+    let mut group = c.benchmark_group("encoder_batch_embed");
+    for (mode, workers) in [("serial", 1), ("parallel", parallel_workers)] {
+        group.bench_function(BenchmarkId::from_parameter(mode), |b| {
+            b.iter(|| {
+                nassim_exec::with_threads(workers, || {
+                    nassim_exec::par_map(&batch_ids, |ids| encoder.embed_ids(ids))
+                })
+            })
+        });
+    }
+    group.finish();
+
     let mut train_enc = Encoder::new(EncoderConfig::small(vocab.len()), 2);
     let batch: Vec<Pair> = (0..8)
         .map(|i| Pair {

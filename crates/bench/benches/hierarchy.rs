@@ -28,15 +28,20 @@ fn parsed_pages(extra: usize) -> Vec<ParsedPage> {
 }
 
 fn bench_hierarchy(c: &mut Criterion) {
+    let parallel_workers = nassim_exec::threads().max(4);
     let mut group = c.benchmark_group("hierarchy_derivation");
     group.sample_size(10);
     for extra in [0usize, 400] {
         let pages = parsed_pages(extra);
-        group.bench_with_input(
-            BenchmarkId::from_parameter(format!("{}_pages", pages.len())),
-            &pages,
-            |b, pages| b.iter(|| derive_hierarchy(pages)),
-        );
+        for (mode, workers) in [("serial", 1), ("parallel", parallel_workers)] {
+            group.bench_with_input(
+                BenchmarkId::new(mode, format!("{}_pages", pages.len())),
+                &pages,
+                |b, pages| {
+                    b.iter(|| nassim_exec::with_threads(workers, || derive_hierarchy(pages)))
+                },
+            );
+        }
     }
     group.finish();
 }

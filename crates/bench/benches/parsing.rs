@@ -1,12 +1,14 @@
 //! Manual-parsing throughput: pages/second for each vendor parser over
-//! its generated manual (the upstream cost of the whole pipeline).
+//! its generated manual (the upstream cost of the whole pipeline), in a
+//! serial (1 worker) and a parallel (fan-out) variant.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion, Throughput};
 use nassim_datasets::{catalog::Catalog, manualgen, style};
 use nassim_parser::{parser_for, run_parser};
 
 fn bench_parsing(c: &mut Criterion) {
     let catalog = Catalog::base();
+    let parallel_workers = nassim_exec::threads().max(4);
     let mut group = c.benchmark_group("manual_parsing");
     for vendor in style::VENDORS {
         let st = style::vendor(vendor).unwrap();
@@ -22,18 +24,22 @@ fn bench_parsing(c: &mut Criterion) {
         );
         let parser = parser_for(vendor).unwrap();
         group.throughput(Throughput::Elements(manual.pages.len() as u64));
-        group.bench_function(vendor, |b| {
-            b.iter_batched(
-                || (),
-                |_| {
-                    run_parser(
-                        parser.as_ref(),
-                        manual.pages.iter().map(|p| (p.url.as_str(), p.html.as_str())),
-                    )
-                },
-                BatchSize::SmallInput,
-            )
-        });
+        for (mode, workers) in [("serial", 1), ("parallel", parallel_workers)] {
+            group.bench_function(BenchmarkId::new(vendor, mode), |b| {
+                b.iter_batched(
+                    || (),
+                    |_| {
+                        nassim_exec::with_threads(workers, || {
+                            run_parser(
+                                parser.as_ref(),
+                                manual.pages.iter().map(|p| (p.url.as_str(), p.html.as_str())),
+                            )
+                        })
+                    },
+                    BatchSize::SmallInput,
+                )
+            });
+        }
     }
     group.finish();
 }

@@ -37,6 +37,18 @@ fn bench_retrieval(c: &mut Criterion) {
 
     let irdl = Mapper::ir_dl(udm, &embedder, 50);
     c.bench_function("recommend_irdl50_top10", |b| b.iter(|| irdl.recommend(&query, 10)));
+
+    // Mapper construction embeds + L2-normalizes every leaf context; the
+    // embedding fan-out is the parallel surface.
+    let parallel_workers = nassim_exec::threads().max(4);
+    for (name, workers) in [
+        ("mapper_dl_construction_serial", 1),
+        ("mapper_dl_construction_parallel", parallel_workers),
+    ] {
+        c.bench_function(name, |b| {
+            b.iter(|| nassim_exec::with_threads(workers, || Mapper::dl(udm, &embedder)))
+        });
+    }
 }
 
 criterion_group!(benches, bench_retrieval);

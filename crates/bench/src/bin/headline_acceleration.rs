@@ -1,14 +1,138 @@
-//! §7.3 headline — the assimilation acceleration factor.
+//! §7.3 headline — the assimilation acceleration factor — plus the
+//! parallel-engine speedup record.
 //!
 //! "If Mapper is allowed to provide 10 suggestions for parameter-pair
 //! matching, NetOps engineers only need to refer to the manual 11% of
 //! the time during the mapping phase, resulting in acceleration of the
 //! mapping phase by 9.1×." The factor is 1/(1 − recall@10) of the best
 //! model on the rich-annotation setting.
+//!
+//! Before the headline experiment, every parallelized pipeline stage is
+//! timed twice — pinned to 1 worker, then to the fan-out worker count —
+//! and the serial/parallel wall-clock pairs are written to
+//! `BENCH_parallel.json` (identical outputs are guaranteed by the
+//! deterministic index-ordered merges in `nassim-exec`).
 
-use nassim_bench::fixtures::{mapping_experiment, MODEL_ORDER};
+use nassim_bench::fixtures::{mapping_experiment, HashEmbedder, MODEL_ORDER};
+use nassim_datasets::{catalog::Catalog, manualgen, style, udmgen};
+use nassim_mapper::context::udm_leaf_context;
+use nassim_mapper::eval::{evaluate, EvalCase};
+use nassim_mapper::models::Mapper;
+use nassim_parser::{parser_for, run_parser};
+use nassim_validator::{audit_corpus, derive_hierarchy};
+use std::time::Instant;
+
+#[derive(serde::Serialize)]
+struct StageTiming {
+    stage: String,
+    serial_ms: f64,
+    parallel_ms: f64,
+    speedup: f64,
+}
+
+#[derive(serde::Serialize)]
+struct ParallelBench {
+    serial_threads: usize,
+    parallel_threads: usize,
+    stages: Vec<StageTiming>,
+}
+
+fn time_ms<R>(f: impl FnOnce() -> R) -> (R, f64) {
+    let t = Instant::now();
+    let r = f();
+    (r, t.elapsed().as_secs_f64() * 1e3)
+}
+
+/// Time `f` at 1 worker and at `workers`, returning the record.
+fn stage<R>(name: &str, workers: usize, f: impl Fn() -> R) -> StageTiming {
+    let (_, serial_ms) = nassim_exec::with_threads(1, || time_ms(&f));
+    let (_, parallel_ms) = nassim_exec::with_threads(workers, || time_ms(&f));
+    let t = StageTiming {
+        stage: name.to_string(),
+        serial_ms,
+        parallel_ms,
+        speedup: if parallel_ms > 0.0 { serial_ms / parallel_ms } else { 0.0 },
+    };
+    println!(
+        "  {:<22} serial {:>9.1} ms   parallel {:>9.1} ms   speedup {:.2}x",
+        t.stage, t.serial_ms, t.parallel_ms, t.speedup
+    );
+    t
+}
+
+fn parallel_bench() -> ParallelBench {
+    let workers = nassim_exec::threads().max(4);
+    println!("Parallel engine: 1 vs {workers} workers (NASSIM_THREADS overrides)");
+
+    let catalog = Catalog::with_scale(400);
+    let st = style::vendor("helix").unwrap();
+    let gen_opts = manualgen::GenOptions {
+        seed: 1,
+        scale_extra: 400,
+        syntax_error_rate: 0.0,
+        ambiguity_rate: 0.0,
+        ..Default::default()
+    };
+    let parser = parser_for("helix").unwrap();
+
+    let mut stages = Vec::new();
+    stages.push(stage("manual_generation", workers, || {
+        manualgen::generate(&st, &catalog, &gen_opts)
+    }));
+    let manual = manualgen::generate(&st, &catalog, &gen_opts);
+    stages.push(stage("parsing", workers, || {
+        run_parser(
+            parser.as_ref(),
+            manual.pages.iter().map(|p| (p.url.as_str(), p.html.as_str())),
+        )
+    }));
+    let pages = run_parser(
+        parser.as_ref(),
+        manual.pages.iter().map(|p| (p.url.as_str(), p.html.as_str())),
+    )
+    .pages;
+    stages.push(stage("syntax_audit", workers, || audit_corpus(&pages)));
+    stages.push(stage("hierarchy_derivation", workers, || derive_hierarchy(&pages)));
+
+    let data = udmgen::generate(
+        &catalog,
+        &udmgen::UdmGenOptions {
+            seed: 1,
+            paraphrase_strength: 0.6,
+            distractors: 300,
+        },
+    );
+    let udm = &data.udm;
+    let embedder = HashEmbedder(64);
+    stages.push(stage("mapper_construction", workers, || Mapper::dl(udm, &embedder)));
+    let mapper = Mapper::dl(udm, &embedder);
+    let cases: Vec<EvalCase> = udm
+        .leaves()
+        .into_iter()
+        .map(|l| EvalCase {
+            context: udm_leaf_context(udm, l),
+            truth: l,
+            label: String::new(),
+        })
+        .collect();
+    stages.push(stage("mapper_evaluation", workers, || {
+        evaluate(&mapper, &cases, &[1, 10])
+    }));
+
+    ParallelBench {
+        serial_threads: 1,
+        parallel_threads: workers,
+        stages,
+    }
+}
 
 fn main() {
+    let bench = parallel_bench();
+    let json = serde_json::to_string_pretty(&bench).expect("serializes");
+    std::fs::write("BENCH_parallel.json", &json).expect("write BENCH_parallel.json");
+    println!("  wrote BENCH_parallel.json");
+    println!();
+
     let outcome = mapping_experiment(&[10]);
     println!("Headline: assimilation acceleration (paper: 9.1x at 89% recall@10)");
     println!();

@@ -68,24 +68,32 @@ pub fn construct_vendor(vendor: &str, extra: usize) -> VendorRun {
         },
     );
     let parser = parser_for(vendor).expect("known vendor");
-    let assimilation = assimilate(
-        parser.as_ref(),
-        manual.pages.iter().map(|p| (p.url.as_str(), p.html.as_str())),
-    );
-    let clean_manual = manualgen::generate(
-        &style,
-        &catalog,
-        &GenOptions {
-            seed: SEED ^ fnv(vendor),
-            scale_extra: extra,
-            syntax_error_rate: 0.0,
-            ambiguity_rate: 0.0,
-            examples_per_page: 1,
+    // The published-manual and corrected-manual pipelines are independent;
+    // run them as a two-way split.
+    let (assimilation, corrected) = nassim_exec::join2(
+        || {
+            assimilate(
+                parser.as_ref(),
+                manual.pages.iter().map(|p| (p.url.as_str(), p.html.as_str())),
+            )
         },
-    );
-    let corrected = assimilate(
-        parser.as_ref(),
-        clean_manual.pages.iter().map(|p| (p.url.as_str(), p.html.as_str())),
+        || {
+            let clean_manual = manualgen::generate(
+                &style,
+                &catalog,
+                &GenOptions {
+                    seed: SEED ^ fnv(vendor),
+                    scale_extra: extra,
+                    syntax_error_rate: 0.0,
+                    ambiguity_rate: 0.0,
+                    examples_per_page: 1,
+                },
+            );
+            assimilate(
+                parser.as_ref(),
+                clean_manual.pages.iter().map(|p| (p.url.as_str(), p.html.as_str())),
+            )
+        },
     );
     // The paper has config corpora only for its two DC vendors.
     let config_corpus = if vendor == "helix" || vendor == "norsk" {
@@ -162,9 +170,9 @@ pub fn mapping_experiment(ks: &[usize]) -> MappingOutcome {
     let udm = &udm_data.udm;
 
     // Construct both VDMs from their manuals (clean manuals: the mapping
-    // phase consumes *validated* VDMs).
-    let mut vdms = BTreeMap::new();
-    for vendor in ["helix", "norsk"] {
+    // phase consumes *validated* VDMs). The two vendors are independent —
+    // generate and assimilate them concurrently.
+    let build_vdm = |vendor: &str| {
         let style = style::vendor(vendor).unwrap();
         let manual = manualgen::generate(
             &style,
@@ -181,8 +189,13 @@ pub fn mapping_experiment(ks: &[usize]) -> MappingOutcome {
             parser.as_ref(),
             manual.pages.iter().map(|p| (p.url.as_str(), p.html.as_str())),
         );
-        vdms.insert(vendor, a.build.vdm);
-    }
+        a.build.vdm
+    };
+    let (helix_vdm, norsk_vdm) =
+        nassim_exec::join2(|| build_vdm("helix"), || build_vdm("norsk"));
+    let mut vdms = BTreeMap::new();
+    vdms.insert("helix", helix_vdm);
+    vdms.insert("norsk", norsk_vdm);
 
     // Annotations per vendor: (command_key, vendor token, udm path).
     let annotate = |vendor: &str, keep: Option<usize>| -> Vec<(String, String, String)> {

@@ -247,9 +247,6 @@ mod tests {
         let json = serde_json::to_string(&udm).unwrap();
         let back: Udm = serde_json::from_str(&json).unwrap();
         assert_eq!(back.len(), udm.len());
-        assert_eq!(
-            back.lookup("protocols/bgp/neighbor/peer-as").is_some(),
-            true
-        );
+        assert!(back.lookup("protocols/bgp/neighbor/peer-as").is_some());
     }
 }

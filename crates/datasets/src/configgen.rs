@@ -151,7 +151,6 @@ pub fn generate(style: &VendorStyle, catalog: &Catalog, opts: &ConfigGenOptions)
         let stanzas = opts.stanzas_per_file.max(1);
         for _ in 0..stanzas {
             emit_stanza(
-                catalog,
                 &leaves,
                 &active_openers,
                 &graphs,
@@ -198,7 +197,6 @@ fn view_or_descendant_active(catalog: &Catalog, view: &str, active_views: &[&str
 /// root) or an opener instance followed by indented children.
 #[allow(clippy::too_many_arguments)]
 fn emit_stanza(
-    catalog: &Catalog,
     leaves: &[&CatalogCommand],
     openers: &[&CatalogCommand],
     graphs: &BTreeMap<&str, CliGraph>,
@@ -238,7 +236,7 @@ fn emit_stanza(
         let nested: Vec<&&CatalogCommand> =
             openers.iter().filter(|c| works_in(c, opened)).collect();
         if !nested.is_empty() && rng.gen_bool(0.6) {
-            emit_stanza(catalog, leaves, openers, graphs, opened, depth + 1, lines, rng);
+            emit_stanza(leaves, openers, graphs, opened, depth + 1, lines, rng);
         }
     } else if !view_leaves.is_empty() {
         let leaf = view_leaves[rng.gen_range(0..view_leaves.len())];

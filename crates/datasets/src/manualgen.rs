@@ -146,45 +146,65 @@ pub fn generate(style: &VendorStyle, catalog: &Catalog, opts: &GenOptions) -> Ma
     pages.push(preface_page(style));
 
     // Per-view counter so ambiguity injection alternates deterministically.
+    // Precomputed serially (a map increment per command) so the expensive
+    // page rendering below can fan out with the same mislead decisions.
     let mut per_view_counter: BTreeMap<&str, usize> = BTreeMap::new();
+    let misleads: Vec<bool> = catalog
+        .commands
+        .iter()
+        .map(|cmd| {
+            let counter = per_view_counter.entry(cmd.view.as_str()).or_insert(0);
+            *counter += 1;
+            ambiguous.contains(&cmd.view) && (*counter).is_multiple_of(2)
+        })
+        .collect();
 
-    for cmd in &catalog.commands {
-        let url = format!("manual://{}/{}/{}", style.name, cmd.group, cmd.key);
-        let mut rng = StdRng::seed_from_u64(opts.seed ^ fnv1a(&url));
+    // Each page's RNG stream is derived from the master seed and the page
+    // URL, so rendering is embarrassingly parallel and byte-identical to a
+    // serial pass regardless of worker count.
+    let rendered: Vec<(ManualPage, Option<InjectedDefect>)> =
+        nassim_exec::par_map_indexed(&catalog.commands, |i, cmd| {
+            let url = format!("manual://{}/{}/{}", style.name, cmd.group, cmd.key);
+            let mut rng = StdRng::seed_from_u64(opts.seed ^ fnv1a(&url));
 
-        // CLI forms, with optional corruption of the first form.
-        let mut cli_forms = style.cli_forms(cmd);
-        if rng.gen_bool(opts.syntax_error_rate) {
-            let (corrupted, mutation) = corrupt_template(&cli_forms[0], &mut rng);
-            cli_forms[0] = corrupted;
-            defects.push(InjectedDefect::SyntaxError {
-                page_url: url.clone(),
-                command_key: cmd.key.clone(),
-                mutation,
-            });
-        }
+            // CLI forms, with optional corruption of the first form.
+            let mut cli_forms = style.cli_forms(cmd);
+            let mut defect = None;
+            if rng.gen_bool(opts.syntax_error_rate) {
+                let (corrupted, mutation) = corrupt_template(&cli_forms[0], &mut rng);
+                cli_forms[0] = corrupted;
+                defect = Some(InjectedDefect::SyntaxError {
+                    page_url: url.clone(),
+                    command_key: cmd.key.clone(),
+                    mutation,
+                });
+            }
 
-        // Example snippets (or explicit context for norsk-style vendors).
-        let counter = per_view_counter.entry(cmd.view.as_str()).or_insert(0);
-        *counter += 1;
-        let mislead = ambiguous.contains(&cmd.view) && *counter % 2 == 0;
-        let examples = if style.hierarchy == HierarchyStyle::Examples {
-            build_examples(style, catalog, cmd, mislead, opts.examples_per_page, &mut rng)
-        } else {
-            Vec::new()
-        };
+            // Example snippets (or explicit context for norsk-style vendors).
+            let examples = if style.hierarchy == HierarchyStyle::Examples {
+                build_examples(style, catalog, cmd, misleads[i], opts.examples_per_page, &mut rng)
+            } else {
+                Vec::new()
+            };
 
-        let html = match style.name {
-            "cirrus" => render_cirrus(style, catalog, cmd, &cli_forms, &examples, &mut rng),
-            "helix" => render_helix(style, catalog, cmd, &cli_forms, &examples, &mut rng),
-            "norsk" => render_norsk(style, catalog, cmd, &cli_forms, &mut rng),
-            _ => render_h4c(style, catalog, cmd, &cli_forms, &examples, &mut rng),
-        };
-        pages.push(ManualPage {
-            url,
-            command_key: cmd.key.clone(),
-            html,
+            let html = match style.name {
+                "cirrus" => render_cirrus(style, catalog, cmd, &cli_forms, &examples, &mut rng),
+                "helix" => render_helix(style, catalog, cmd, &cli_forms, &examples, &mut rng),
+                "norsk" => render_norsk(style, catalog, cmd, &cli_forms, &mut rng),
+                _ => render_h4c(style, catalog, cmd, &cli_forms, &examples, &mut rng),
+            };
+            (
+                ManualPage {
+                    url,
+                    command_key: cmd.key.clone(),
+                    html,
+                },
+                defect,
+            )
         });
+    for (page, defect) in rendered {
+        defects.extend(defect);
+        pages.push(page);
     }
 
     Manual {

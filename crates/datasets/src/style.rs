@@ -334,7 +334,7 @@ impl VendorStyle {
     /// Pick the parameter-span class for one page.
     pub fn param_span_class<R: Rng + ?Sized>(&self, rng: &mut R) -> &'static str {
         let spans = self.css.param_span;
-        if spans.len() == 1 || !rng.gen_bool(self.css.variant_rate.max(0.0).min(1.0)) {
+        if spans.len() == 1 || !rng.gen_bool(self.css.variant_rate.clamp(0.0, 1.0)) {
             spans[0]
         } else {
             spans[1 + rng.gen_range(0..spans.len() - 1)]
@@ -344,7 +344,7 @@ impl VendorStyle {
     /// Pick the keyword-span class for one page.
     pub fn keyword_span_class<R: Rng + ?Sized>(&self, rng: &mut R) -> &'static str {
         let spans = self.css.keyword_span;
-        if spans.len() == 1 || !rng.gen_bool(self.css.variant_rate.max(0.0).min(1.0)) {
+        if spans.len() == 1 || !rng.gen_bool(self.css.variant_rate.clamp(0.0, 1.0)) {
             spans[0]
         } else {
             spans[1 + rng.gen_range(0..spans.len() - 1)]

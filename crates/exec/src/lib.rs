@@ -1,0 +1,203 @@
+//! Parallel execution layer for the assimilation pipeline.
+//!
+//! A deliberately small, dependency-free fan-out primitive built on
+//! `std::thread::scope`: [`par_map`] / [`par_map_indexed`] split the
+//! input into contiguous chunks, run one worker per chunk, and splice
+//! the per-chunk outputs back **in input order**. Because the merge is
+//! index-ordered, a parallel map is byte-identical to its serial
+//! equivalent — the determinism contract every pipeline stage (parser,
+//! syntax audit, hierarchy vote, mapper evaluation) relies on.
+//!
+//! Worker count resolution, in priority order:
+//! 1. a thread-local override installed by [`with_threads`] (used by
+//!    tests and benches so runs don't race on process-global state),
+//! 2. the `NASSIM_THREADS` environment variable,
+//! 3. `std::thread::available_parallelism()`.
+//!
+//! Inputs smaller than [`MIN_PARALLEL`] items, or a resolved worker
+//! count of 1, run inline on the calling thread with no spawn at all.
+
+use std::cell::Cell;
+use std::sync::OnceLock;
+
+/// Inputs shorter than this run serially: below it, spawn overhead
+/// dominates any possible win.
+pub const MIN_PARALLEL: usize = 4;
+
+thread_local! {
+    static THREAD_OVERRIDE: Cell<Option<usize>> = const { Cell::new(None) };
+}
+
+fn env_threads() -> Option<usize> {
+    static ENV: OnceLock<Option<usize>> = OnceLock::new();
+    *ENV.get_or_init(|| {
+        std::env::var("NASSIM_THREADS")
+            .ok()
+            .and_then(|v| v.trim().parse::<usize>().ok())
+            .map(|n| n.max(1))
+    })
+}
+
+/// The worker count [`par_map`] will use right now on this thread.
+pub fn threads() -> usize {
+    if let Some(n) = THREAD_OVERRIDE.with(Cell::get) {
+        return n;
+    }
+    if let Some(n) = env_threads() {
+        return n;
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Run `f` with the worker count pinned to `n` on the current thread.
+///
+/// The override is thread-local and restored on exit (including on
+/// panic), so concurrent tests never observe each other's setting —
+/// unlike mutating `NASSIM_THREADS` via `std::env::set_var`.
+pub fn with_threads<R>(n: usize, f: impl FnOnce() -> R) -> R {
+    struct Restore(Option<usize>);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            THREAD_OVERRIDE.with(|c| c.set(self.0));
+        }
+    }
+    let _restore = Restore(THREAD_OVERRIDE.with(|c| c.replace(Some(n.max(1)))));
+    f()
+}
+
+/// Map `f` over `items` in parallel, preserving input order.
+pub fn par_map<T, U, F>(items: &[T], f: F) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(&T) -> U + Sync,
+{
+    par_map_indexed(items, |_, item| f(item))
+}
+
+/// Map `f(index, item)` over `items` in parallel, preserving input order.
+///
+/// `f` receives the item's index in the *original* slice, so per-item
+/// work that depends on position (seeded RNG streams, report labels)
+/// is identical whether one worker runs or sixteen.
+pub fn par_map_indexed<T, U, F>(items: &[T], f: F) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(usize, &T) -> U + Sync,
+{
+    let workers = threads();
+    if workers <= 1 || items.len() < MIN_PARALLEL {
+        return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+    }
+    let chunk = items.len().div_ceil(workers);
+    let chunks: Vec<Vec<U>> = std::thread::scope(|scope| {
+        let f = &f;
+        let handles: Vec<_> = items
+            .chunks(chunk)
+            .enumerate()
+            .map(|(ci, slice)| {
+                scope.spawn(move || {
+                    slice
+                        .iter()
+                        .enumerate()
+                        .map(|(i, t)| f(ci * chunk + i, t))
+                        .collect::<Vec<U>>()
+                })
+            })
+            .collect();
+        // Joining in spawn order gives the index-ordered merge.
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("nassim-exec worker panicked"))
+            .collect()
+    });
+    let mut out = Vec::with_capacity(items.len());
+    for c in chunks {
+        out.extend(c);
+    }
+    out
+}
+
+/// Run two independent tasks concurrently and return both results.
+///
+/// With one resolved worker this runs `a` then `b` inline; otherwise `b`
+/// runs on a scoped thread while `a` runs on the caller. Useful for
+/// coarse two-way splits — e.g. the defective and corrected assimilation
+/// pipelines in the bench fixtures — that `par_map`'s slice API does not
+/// fit.
+pub fn join2<A, B>(a: impl FnOnce() -> A + Send, b: impl FnOnce() -> B + Send) -> (A, B)
+where
+    A: Send,
+    B: Send,
+{
+    if threads() <= 1 {
+        let ra = a();
+        let rb = b();
+        return (ra, rb);
+    }
+    std::thread::scope(|scope| {
+        let hb = scope.spawn(b);
+        let ra = a();
+        (ra, hb.join().expect("nassim-exec worker panicked"))
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn par_map_matches_serial_map() {
+        let items: Vec<u64> = (0..103).collect();
+        let serial: Vec<u64> = items.iter().map(|x| x * x + 1).collect();
+        for n in [1, 2, 3, 8, 64] {
+            let parallel = with_threads(n, || par_map(&items, |x| x * x + 1));
+            assert_eq!(parallel, serial, "mismatch at {n} workers");
+        }
+    }
+
+    #[test]
+    fn indexed_variant_sees_original_positions() {
+        let items = vec!["a", "b", "c", "d", "e", "f", "g"];
+        let got = with_threads(3, || par_map_indexed(&items, |i, s| format!("{i}:{s}")));
+        let want: Vec<String> = items.iter().enumerate().map(|(i, s)| format!("{i}:{s}")).collect();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn empty_and_tiny_inputs_run_inline() {
+        let empty: Vec<u32> = Vec::new();
+        assert!(with_threads(8, || par_map(&empty, |x| x + 1)).is_empty());
+        let tiny = vec![1u32, 2];
+        assert_eq!(with_threads(8, || par_map(&tiny, |x| x + 1)), vec![2, 3]);
+    }
+
+    #[test]
+    fn with_threads_restores_on_exit_and_panic() {
+        let outside = threads();
+        with_threads(5, || assert_eq!(threads(), 5));
+        assert_eq!(threads(), outside);
+        let result = std::panic::catch_unwind(|| with_threads(7, || panic!("boom")));
+        assert!(result.is_err());
+        assert_eq!(threads(), outside);
+    }
+
+    #[test]
+    fn join2_returns_both_results_serial_and_parallel() {
+        for n in [1, 4] {
+            let (a, b) = with_threads(n, || join2(|| 6 * 7, || "ok".to_string()));
+            assert_eq!(a, 42);
+            assert_eq!(b, "ok");
+        }
+    }
+
+    #[test]
+    fn workers_more_than_items_is_fine() {
+        let items: Vec<usize> = (0..5).collect();
+        let got = with_threads(64, || par_map(&items, |x| x + 1));
+        assert_eq!(got, vec![1, 2, 3, 4, 5]);
+    }
+}

@@ -36,19 +36,23 @@ impl EvalReport {
 
 /// Evaluate `mapper` on `cases` at the given `ks` (max k bounds the
 /// recommendation depth).
+///
+/// Cases are independent, so ranking fans out across workers; the
+/// per-case ranks fold back in case order into the same tallies a
+/// serial sweep produces.
 pub fn evaluate(mapper: &Mapper<'_>, cases: &[EvalCase], ks: &[usize]) -> EvalReport {
     let max_k = ks.iter().copied().max().unwrap_or(10);
+    let ranks: Vec<Option<usize>> = nassim_exec::par_map(cases, |case| {
+        let recs = mapper.recommend(&case.context, max_k);
+        recs.iter().position(|&(leaf, _)| leaf == case.truth)
+    });
     let mut hits: BTreeMap<usize, usize> = ks.iter().map(|&k| (k, 0)).collect();
     let mut rr_sum = 0.0;
-    for case in cases {
-        let recs = mapper.recommend(&case.context, max_k);
-        let rank = recs.iter().position(|&(leaf, _)| leaf == case.truth);
-        if let Some(r) = rank {
-            rr_sum += 1.0 / (r + 1) as f64;
-            for (&k, h) in hits.iter_mut() {
-                if r < k {
-                    *h += 1;
-                }
+    for r in ranks.into_iter().flatten() {
+        rr_sum += 1.0 / (r + 1) as f64;
+        for (&k, h) in hits.iter_mut() {
+            if r < k {
+                *h += 1;
             }
         }
     }
@@ -217,7 +221,7 @@ mod tests {
             truth,
             label: "miss".into(),
         };
-        let r = evaluate(&mapper, &[hit.clone()], &[1]);
+        let r = evaluate(&mapper, std::slice::from_ref(&hit), &[1]);
         assert!((r.recall[&1] - 1.0).abs() < 1e-9);
         assert!((r.mrr - 1.0).abs() < 1e-9);
         let r = evaluate(&mapper, &[miss], &[1]);

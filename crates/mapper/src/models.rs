@@ -19,9 +19,14 @@ use crate::context::{udm_leaf_context, Context};
 use nassim_corpus::{Udm, UdmNodeId};
 use nassim_nlp::tensor::cosine;
 use nassim_nlp::{Encoder, TfIdf, Vocab};
+use std::collections::HashMap;
 
 /// Anything that turns one text into one vector.
-pub trait Embedder {
+///
+/// `Sync` is a supertrait so mapper construction and evaluation can fan
+/// embedding work out across [`nassim_exec`] workers; embedders are
+/// read-only model weights, so this costs implementations nothing.
+pub trait Embedder: Sync {
     fn embed(&self, text: &str) -> Vec<f32>;
 }
 
@@ -48,6 +53,66 @@ pub fn embed_context(embedder: &dyn Embedder, ctx: &Context) -> ContextEmbedding
     ContextEmbedding {
         rows: ctx.sequences.iter().map(|s| embedder.embed(s)).collect(),
     }
+}
+
+/// A context embedding with its per-row inverse L2 norms precomputed.
+///
+/// Eq. 2 evaluates a k_V × k_U grid of row-wise cosines per candidate
+/// pair; with norms hoisted here (computed **once**, at mapper
+/// construction or query embedding), each cosine in the hot loop
+/// collapses to a single dot-product pass instead of three.
+#[derive(Debug, Clone)]
+pub struct NormalizedEmbedding {
+    pub rows: Vec<Vec<f32>>,
+    /// `1/‖row‖` per row; `0.0` for all-zero rows so their cosine
+    /// contribution is 0, matching [`cosine`]'s zero-vector convention.
+    pub inv_norms: Vec<f32>,
+}
+
+impl NormalizedEmbedding {
+    pub fn new(e: ContextEmbedding) -> NormalizedEmbedding {
+        let inv_norms = e
+            .rows
+            .iter()
+            .map(|r| {
+                let n = r.iter().map(|x| x * x).sum::<f32>().sqrt();
+                if n == 0.0 {
+                    0.0
+                } else {
+                    1.0 / n
+                }
+            })
+            .collect();
+        NormalizedEmbedding {
+            rows: e.rows,
+            inv_norms,
+        }
+    }
+}
+
+/// Eq. 2 over pre-normalized embeddings: same result as
+/// [`context_similarity`] up to float rounding, with both norm passes
+/// hoisted out of the pair loop.
+pub fn context_similarity_normalized(
+    ev: &NormalizedEmbedding,
+    eu: &NormalizedEmbedding,
+    weights: Option<&[f32]>,
+) -> f32 {
+    let kv = ev.rows.len();
+    let ku = eu.rows.len();
+    if kv == 0 || ku == 0 {
+        return 0.0;
+    }
+    let uniform = 1.0 / (kv * ku) as f32;
+    let mut sim = 0.0;
+    for (i, (vrow, &vinv)) in ev.rows.iter().zip(&ev.inv_norms).enumerate() {
+        for (j, (urow, &uinv)) in eu.rows.iter().zip(&eu.inv_norms).enumerate() {
+            let w = weights.map(|w| w[i * ku + j]).unwrap_or(uniform);
+            let dot: f32 = vrow.iter().zip(urow).map(|(x, y)| x * y).sum();
+            sim += w * (dot * vinv * uinv);
+        }
+    }
+    sim
 }
 
 /// Eq. 2: weighted sum of the k_V × k_U row-wise cosine similarities.
@@ -96,11 +161,14 @@ pub struct Mapper<'a> {
     udm: &'a Udm,
     leaves: Vec<UdmNodeId>,
     leaf_contexts: Vec<Context>,
+    /// leaf id → index into `leaves`/`leaf_contexts` (O(1) lookups).
+    leaf_index: HashMap<UdmNodeId, usize>,
     /// TF-IDF fitted on the joined leaf contexts (all strategies keep it;
     /// IR-based ones query it).
     ir: TfIdf,
-    /// Pre-computed leaf context embeddings (DL strategies).
-    leaf_embeddings: Vec<ContextEmbedding>,
+    /// Pre-computed, pre-normalized leaf context embeddings (DL
+    /// strategies): the norms are paid once here, never per query.
+    leaf_embeddings: Vec<NormalizedEmbedding>,
     strategy: Strategy<'a>,
     /// Optional Eq. 2 weight vector (length k_V × k_U).
     pub weights: Option<Vec<f32>>,
@@ -111,19 +179,25 @@ impl<'a> Mapper<'a> {
         let leaves = udm.leaves();
         let leaf_contexts: Vec<Context> =
             leaves.iter().map(|&l| udm_leaf_context(udm, l)).collect();
+        let leaf_index = leaves.iter().enumerate().map(|(i, &l)| (l, i)).collect();
         let joined: Vec<String> = leaf_contexts.iter().map(Context::joined).collect();
         let ir = TfIdf::fit(joined.iter().map(String::as_str));
         let leaf_embeddings = match &strategy {
             Strategy::Ir => Vec::new(),
-            Strategy::Dl { embedder } | Strategy::IrDl { embedder, .. } => leaf_contexts
-                .iter()
-                .map(|c| embed_context(*embedder, c))
-                .collect(),
+            // Embedding every leaf context is the expensive part of
+            // construction — fan it out across workers.
+            Strategy::Dl { embedder } | Strategy::IrDl { embedder, .. } => {
+                let embedder: &dyn Embedder = *embedder;
+                nassim_exec::par_map(&leaf_contexts, |c| {
+                    NormalizedEmbedding::new(embed_context(embedder, c))
+                })
+            }
         };
         Mapper {
             udm,
             leaves,
             leaf_contexts,
+            leaf_index,
             ir,
             leaf_embeddings,
             strategy,
@@ -158,29 +232,29 @@ impl<'a> Mapper<'a> {
 
     /// Context of candidate `leaf` (for human-readable recommendations).
     pub fn leaf_context(&self, leaf: UdmNodeId) -> Option<&Context> {
-        self.leaves
-            .iter()
-            .position(|&l| l == leaf)
-            .map(|i| &self.leaf_contexts[i])
+        self.leaf_index.get(&leaf).map(|&i| &self.leaf_contexts[i])
     }
 
     /// Rank UDM leaves for one VDM-parameter context; returns the top `k`
     /// `(leaf, score)` pairs, best first — the Mapper's human-editable
     /// recommendation list.
     pub fn recommend(&self, ctx: &Context, k: usize) -> Vec<(UdmNodeId, f32)> {
+        // Joined context text is needed by both IR-backed strategies;
+        // build it once per query instead of once per use site.
+        let joined = ctx.joined();
         let mut scored: Vec<(usize, f32)> = match &self.strategy {
             Strategy::Ir => self
                 .ir
-                .top_k(&ctx.joined(), self.leaves.len())
+                .top_k(&joined, self.leaves.len())
                 .into_iter()
                 .collect(),
             Strategy::Dl { embedder } => {
-                let ev = embed_context(*embedder, ctx);
+                let ev = NormalizedEmbedding::new(embed_context(*embedder, ctx));
                 (0..self.leaves.len())
                     .map(|i| {
                         (
                             i,
-                            context_similarity(
+                            context_similarity_normalized(
                                 &ev,
                                 &self.leaf_embeddings[i],
                                 self.weights.as_deref(),
@@ -190,12 +264,12 @@ impl<'a> Mapper<'a> {
                     .collect()
             }
             Strategy::IrDl { embedder, shortlist } => {
-                let shortlist = self.ir.top_k(&ctx.joined(), *shortlist);
-                let ev = embed_context(*embedder, ctx);
+                let shortlist = self.ir.top_k(&joined, *shortlist);
+                let ev = NormalizedEmbedding::new(embed_context(*embedder, ctx));
                 shortlist
                     .into_iter()
                     .map(|(i, ir_score)| {
-                        let dl = context_similarity(
+                        let dl = context_similarity_normalized(
                             &ev,
                             &self.leaf_embeddings[i],
                             self.weights.as_deref(),
@@ -221,6 +295,10 @@ impl<'a> Mapper<'a> {
 /// Grid-search a non-uniform Eq. 2 weight vector on a labelled validation
 /// set: greedy coordinate ascent over a small weight grid, maximising
 /// recall@1. Returns the best weight vector found (normalised to sum 1).
+///
+/// The validation queries are embedded (and normalized) **once** up
+/// front; every candidate weight vector re-scores those memoized
+/// embeddings instead of re-running the embedder n×grid times.
 pub fn grid_search_weights(
     mapper: &Mapper<'_>,
     validation: &[(Context, UdmNodeId)],
@@ -228,8 +306,9 @@ pub fn grid_search_weights(
     ku: usize,
 ) -> Vec<f32> {
     let n = kv * ku;
+    let queries = embed_validation(mapper, validation);
     let mut best = vec![1.0 / n as f32; n];
-    let mut best_score = weight_score(mapper, validation, &best);
+    let mut best_score = weight_score_embedded(mapper, &queries, validation, &best);
     let grid = [0.5f32, 1.0, 2.0, 4.0];
     for dim in 0..n {
         for &g in &grid {
@@ -239,7 +318,7 @@ pub fn grid_search_weights(
             for w in &mut cand {
                 *w /= sum;
             }
-            let score = weight_score(mapper, validation, &cand);
+            let score = weight_score_embedded(mapper, &queries, validation, &cand);
             if score > best_score {
                 best_score = score;
                 best = cand;
@@ -249,33 +328,57 @@ pub fn grid_search_weights(
     best
 }
 
+/// Embed every validation query once (in parallel). Returns an empty vec
+/// for IR mappers — weights are a DL concept.
+fn embed_validation(
+    mapper: &Mapper<'_>,
+    validation: &[(Context, UdmNodeId)],
+) -> Vec<NormalizedEmbedding> {
+    let embedder: &dyn Embedder = match &mapper.strategy {
+        Strategy::Dl { embedder } => *embedder,
+        Strategy::IrDl { embedder, .. } => *embedder,
+        Strategy::Ir => return Vec::new(),
+    };
+    nassim_exec::par_map(validation, |(ctx, _)| {
+        NormalizedEmbedding::new(embed_context(embedder, ctx))
+    })
+}
+
+/// Reference scorer that re-embeds the queries on every call; production
+/// code goes through the memoized path in [`grid_search_weights`].
+#[cfg(test)]
 fn weight_score(mapper: &Mapper<'_>, validation: &[(Context, UdmNodeId)], w: &[f32]) -> f32 {
-    // Temporarily rank with the candidate weights.
-    let mut hits = 0;
-    for (ctx, truth) in validation {
-        let scored = {
-            // Re-implement the DL scoring inline with custom weights to
-            // avoid mutating the mapper.
-            let embedder: &dyn Embedder = match &mapper.strategy {
-                Strategy::Dl { embedder } => *embedder,
-                Strategy::IrDl { embedder, .. } => *embedder,
-                Strategy::Ir => return 0.0, // weights are a DL concept
-            };
-            let ev = embed_context(embedder, ctx);
-            let mut scored: Vec<(usize, f32)> = (0..mapper.leaves.len())
-                .map(|i| (i, context_similarity(&ev, &mapper.leaf_embeddings[i], Some(w))))
-                .collect();
-            scored.sort_by(|a, b| {
-                b.1.partial_cmp(&a.1)
-                    .unwrap_or(std::cmp::Ordering::Equal)
-                    .then(a.0.cmp(&b.0))
-            });
-            scored
-        };
-        if scored.first().map(|&(i, _)| mapper.leaves[i]) == Some(*truth) {
-            hits += 1;
-        }
+    weight_score_embedded(mapper, &embed_validation(mapper, validation), validation, w)
+}
+
+fn weight_score_embedded(
+    mapper: &Mapper<'_>,
+    queries: &[NormalizedEmbedding],
+    validation: &[(Context, UdmNodeId)],
+    w: &[f32],
+) -> f32 {
+    if queries.is_empty() {
+        return 0.0; // IR mapper: weights are a DL concept.
     }
+    // Rank with the candidate weights, one case per worker.
+    let case_hits = nassim_exec::par_map_indexed(validation, |qi, (_, truth)| {
+        let ev = &queries[qi];
+        let mut scored: Vec<(usize, f32)> = (0..mapper.leaves.len())
+            .map(|i| {
+                (
+                    i,
+                    context_similarity_normalized(ev, &mapper.leaf_embeddings[i], Some(w)),
+                )
+            })
+            .collect();
+        scored.sort_by(|a, b| {
+            b.1.partial_cmp(&a.1)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.0.cmp(&b.0))
+        });
+        scored.first().map(|&(i, _)| mapper.leaves[i]) == Some(*truth)
+    });
+    let hits = case_hits.into_iter().filter(|&h| h).count();
     hits as f32 / validation.len().max(1) as f32
 }
 
@@ -398,6 +501,50 @@ mod tests {
             weight_score(&m, &validation, &tuned) >= weight_score(&m, &validation, &uniform)
         );
         assert!((tuned.iter().sum::<f32>() - 1.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn normalized_similarity_matches_reference_cosine_path() {
+        let ev = ContextEmbedding {
+            rows: vec![vec![1.0, 2.0, 3.0], vec![-1.0, 0.5, 2.0]],
+        };
+        let eu = ContextEmbedding {
+            rows: vec![vec![0.25, 4.0, -2.0], vec![3.0, 3.0, 3.0], vec![0.0, 1.0, 0.0]],
+        };
+        let reference = context_similarity(&ev, &eu, None);
+        let fast = context_similarity_normalized(
+            &NormalizedEmbedding::new(ev.clone()),
+            &NormalizedEmbedding::new(eu.clone()),
+            None,
+        );
+        assert!((reference - fast).abs() < 1e-6, "{reference} vs {fast}");
+        let w = [0.3, 0.1, 0.05, 0.2, 0.25, 0.1];
+        let reference = context_similarity(&ev, &eu, Some(&w));
+        let fast = context_similarity_normalized(
+            &NormalizedEmbedding::new(ev),
+            &NormalizedEmbedding::new(eu),
+            Some(&w),
+        );
+        assert!((reference - fast).abs() < 1e-6, "{reference} vs {fast}");
+    }
+
+    #[test]
+    fn normalized_zero_rows_contribute_zero() {
+        let zeroish = NormalizedEmbedding::new(ContextEmbedding {
+            rows: vec![vec![0.0, 0.0], vec![1.0, 0.0]],
+        });
+        assert_eq!(zeroish.inv_norms[0], 0.0);
+        let unit = NormalizedEmbedding::new(ContextEmbedding {
+            rows: vec![vec![1.0, 0.0]],
+        });
+        // Pairs: (zero,(1,0)) → 0 and ((1,0),(1,0)) → 1, uniform avg 0.5.
+        let sim = context_similarity_normalized(&zeroish, &unit, None);
+        assert!((sim - 0.5).abs() < 1e-6, "{sim}");
+        // All-zero against all-zero is 0, not NaN.
+        let zero = NormalizedEmbedding::new(ContextEmbedding {
+            rows: vec![vec![0.0, 0.0]],
+        });
+        assert_eq!(context_similarity_normalized(&zero, &zero, None), 0.0);
     }
 
     #[test]

@@ -139,8 +139,8 @@ impl Tape {
             let mean = row.iter().sum::<f32>() / x.cols as f32;
             let var = row.iter().map(|v| (v - mean).powi(2)).sum::<f32>() / x.cols as f32;
             let inv = 1.0 / (var + LN_EPS).sqrt();
-            for c in 0..x.cols {
-                let xhat = (row[c] - mean) * inv;
+            for (c, &xv) in row.iter().enumerate() {
+                let xhat = (xv - mean) * inv;
                 out.set(r, c, xhat * g.data[c] + b.data[c]);
             }
         }

@@ -195,6 +195,15 @@ mod tests {
     use rand::SeedableRng;
 
     #[test]
+    fn cosine_of_zero_vectors_is_zero_not_nan() {
+        let zero = [0.0f32; 4];
+        let unit = [1.0f32, 0.0, 0.0, 0.0];
+        assert_eq!(cosine(&zero, &unit), 0.0);
+        assert_eq!(cosine(&unit, &zero), 0.0);
+        assert_eq!(cosine(&zero, &zero), 0.0);
+    }
+
+    #[test]
     fn matmul_small() {
         let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
         let b = Matrix::from_rows(&[&[5.0, 6.0], &[7.0, 8.0]]);

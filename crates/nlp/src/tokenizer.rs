@@ -127,7 +127,7 @@ mod tests {
     fn vocab_filters_by_frequency() {
         let texts = ["peer peer address", "peer rare"];
         let v = Vocab::build(texts.iter().copied(), 2);
-        assert_eq!(v.id("peer") != UNK, true);
+        assert!(v.id("peer") != UNK);
         assert_eq!(v.id("rare"), UNK);
         assert_eq!(v.id("never-seen"), UNK);
     }

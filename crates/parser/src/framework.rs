@@ -32,7 +32,11 @@ pub struct ParsedPage {
 /// Implementations are intentionally small — a table of CSS classes plus
 /// composition of `extract` components; the framework supplies testing
 /// and reporting.
-pub trait VendorParser {
+///
+/// `Sync` is a supertrait so the harness can fan pages out across
+/// [`nassim_exec`] workers holding `&dyn VendorParser`; parsers are
+/// stateless lookup tables, so this costs implementations nothing.
+pub trait VendorParser: Sync {
     /// Vendor identifier, e.g. `helix`.
     fn vendor(&self) -> &str;
 
@@ -119,37 +123,52 @@ pub struct ParseRun {
     pub report: TddReport,
 }
 
+/// Per-page parse outcome: `None` for a skipped page, otherwise the
+/// parsed page plus its optional audit records.
+type PageOutcome = Option<(ParsedPage, Option<KeyAttrProblem>, Option<CorpusStatus>)>;
+
 /// Run `parser` over `(url, html)` pages and validate every parsed entry
 /// — the `parsing()` + `validating()` workflow of Figure 2.
+///
+/// Pages are parsed and audited in parallel ([`nassim_exec::par_map`]);
+/// the per-page results are folded back in page order, so the report and
+/// page list are identical to a serial run.
 pub fn run_parser<'a>(
     parser: &dyn VendorParser,
     pages: impl IntoIterator<Item = (&'a str, &'a str)>,
 ) -> ParseRun {
+    let pages: Vec<(&str, &str)> = pages.into_iter().collect();
+    let per_page: Vec<PageOutcome> =
+        nassim_exec::par_map(&pages, |&(url, html)| {
+            let parsed = parser.parse_page(url, html)?;
+            // Part 1: key attribute ('CLIs') summary.
+            let key_attr = (parsed.entry.clis.is_empty()
+                || parsed.entry.clis.iter().all(|c| c.trim().is_empty()))
+            .then(|| KeyAttrProblem {
+                url: parsed.url.clone(),
+                reason: "empty CLIs field".to_string(),
+            });
+            // Part 2: full per-entry status.
+            let violations = parsed.entry.check();
+            let status = (!violations.is_empty()).then(|| CorpusStatus {
+                url: parsed.url.clone(),
+                violations,
+            });
+            Some((parsed, key_attr, status))
+        });
+
     let mut parsed_pages = Vec::new();
-    let mut report = TddReport::default();
-    for (url, html) in pages {
-        report.total_pages += 1;
-        match parser.parse_page(url, html) {
+    let mut report = TddReport {
+        total_pages: pages.len(),
+        ..TddReport::default()
+    };
+    for outcome in per_page {
+        match outcome {
             None => report.skipped += 1,
-            Some(parsed) => {
+            Some((parsed, key_attr, status)) => {
                 report.parsed += 1;
-                // Part 1: key attribute ('CLIs') summary.
-                if parsed.entry.clis.is_empty()
-                    || parsed.entry.clis.iter().all(|c| c.trim().is_empty())
-                {
-                    report.key_attr_problems.push(KeyAttrProblem {
-                        url: parsed.url.clone(),
-                        reason: "empty CLIs field".to_string(),
-                    });
-                }
-                // Part 2: full per-entry status.
-                let violations = parsed.entry.check();
-                if !violations.is_empty() {
-                    report.corpus_status.push(CorpusStatus {
-                        url: parsed.url.clone(),
-                        violations,
-                    });
-                }
+                report.key_attr_problems.extend(key_attr);
+                report.corpus_status.extend(status);
                 parsed_pages.push(parsed);
             }
         }

@@ -102,30 +102,44 @@ pub struct CorpusGraphs {
 impl CorpusGraphs {
     /// Compile every parseable CLI form of every page. Invalid templates
     /// (stage-1 failures) are skipped — they cannot match anything.
+    ///
+    /// Graph compilation fans out per page; the head/headless buckets are
+    /// filled back in page order, so the index layout matches a serial
+    /// build exactly.
     pub fn build(pages: &[ParsedPage]) -> CorpusGraphs {
+        // One page's compiled graphs plus its (cli index, head keyword)
+        // bucket entries.
+        type PageGraphs = (Vec<CliGraph>, Vec<(usize, Option<String>)>);
+        let per_page: Vec<PageGraphs> =
+            nassim_exec::par_map(pages, |page| {
+                let mut page_graphs = Vec::new();
+                // (cli index, head keyword) for each parseable template;
+                // `None` head means headless (starts with a group).
+                let mut buckets = Vec::new();
+                for (ci, cli) in page.entry.clis.iter().enumerate() {
+                    match parse_template(cli) {
+                        Ok(struc) => {
+                            buckets.push((ci, struc.head_keyword().map(str::to_string)));
+                            page_graphs.push(CliGraph::build(&struc));
+                        }
+                        Err(_) => {
+                            // Placeholder so (page, cli) indexing stays aligned.
+                            page_graphs.push(CliGraph::build(
+                                &parse_template("__invalid__").expect("sentinel parses"),
+                            ));
+                        }
+                    }
+                }
+                (page_graphs, buckets)
+            });
         let mut graphs = Vec::with_capacity(pages.len());
         let mut head_index: BTreeMap<String, Vec<(usize, usize)>> = BTreeMap::new();
         let mut headless = Vec::new();
-        for (pi, page) in pages.iter().enumerate() {
-            let mut page_graphs = Vec::new();
-            for (ci, cli) in page.entry.clis.iter().enumerate() {
-                match parse_template(cli) {
-                    Ok(struc) => {
-                        match struc.head_keyword() {
-                            Some(head) => head_index
-                                .entry(head.to_string())
-                                .or_default()
-                                .push((pi, ci)),
-                            None => headless.push((pi, ci)),
-                        }
-                        page_graphs.push(CliGraph::build(&struc));
-                    }
-                    Err(_) => {
-                        // Placeholder so (page, cli) indexing stays aligned.
-                        page_graphs.push(CliGraph::build(
-                            &parse_template("__invalid__").expect("sentinel parses"),
-                        ));
-                    }
+        for (pi, (page_graphs, buckets)) in per_page.into_iter().enumerate() {
+            for (ci, head) in buckets {
+                match head {
+                    Some(head) => head_index.entry(head).or_default().push((pi, ci)),
+                    None => headless.push((pi, ci)),
                 }
             }
             graphs.push(page_graphs);
@@ -170,6 +184,18 @@ impl CorpusGraphs {
 /// template match among many corroborating snippets stays above it.
 const WINNER_SHARE_THRESHOLD: f64 = 0.75;
 
+/// Per-page hierarchy evidence. Collected in parallel, merged into the
+/// vote tallies in page order — since the serial loop only ever
+/// *increments* tally entries, the ordered merge reproduces it exactly.
+struct PageEvidence {
+    example_snippets: usize,
+    self_match_failures: usize,
+    /// One `(view, opener page index)` pair per vote cast.
+    votes: Vec<(String, usize)>,
+    /// View names this page's snippets showed at indentation 0.
+    root_votes: Vec<String>,
+}
+
 /// Derive the hierarchy of a parsed corpus.
 pub fn derive_hierarchy(pages: &[ParsedPage]) -> Derivation {
     let t0 = Instant::now();
@@ -177,34 +203,29 @@ pub fn derive_hierarchy(pages: &[ParsedPage]) -> Derivation {
     let cgm_build_time = t0.elapsed();
 
     let t1 = Instant::now();
-    let mut votes: BTreeMap<String, BTreeMap<usize, usize>> = BTreeMap::new();
-    let mut stats = DerivationStats {
-        cgm_build_time,
-        ..DerivationStats::default()
-    };
-    let mut root_votes: BTreeMap<String, usize> = BTreeMap::new();
-
-    for (pi, page) in pages.iter().enumerate() {
+    // Instance–template matching is the hot step; fan it out per page.
+    let evidence: Vec<PageEvidence> = nassim_exec::par_map_indexed(pages, |pi, page| {
+        let mut ev = PageEvidence {
+            example_snippets: 0,
+            self_match_failures: 0,
+            votes: Vec::new(),
+            root_votes: Vec::new(),
+        };
         let Some(view) = page.entry.parent_views.first() else {
-            continue;
+            return ev;
         };
         // Explicit hierarchy (norsk): authoritative, no derivation needed.
         if let Some(path) = &page.context_path {
             if path.len() <= 1 {
                 if let Some(v) = path.first().or(page.entry.parent_views.first()) {
-                    *root_votes.entry(v.clone()).or_default() += 1;
+                    ev.root_votes.push(v.clone());
                 }
             }
             if let Some(enters) = &page.enters_view {
                 // This page opens `enters`: authoritative vote.
-                *votes
-                    .entry(enters.clone())
-                    .or_default()
-                    .entry(pi)
-                    .or_default() += 1;
-                stats.votes_cast += 1;
+                ev.votes.push((enters.clone(), pi));
             }
-            continue;
+            return ev;
         }
         // Example-based derivation. Manuals list one snippet per working
         // view in `ParentViews` order (multi-view commands); when counts
@@ -218,7 +239,7 @@ pub fn derive_hierarchy(pages: &[ParsedPage]) -> Derivation {
             } else {
                 view
             };
-            stats.example_snippets += 1;
+            ev.example_snippets += 1;
             let Some(last) = snippet.last() else { continue };
             let child_indent = indent_of(last);
             let child_instance = last.trim_start();
@@ -228,12 +249,12 @@ pub fn derive_hierarchy(pages: &[ParsedPage]) -> Derivation {
                 .into_iter()
                 .any(|(p, c)| p == pi && is_cli_match(child_instance, &corpus.graphs[p][c]));
             if !self_matches {
-                stats.self_match_failures += 1;
+                ev.self_match_failures += 1;
                 continue;
             }
             if child_indent == 0 {
                 // No parent line: the working view is a root view.
-                *root_votes.entry(view.clone()).or_default() += 1;
+                ev.root_votes.push(view.clone());
                 continue;
             }
             // Step 2: track back to the parent instance by indentation.
@@ -248,13 +269,27 @@ pub fn derive_hierarchy(pages: &[ParsedPage]) -> Derivation {
             let parents = corpus.matching_pages(parent_line.trim_start());
             // Step 4: vote.
             for parent_pi in parents {
-                *votes
-                    .entry(view.clone())
-                    .or_default()
-                    .entry(parent_pi)
-                    .or_default() += 1;
-                stats.votes_cast += 1;
+                ev.votes.push((view.clone(), parent_pi));
             }
+        }
+        ev
+    });
+
+    let mut votes: BTreeMap<String, BTreeMap<usize, usize>> = BTreeMap::new();
+    let mut stats = DerivationStats {
+        cgm_build_time,
+        ..DerivationStats::default()
+    };
+    let mut root_votes: BTreeMap<String, usize> = BTreeMap::new();
+    for ev in evidence {
+        stats.example_snippets += ev.example_snippets;
+        stats.self_match_failures += ev.self_match_failures;
+        stats.votes_cast += ev.votes.len();
+        for v in ev.root_votes {
+            *root_votes.entry(v).or_default() += 1;
+        }
+        for (view, opener) in ev.votes {
+            *votes.entry(view).or_default().entry(opener).or_default() += 1;
         }
     }
 

@@ -8,6 +8,7 @@ use std::fmt;
 use std::time::Duration;
 
 /// Everything Table 4 reports for one vendor.
+#[derive(Debug, Clone, PartialEq)]
 pub struct VdmConstructionReport {
     pub vendor: String,
     pub device_model: String,

@@ -64,13 +64,15 @@ impl SyntaxAudit {
 }
 
 /// Audit every CLI form of every parsed page.
+///
+/// Pages are audited in parallel; per-page results are folded back in
+/// page order, so the failure list is identical to a serial sweep.
 pub fn audit_corpus(pages: &[ParsedPage]) -> SyntaxAudit {
-    let mut audit = SyntaxAudit::default();
-    for page in pages {
+    let per_page: Vec<(usize, Vec<SyntaxFailure>)> = nassim_exec::par_map(pages, |page| {
+        let mut failures = Vec::new();
         for (i, cli) in page.entry.clis.iter().enumerate() {
-            audit.total_clis += 1;
             if let Err(diagnosis) = validate_template(cli) {
-                audit.failures.push(SyntaxFailure {
+                failures.push(SyntaxFailure {
                     url: page.url.clone(),
                     cli_index: i,
                     cli: cli.clone(),
@@ -78,6 +80,12 @@ pub fn audit_corpus(pages: &[ParsedPage]) -> SyntaxAudit {
                 });
             }
         }
+        (page.entry.clis.len(), failures)
+    });
+    let mut audit = SyntaxAudit::default();
+    for (cli_count, failures) in per_page {
+        audit.total_clis += cli_count;
+        audit.failures.extend(failures);
     }
     audit
 }

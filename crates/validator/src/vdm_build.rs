@@ -12,6 +12,7 @@ use nassim_parser::ParsedPage;
 use std::collections::BTreeMap;
 
 /// The assembled VDM plus placement diagnostics.
+#[derive(Debug, Clone)]
 pub struct VdmBuild {
     pub vdm: Vdm,
     /// Page indices whose working view could not be reached from the

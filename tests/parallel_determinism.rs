@@ -1,0 +1,96 @@
+//! The parallel engine must be invisible: generating and assimilating a
+//! manual with 1 worker and with 8 workers must produce identical pages,
+//! reports, votes and VDMs — wall-clock timings excluded.
+
+use nassim::pipeline::{assimilate, Assimilation};
+use nassim_datasets::{catalog::Catalog, manualgen, style};
+use nassim_parser::parser_for;
+
+/// Defect injection on: the determinism contract must hold on the
+/// interesting paths (audit failures, ambiguity votes), not just the
+/// clean one.
+fn gen_opts() -> manualgen::GenOptions {
+    manualgen::GenOptions {
+        seed: 42,
+        syntax_error_rate: 0.05,
+        ambiguity_rate: 0.10,
+        ..Default::default()
+    }
+}
+
+fn assimilate_helix(threads: usize) -> Assimilation {
+    let cat = Catalog::base();
+    let parser = parser_for("helix").unwrap();
+    nassim_exec::with_threads(threads, || {
+        let m = manualgen::generate(&style::vendor("helix").unwrap(), &cat, &gen_opts());
+        assimilate(
+            parser.as_ref(),
+            m.pages.iter().map(|p| (p.url.as_str(), p.html.as_str())),
+        )
+    })
+}
+
+#[test]
+fn manual_generation_is_identical_across_worker_counts() {
+    let cat = Catalog::base();
+    let st = style::vendor("helix").unwrap();
+    let a = nassim_exec::with_threads(1, || manualgen::generate(&st, &cat, &gen_opts()));
+    let b = nassim_exec::with_threads(8, || manualgen::generate(&st, &cat, &gen_opts()));
+    assert_eq!(a.pages.len(), b.pages.len());
+    for (pa, pb) in a.pages.iter().zip(&b.pages) {
+        assert_eq!(pa.url, pb.url);
+        assert_eq!(pa.html, pb.html, "page {} differs across worker counts", pa.url);
+    }
+    assert_eq!(a.defects, b.defects);
+}
+
+#[test]
+fn assimilation_is_identical_at_1_and_8_threads() {
+    let a = assimilate_helix(1);
+    let b = assimilate_helix(8);
+
+    // Parser output and TDD report.
+    assert_eq!(
+        format!("{:?}", a.parse.report),
+        format!("{:?}", b.parse.report)
+    );
+    assert_eq!(
+        format!("{:?}", a.parse.pages),
+        format!("{:?}", b.parse.pages)
+    );
+
+    // Stage 1: syntax audit, including failure order.
+    assert_eq!(format!("{:?}", a.syntax), format!("{:?}", b.syntax));
+
+    // Stage 2: derivation (everything except the Duration stats).
+    assert_eq!(a.derivation.openers, b.derivation.openers);
+    assert_eq!(a.derivation.votes, b.derivation.votes);
+    assert_eq!(
+        format!("{:?}", a.derivation.ambiguous),
+        format!("{:?}", b.derivation.ambiguous)
+    );
+    assert_eq!(a.derivation.root_view, b.derivation.root_view);
+    assert_eq!(a.derivation.stats.votes_cast, b.derivation.stats.votes_cast);
+    assert_eq!(
+        a.derivation.stats.example_snippets,
+        b.derivation.stats.example_snippets
+    );
+    assert_eq!(
+        a.derivation.stats.self_match_failures,
+        b.derivation.stats.self_match_failures
+    );
+
+    // The assembled VDM, byte-for-byte.
+    assert_eq!(
+        serde_json::to_string(&a.build.vdm).unwrap(),
+        serde_json::to_string(&b.build.vdm).unwrap()
+    );
+    assert_eq!(a.build.unplaced_pages, b.build.unplaced_pages);
+
+    // Table-4 report with the wall-clock field zeroed out.
+    let mut ra = a.report("model", None);
+    let mut rb = b.report("model", None);
+    ra.construction_time = std::time::Duration::ZERO;
+    rb.construction_time = std::time::Duration::ZERO;
+    assert_eq!(ra, rb);
+}
