@@ -1,5 +1,8 @@
 //! CGM costs (§5.2): graph construction — 84% of the paper's hierarchy
 //! construction time — and instance–template matching.
+// Bench setup runs on fixed seeds and known vendors; a panic here is a
+// broken fixture, not a recoverable condition.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
 
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use nassim_cgm::generate::enumerate_instances;

@@ -1,5 +1,8 @@
 //! Encoder costs: transformer forward pass (per sentence) and one
 //! siamese training step — the knobs that size the Table-5 experiment.
+// Bench setup runs on fixed seeds and known vendors; a panic here is a
+// broken fixture, not a recoverable condition.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use nassim_nlp::training::{siamese_step, Adam, Pair};

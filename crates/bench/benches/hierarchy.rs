@@ -1,5 +1,8 @@
 //! Hierarchy derivation cost (Table 4's "Construction Time" row): CGM
 //! building plus example-driven vote casting, at two model scales.
+// Bench setup runs on fixed seeds and known vendors; a panic here is a
+// broken fixture, not a recoverable condition.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use nassim_datasets::{catalog::Catalog, manualgen, style};

@@ -1,6 +1,9 @@
 //! Manual-parsing throughput: pages/second for each vendor parser over
 //! its generated manual (the upstream cost of the whole pipeline), in a
 //! serial (1 worker) and a parallel (fan-out) variant.
+// Bench setup runs on fixed seeds and known vendors; a panic here is a
+// broken fixture, not a recoverable condition.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
 
 use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion, Throughput};
 use nassim_datasets::{catalog::Catalog, manualgen, style};

@@ -1,5 +1,8 @@
 //! Mapper retrieval cost per query: IR, DL and IR+DL (shortlist 50)
 //! ranking over a UDM with distractors — the §6.2 inner loop.
+// Bench setup runs on fixed seeds and known vendors; a panic here is a
+// broken fixture, not a recoverable condition.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use nassim_bench::fixtures::HashEmbedder;

@@ -1,5 +1,8 @@
 //! Formal syntax validation cost (§5.1): template parse + diagnosis over
 //! the whole catalog, and the single-template paths (valid vs invalid).
+// Bench setup runs on fixed seeds and known vendors; a panic here is a
+// broken fixture, not a recoverable condition.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
 
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use nassim_datasets::catalog::Catalog;

@@ -13,11 +13,11 @@ use rand::SeedableRng;
 const TEMPLATE: &str = "filter-policy { <acl-number> | ip-prefix <ip-prefix-name> | acl-name <acl-name> } { import | export }";
 const INSTANCE: &str = "filter-policy acl-name acl1 export";
 
-fn main() {
+fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("Figure 6 / Appendix C: CGM toy example");
     println!();
     println!("template: {TEMPLATE}");
-    let struc = parse_template(TEMPLATE).expect("paper template parses");
+    let struc = parse_template(TEMPLATE)?;
     println!();
     println!("Figure 16 — nested CLI structure:");
     println!("{struc:#?}");
@@ -42,4 +42,5 @@ fn main() {
     for inst in enumerate_instances(&graph, 10, &mut rng) {
         println!("  {inst}");
     }
+    Ok(())
 }

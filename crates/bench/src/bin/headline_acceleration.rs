@@ -60,12 +60,12 @@ fn stage<R>(name: &str, workers: usize, f: impl Fn() -> R) -> StageTiming {
     t
 }
 
-fn parallel_bench() -> ParallelBench {
+fn parallel_bench() -> Result<ParallelBench, Box<dyn std::error::Error>> {
     let workers = nassim_exec::threads().max(4);
     println!("Parallel engine: 1 vs {workers} workers (NASSIM_THREADS overrides)");
 
     let catalog = Catalog::with_scale(400);
-    let st = style::vendor("helix").unwrap();
+    let st = style::vendor("helix")?;
     let gen_opts = manualgen::GenOptions {
         seed: 1,
         scale_extra: 400,
@@ -73,7 +73,7 @@ fn parallel_bench() -> ParallelBench {
         ambiguity_rate: 0.0,
         ..Default::default()
     };
-    let parser = parser_for("helix").unwrap();
+    let parser = parser_for("helix")?;
 
     let mut stages = Vec::new();
     stages.push(stage("manual_generation", workers, || {
@@ -119,21 +119,21 @@ fn parallel_bench() -> ParallelBench {
         evaluate(&mapper, &cases, &[1, 10])
     }));
 
-    ParallelBench {
+    Ok(ParallelBench {
         serial_threads: 1,
         parallel_threads: workers,
         stages,
-    }
+    })
 }
 
-fn main() {
-    let bench = parallel_bench();
-    let json = serde_json::to_string_pretty(&bench).expect("serializes");
-    std::fs::write("BENCH_parallel.json", &json).expect("write BENCH_parallel.json");
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let bench = parallel_bench()?;
+    let json = serde_json::to_string_pretty(&bench)?;
+    std::fs::write("BENCH_parallel.json", &json)?;
     println!("  wrote BENCH_parallel.json");
     println!();
 
-    let outcome = mapping_experiment(&[10]);
+    let outcome = mapping_experiment(&[10])?;
     println!("Headline: assimilation acceleration (paper: 9.1x at 89% recall@10)");
     println!();
     for (setting, models) in &outcome.reports {
@@ -145,7 +145,7 @@ fn main() {
                     .partial_cmp(&b.1.recall_pct(10))
                     .unwrap_or(std::cmp::Ordering::Equal)
             })
-            .expect("models evaluated");
+            .ok_or("no models evaluated")?;
         let recall10 = best.recall_pct(10) / 100.0;
         let manual_lookup = 1.0 - recall10;
         let acceleration = if manual_lookup > 0.0 {
@@ -160,4 +160,5 @@ fn main() {
             acceleration
         );
     }
+    Ok(())
 }

@@ -16,7 +16,7 @@ use nassim_parser::parser_for;
 use std::fs;
 use std::path::PathBuf;
 
-fn main() -> std::io::Result<()> {
+fn main() -> Result<(), Box<dyn std::error::Error>> {
     let out: PathBuf = std::env::args()
         .nth(1)
         .unwrap_or_else(|| "dataset".to_string())
@@ -24,7 +24,7 @@ fn main() -> std::io::Result<()> {
     let catalog = Catalog::base();
 
     for vendor in style::VENDORS {
-        let st = style::vendor(vendor).unwrap();
+        let st = style::vendor(vendor)?;
         let manual = manualgen::generate(
             &st,
             &catalog,
@@ -36,9 +36,9 @@ fn main() -> std::io::Result<()> {
             },
         );
         let a = assimilate(
-            parser_for(vendor).unwrap().as_ref(),
+            parser_for(vendor)?.as_ref(),
             manual.pages.iter().map(|p| (p.url.as_str(), p.html.as_str())),
-        );
+        )?;
 
         // Per-command corpus JSON, named by page key.
         let corpus_dir = out.join(vendor).join("corpus");
@@ -56,7 +56,7 @@ fn main() -> std::io::Result<()> {
         // The validated VDM tree.
         fs::write(
             out.join(vendor).join("vdm.json"),
-            serde_json::to_string_pretty(&a.build.vdm).expect("vdm serialises"),
+            serde_json::to_string_pretty(&a.build.vdm)?,
         )?;
         println!(
             "{vendor}: {} corpus files, VDM with {} CLI-view pairs",
@@ -70,13 +70,10 @@ fn main() -> std::io::Result<()> {
         seed: SEED,
         ..Default::default()
     });
-    fs::write(
-        out.join("udm.json"),
-        serde_json::to_string_pretty(&data.udm).expect("udm serialises"),
-    )?;
+    fs::write(out.join("udm.json"), serde_json::to_string_pretty(&data.udm)?)?;
     fs::write(
         out.join("alignment.json"),
-        serde_json::to_string_pretty(&data.alignment).expect("alignment serialises"),
+        serde_json::to_string_pretty(&data.alignment)?,
     )?;
     println!(
         "UDM: {} attributes; alignment: {} annotated pairs",

@@ -5,7 +5,7 @@
 use nassim_datasets::catalog::Catalog;
 use nassim_datasets::style::vendors;
 
-fn main() {
+fn main() -> Result<(), Box<dyn std::error::Error>> {
     let cat = Catalog::base();
     let vs = vendors();
     println!("Table 2: Configuration syntax comparison across synthetic vendors");
@@ -18,7 +18,9 @@ fn main() {
         ("advertise default route", "ospf.defaultroute"),
     ];
     for (intent, key) in intents {
-        let cmd = cat.command(key).expect("catalog key");
+        let cmd = cat
+            .command(key)
+            .ok_or_else(|| format!("catalog key `{key}` missing"))?;
         println!("intent: {intent}");
         for v in &vs {
             println!("  {:<8} {}", v.name, v.render_template(&cmd.template));
@@ -31,4 +33,5 @@ fn main() {
         }
         println!();
     }
+    Ok(())
 }

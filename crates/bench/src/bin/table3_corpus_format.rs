@@ -6,7 +6,7 @@ use nassim_datasets::{catalog::Catalog, manualgen, style};
 use nassim_parser::{helix::ParserHelix, VendorParser};
 use nassim_syntax::bnf::command_grammar;
 
-fn main() {
+fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("Table 3: Format Definition of Vendor-Independent Corpus (JSON)");
     println!();
     println!("  Keys          Type Restriction");
@@ -20,7 +20,7 @@ fn main() {
     // Figure 3: a parsed VDM corpus sample, straight from the pipeline.
     let cat = Catalog::base();
     let manual = manualgen::generate(
-        &style::vendor("helix").unwrap(),
+        &style::vendor("helix")?,
         &cat,
         &manualgen::GenOptions {
             seed: 1,
@@ -33,10 +33,10 @@ fn main() {
         .pages
         .iter()
         .find(|p| p.command_key == "bgp.peer-group")
-        .expect("bgp.peer-group page");
+        .ok_or("bgp.peer-group page missing from generated manual")?;
     let parsed = ParserHelix::new()
-        .parse_page(&page.url, &page.html)
-        .expect("parses");
+        .parse_page(&page.url, &page.html)?
+        .ok_or("bgp.peer-group page documents a command")?;
     println!("Figure 3: a sample of parsed VDM corpus ({}):", page.url);
     println!("{}", parsed.entry.to_json());
     println!();
@@ -44,4 +44,5 @@ fn main() {
     // Figure 4/5: the command conventions as BNF.
     println!("Figures 4-5: command styling conventions as BNF:");
     println!("{}", command_grammar());
+    Ok(())
 }

@@ -40,14 +40,14 @@ fn parsing_loc(vendor: &str) -> usize {
         .count()
 }
 
-fn main() {
+fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("Table 4: Evaluation of the VDM Construction Phase");
     println!("(synthetic vendors; scale ≈ paper/10 unless NASSIM_SCALE is set)\n");
 
     let mut columns = Vec::new();
     for vendor in nassim_datasets::style::VENDORS {
         let extra = vendor_scale(vendor);
-        let run = construct_vendor(vendor, extra);
+        let run = construct_vendor(vendor, extra)?;
         let a = &run.assimilation;
 
         // Stage 3: config-file replay (helix/norsk only, as in §7.2),
@@ -64,23 +64,23 @@ fn main() {
 
         // Stage 3b: live-device validation of templates unused in configs
         // (capped for wall-clock; instances are generated from the CGM).
-        let device_stats = empirical.as_ref().map(|(rep, _)| {
-            let used = &rep.used_nodes;
-            let unused: Vec<_> = corrected_vdm
-                .walk()
-                .into_iter()
-                .filter(|id| !used.contains(id))
-                .take(150)
-                .collect();
-            let model = device_model_from_catalog(&run.manual.catalog, &run.style)
-                .expect("device model");
-            let mut server =
-                nassim_device::DeviceServer::spawn(Arc::new(model)).expect("device server");
-            let out =
-                validate_on_device(corrected_vdm, &unused, server.addr(), 7).expect("device run");
-            server.stop();
-            out
-        });
+        let device_stats = match &empirical {
+            Some((rep, _)) => {
+                let used = &rep.used_nodes;
+                let unused: Vec<_> = corrected_vdm
+                    .walk()
+                    .into_iter()
+                    .filter(|id| !used.contains(id))
+                    .take(150)
+                    .collect();
+                let model = device_model_from_catalog(&run.manual.catalog, &run.style)?;
+                let mut server = nassim_device::DeviceServer::spawn(Arc::new(model))?;
+                let out = validate_on_device(corrected_vdm, &unused, server.addr(), 7)?;
+                server.stop();
+                Some(out)
+            }
+            None => None,
+        };
 
         // Detection scoring against injected ground truth.
         let injected_errors = run.manual.injected_syntax_errors();
@@ -163,4 +163,5 @@ fn main() {
             .iter()
             .filter_map(|c| c.matching_ratio)
             .all(|r| (r - 1.0).abs() < 1e-9));
+    Ok(())
 }

@@ -4,9 +4,9 @@
 
 use nassim_bench::fixtures::{mapping_experiment, MODEL_ORDER};
 
-fn main() {
+fn main() -> Result<(), Box<dyn std::error::Error>> {
     let ks = [1, 3, 5, 7, 9, 10, 20, 30];
-    let outcome = mapping_experiment(&ks);
+    let outcome = mapping_experiment(&ks)?;
 
     println!("Table 5: Mapper performance — recall@top-k (%)");
     println!();
@@ -43,4 +43,5 @@ fn main() {
             at10("IR+NetBERT") >= at10("IR"),
         );
     }
+    Ok(())
 }

@@ -3,9 +3,9 @@
 
 use nassim_bench::fixtures::{mapping_experiment, MODEL_ORDER};
 
-fn main() {
+fn main() -> Result<(), Box<dyn std::error::Error>> {
     let ks = [1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 20, 30];
-    let outcome = mapping_experiment(&ks);
+    let outcome = mapping_experiment(&ks)?;
 
     println!("Table 6 (Appendix D): Mapper performance — recall@k (%) and MRR");
     println!();
@@ -34,4 +34,5 @@ fn main() {
             models["NetBERT"].mrr, models["SimCSE"].mrr, models["IR"].mrr
         );
     }
+    Ok(())
 }

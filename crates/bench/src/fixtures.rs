@@ -2,6 +2,7 @@
 //! generates config corpora, trains the model zoo and runs the mapping
 //! evaluation — so every table binary agrees on the setup.
 
+use nassim::diag::NassimError;
 use nassim::modelzoo::{ModelZoo, PretrainOptions};
 use nassim::pipeline::{assimilate, Assimilation};
 use nassim_datasets::catalog::Catalog;
@@ -53,9 +54,9 @@ pub struct VendorRun {
 
 /// Build a vendor's manual at its Table-4 scale, assimilate it, and (for
 /// helix/norsk, as in §7.2) generate its config-file corpus.
-pub fn construct_vendor(vendor: &str, extra: usize) -> VendorRun {
+pub fn construct_vendor(vendor: &str, extra: usize) -> Result<VendorRun, NassimError> {
     let catalog = Catalog::with_scale(extra);
-    let style = style::vendor(vendor).expect("known vendor");
+    let style = style::vendor(vendor)?;
     let manual = manualgen::generate(
         &style,
         &catalog,
@@ -67,7 +68,7 @@ pub fn construct_vendor(vendor: &str, extra: usize) -> VendorRun {
             examples_per_page: 1,
         },
     );
-    let parser = parser_for(vendor).expect("known vendor");
+    let parser = parser_for(vendor)?;
     // The published-manual and corrected-manual pipelines are independent;
     // run them as a two-way split.
     let (assimilation, corrected) = nassim_exec::join2(
@@ -111,13 +112,13 @@ pub fn construct_vendor(vendor: &str, extra: usize) -> VendorRun {
     } else {
         None
     };
-    VendorRun {
+    Ok(VendorRun {
         style,
         manual,
-        assimilation,
-        corrected,
+        assimilation: assimilation?,
+        corrected: corrected?,
         config_corpus,
-    }
+    })
 }
 
 fn fnv(s: &str) -> u64 {
@@ -157,7 +158,7 @@ pub const MODEL_ORDER: [&str; 7] = [
 ///   **cross-vendor** (tuned on norsk annotations → evaluated on helix,
 ///   and vice versa), exactly as §7.3 describes;
 /// * every model evaluated at the requested `ks`.
-pub fn mapping_experiment(ks: &[usize]) -> MappingOutcome {
+pub fn mapping_experiment(ks: &[usize]) -> Result<MappingOutcome, NassimError> {
     let catalog = Catalog::base();
     let udm_data: UdmDataset = udmgen::generate(
         &catalog,
@@ -172,8 +173,8 @@ pub fn mapping_experiment(ks: &[usize]) -> MappingOutcome {
     // Construct both VDMs from their manuals (clean manuals: the mapping
     // phase consumes *validated* VDMs). The two vendors are independent —
     // generate and assimilate them concurrently.
-    let build_vdm = |vendor: &str| {
-        let style = style::vendor(vendor).unwrap();
+    let build_vdm = |vendor: &str| -> Result<_, NassimError> {
+        let style = style::vendor(vendor)?;
         let manual = manualgen::generate(
             &style,
             &catalog,
@@ -184,22 +185,24 @@ pub fn mapping_experiment(ks: &[usize]) -> MappingOutcome {
                 ..Default::default()
             },
         );
-        let parser = parser_for(vendor).unwrap();
+        let parser = parser_for(vendor)?;
         let a = assimilate(
             parser.as_ref(),
             manual.pages.iter().map(|p| (p.url.as_str(), p.html.as_str())),
-        );
-        a.build.vdm
+        )?;
+        Ok(a.build.vdm)
     };
     let (helix_vdm, norsk_vdm) =
         nassim_exec::join2(|| build_vdm("helix"), || build_vdm("norsk"));
     let mut vdms = BTreeMap::new();
-    vdms.insert("helix", helix_vdm);
-    vdms.insert("norsk", norsk_vdm);
+    vdms.insert("helix", helix_vdm?);
+    vdms.insert("norsk", norsk_vdm?);
 
     // Annotations per vendor: (command_key, vendor token, udm path).
-    let annotate = |vendor: &str, keep: Option<usize>| -> Vec<(String, String, String)> {
-        let style = style::vendor(vendor).unwrap();
+    let annotate = |vendor: &str,
+                    keep: Option<usize>|
+     -> Result<Vec<(String, String, String)>, NassimError> {
+        let style = style::vendor(vendor)?;
         let full: Vec<_> = udm_data
             .alignment
             .iter()
@@ -211,7 +214,7 @@ pub fn mapping_experiment(ks: &[usize]) -> MappingOutcome {
                 )
             })
             .collect();
-        match keep {
+        Ok(match keep {
             Some(k) => {
                 let entries: Vec<_> = udm_data.alignment.clone();
                 let sampled = sample_annotations(&entries, k, SEED ^ fnv(vendor));
@@ -227,13 +230,13 @@ pub fn mapping_experiment(ks: &[usize]) -> MappingOutcome {
                     .collect()
             }
             None => full,
-        }
+        })
     };
     // helix: rich annotation set; norsk: scarce (paper: 381 vs 110 ⇒ keep
     // the same ~3.5:1 ratio).
-    let helix_ann = annotate("helix", None);
+    let helix_ann = annotate("helix", None)?;
     let norsk_keep = (helix_ann.len() as f64 / 3.5).round() as usize;
-    let norsk_ann = annotate("norsk", Some(norsk_keep));
+    let norsk_ann = annotate("norsk", Some(norsk_keep))?;
 
     let helix_cases = resolve_cases(&vdms["helix"], udm, &helix_ann);
     let norsk_cases = resolve_cases(&vdms["norsk"], udm, &norsk_ann);
@@ -287,10 +290,10 @@ pub fn mapping_experiment(ks: &[usize]) -> MappingOutcome {
         run_model(entry, "NetBERT", Mapper::dl(udm, &netbert_e), cases, ks);
         run_model(entry, "IR+NetBERT", Mapper::ir_dl(udm, &netbert_e, 50), cases, ks);
     }
-    MappingOutcome {
+    Ok(MappingOutcome {
         reports,
         case_counts,
-    }
+    })
 }
 
 fn run_model(

@@ -4,6 +4,9 @@
 //! accepted by that CGM (the §5.3 soundness contract); the frontier
 //! matcher and the complete matcher agree on generated instances;
 //! matching is total on arbitrary input.
+// Property-test bodies and helpers sit outside #[test] fns; panics are the
+// assertion mechanism here.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
 
 use nassim_cgm::generate::{enumerate_instances, sample_instance};
 use nassim_cgm::matching::{is_cli_match, match_frontier, match_with_bindings};

@@ -22,23 +22,33 @@ pub fn device_model_from_catalog(
     let mut pending: Vec<_> = catalog.views.iter().filter(|v| v.key != "system").collect();
     while !pending.is_empty() {
         let before = pending.len();
+        let mut add_err = None;
         pending.retain(|v| {
+            if add_err.is_some() {
+                return true;
+            }
             let name = style.view_name(&v.key);
             let parent = style.view_name(&v.parent);
             if model.has_view(&parent) {
-                model
-                    .add_view(&name, &parent)
-                    .expect("fresh view under existing parent");
+                if let Err(e) = model.add_view(&name, &parent) {
+                    add_err = Some(e);
+                }
                 false
             } else {
                 true
             }
         });
-        assert!(
-            pending.len() < before,
-            "view cycle or missing parent in catalog: {:?}",
-            pending.iter().map(|v| &v.key).collect::<Vec<_>>()
-        );
+        if let Some(e) = add_err {
+            return Err(e);
+        }
+        if pending.len() >= before {
+            // Cycle or missing parent: no view made progress this round.
+            let unresolved = pending
+                .first()
+                .map(|v| style.view_name(&v.parent))
+                .unwrap_or_default();
+            return Err(ModelError::UnknownView(unresolved));
+        }
     }
     // Commands — registered under every view they work in.
     for cmd in &catalog.commands {

@@ -25,6 +25,7 @@ pub use nassim_cgm as cgm;
 pub use nassim_corpus as corpus;
 pub use nassim_datasets as datasets;
 pub use nassim_device as device;
+pub use nassim_diag as diag;
 pub use nassim_html as html;
 pub use nassim_mapper as mapper;
 pub use nassim_nlp as nlp;

@@ -1,5 +1,6 @@
 //! The VDM construction pipeline (paper Figure 2, end to end).
 
+use nassim_diag::{DiagReport, NassimError};
 use nassim_parser::{run_parser, ParseRun, VendorParser};
 use nassim_validator::hierarchy::Derivation;
 use nassim_validator::syntax_stage::SyntaxAudit;
@@ -16,17 +17,26 @@ pub struct Assimilation {
     pub derivation: Derivation,
     /// The assembled validated VDM plus placement diagnostics.
     pub build: VdmBuild,
+    /// Every defect surfaced across the construction stages (markup,
+    /// parse, syntax, hierarchy, build), sorted by severity.
+    pub diagnostics: DiagReport,
 }
 
 impl Assimilation {
     /// Assemble the Table-4 style per-vendor report. `empirical` is the
     /// stage-3 result plus the number of config files, when a config
-    /// corpus exists for this vendor.
+    /// corpus exists for this vendor; its unmatched lines join the
+    /// report's diagnostics.
     pub fn report(
         &self,
         device_model: &str,
         empirical: Option<(&nassim_validator::EmpiricalReport, usize)>,
     ) -> VdmConstructionReport {
+        let mut diags: Vec<nassim_diag::Diagnostic> =
+            self.diagnostics.diagnostics.clone();
+        if let Some((emp, _)) = empirical {
+            diags.extend(emp.diagnostics());
+        }
         VdmConstructionReport::assemble(
             &self.build.vdm.vendor,
             device_model,
@@ -34,25 +44,45 @@ impl Assimilation {
             &self.syntax,
             &self.derivation,
             empirical,
+            diags.into_iter().collect(),
         )
     }
 }
 
 /// Run the full construction phase: parse → audit → derive → build.
+///
+/// Defective pages never abort the run — each becomes a diagnostic and
+/// the rest of the manual still assimilates. The only hard error is a
+/// manual with no pages at all ([`NassimError::EmptyManual`]).
 pub fn assimilate<'a>(
     parser: &dyn VendorParser,
     pages: impl IntoIterator<Item = (&'a str, &'a str)>,
-) -> Assimilation {
+) -> Result<Assimilation, NassimError> {
+    let pages: Vec<(&str, &str)> = pages.into_iter().collect();
+    if pages.is_empty() {
+        return Err(NassimError::EmptyManual {
+            vendor: parser.vendor().to_string(),
+        });
+    }
     let parse = run_parser(parser, pages);
     let syntax = audit_corpus(&parse.pages);
     let derivation = derive_hierarchy(&parse.pages);
     let build = build_vdm(parser.vendor(), &parse.pages, &derivation);
-    Assimilation {
+    let diagnostics: DiagReport = parse
+        .diagnostics
+        .iter()
+        .cloned()
+        .chain(syntax.diagnostics())
+        .chain(derivation.diagnostics(&parse.pages))
+        .chain(build.diagnostics(&parse.pages))
+        .collect();
+    Ok(Assimilation {
         parse,
         syntax,
         derivation,
         build,
-    }
+        diagnostics,
+    })
 }
 
 #[cfg(test)]
@@ -69,6 +99,7 @@ mod tests {
             parser.as_ref(),
             m.pages.iter().map(|p| (p.url.as_str(), p.html.as_str())),
         )
+        .unwrap()
     }
 
     #[test]
@@ -126,5 +157,18 @@ mod tests {
         let report = a.report("test", None);
         assert!(report.invalid_clis > 0);
         assert!(report.ambiguous_views > 0);
+        // Every defect also surfaces as a structured diagnostic.
+        assert!(report.diagnostics.warnings() > 0, "{}", report.diagnostics.render_human());
+    }
+
+    #[test]
+    fn empty_manual_is_a_typed_error() {
+        let parser = parser_for("helix").unwrap();
+        match assimilate(parser.as_ref(), std::iter::empty()) {
+            Err(nassim_diag::NassimError::EmptyManual { vendor }) => {
+                assert_eq!(vendor, "helix");
+            }
+            other => panic!("expected EmptyManual, got {:?}", other.map(|_| "Assimilation")),
+        }
     }
 }

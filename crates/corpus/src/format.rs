@@ -273,7 +273,9 @@ impl CorpusEntry {
 
     /// Serialise to the paper's JSON corpus format (pretty-printed).
     pub fn to_json(&self) -> String {
-        serde_json::to_string_pretty(self).expect("corpus entries always serialise")
+        // In-memory struct-to-string serialisation is infallible in the
+        // vendored serde_json; an empty object only on an internal bug.
+        serde_json::to_string_pretty(self).unwrap_or_else(|_| "{}".to_string())
     }
 
     /// Deserialise from the paper's JSON corpus format.

@@ -454,9 +454,15 @@ impl Catalog {
                 let params = template_params(r.template)
                     .into_iter()
                     .map(|name| {
-                        let (desc, ty) = lexicon.get(name.as_str()).unwrap_or_else(|| {
-                            panic!("parameter <{name}> of {} missing from lexicon", r.key)
-                        });
+                        debug_assert!(
+                            lexicon.contains_key(name.as_str()),
+                            "parameter <{name}> of {} missing from lexicon",
+                            r.key
+                        );
+                        let (desc, ty) = lexicon
+                            .get(name.as_str())
+                            .copied()
+                            .unwrap_or(("undocumented parameter", "string"));
                         CatalogParam {
                             name,
                             description: desc.to_string(),

@@ -131,18 +131,19 @@ pub fn generate(style: &VendorStyle, catalog: &Catalog, opts: &ConfigGenOptions)
         .iter()
         .copied()
         .filter(|o| {
-            let opened = o.opens.as_deref().expect("openers open a view");
-            view_or_descendant_active(catalog, opened, &active_views)
+            o.opens
+                .as_deref()
+                .is_some_and(|opened| view_or_descendant_active(catalog, opened, &active_views))
         })
         .collect();
 
     let mut graphs: BTreeMap<&str, CliGraph> = BTreeMap::new();
-    let graph_of = |cmd: &CatalogCommand, style: &VendorStyle| -> CliGraph {
-        let rendered = style.render_template(&cmd.template);
-        CliGraph::build(&parse_template(&rendered).expect("style output parses"))
-    };
     for c in leaves.iter().chain(active_openers.iter()) {
-        graphs.insert(c.key.as_str(), graph_of(c, style));
+        let rendered = style.render_template(&c.template);
+        // Base catalog templates always render grammatical; skip defensively.
+        if let Ok(structure) = parse_template(&rendered) {
+            graphs.insert(c.key.as_str(), CliGraph::build(&structure));
+        }
     }
 
     let mut files = Vec::with_capacity(opts.files);
@@ -218,9 +219,14 @@ fn emit_stanza(
     let descend = !view_openers.is_empty() && (view_leaves.is_empty() || rng.gen_bool(0.5));
     if descend {
         let opener = view_openers[rng.gen_range(0..view_openers.len())];
-        let g = &graphs[opener.key.as_str()];
+        // Every active opener has a graph and an opened view by
+        // construction; bail out of the stanza rather than panic if not.
+        let (Some(g), Some(opened)) =
+            (graphs.get(opener.key.as_str()), opener.opens.as_deref())
+        else {
+            return;
+        };
         lines.push(format!("{indent}{}", sample_instance(g, rng)));
-        let opened = opener.opens.as_deref().expect("openers open a view");
         // Children: 1–3 leaf instances plus possibly a nested stanza.
         let child_leaves: Vec<&&CatalogCommand> =
             leaves.iter().filter(|c| works_in(c, opened)).collect();
@@ -228,8 +234,9 @@ fn emit_stanza(
             let n = rng.gen_range(1..=3usize.min(child_leaves.len()));
             for _ in 0..n {
                 let leaf = child_leaves[rng.gen_range(0..child_leaves.len())];
-                let g = &graphs[leaf.key.as_str()];
-                lines.push(format!("{indent} {}", sample_instance(g, rng)));
+                if let Some(g) = graphs.get(leaf.key.as_str()) {
+                    lines.push(format!("{indent} {}", sample_instance(g, rng)));
+                }
             }
         }
         // Nested views (e.g. bgp → ipv4-family) with probability.
@@ -240,8 +247,9 @@ fn emit_stanza(
         }
     } else if !view_leaves.is_empty() {
         let leaf = view_leaves[rng.gen_range(0..view_leaves.len())];
-        let g = &graphs[leaf.key.as_str()];
-        lines.push(format!("{indent}{}", sample_instance(g, rng)));
+        if let Some(g) = graphs.get(leaf.key.as_str()) {
+            lines.push(format!("{indent}{}", sample_instance(g, rng)));
+        }
     }
 }
 

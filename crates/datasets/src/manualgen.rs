@@ -218,37 +218,39 @@ pub fn generate(style: &VendorStyle, catalog: &Catalog, opts: &GenOptions) -> Ma
 
 /// Apply one of four template corruptions; returns `(corrupted, name)`.
 fn corrupt_template(template: &str, rng: &mut StdRng) -> (String, String) {
-    let has_closer = template.contains(['}', ']']);
-    let has_placeholder = template.contains('>');
-    let choices: Vec<&str> = match (has_closer, has_placeholder) {
+    let closer_pos = template.rfind(['}', ']']);
+    let placeholder_pos = template.find('>');
+    let choices: Vec<&str> = match (closer_pos.is_some(), placeholder_pos.is_some()) {
         (true, true) => vec!["drop-close", "stray-close", "swap-close", "break-placeholder"],
         (true, false) => vec!["drop-close", "stray-close", "swap-close"],
         (false, true) => vec!["stray-close", "break-placeholder"],
         (false, false) => vec!["stray-close"],
     };
-    let mutation = choices[rng.gen_range(0..choices.len())];
-    let corrupted = match mutation {
-        "drop-close" => {
-            let pos = template.rfind(['}', ']']).expect("has closer");
+    let mut mutation = choices[rng.gen_range(0..choices.len())];
+    let corrupted = match (mutation, closer_pos, placeholder_pos) {
+        ("drop-close", Some(pos), _) => {
             let mut s = template.to_string();
             s.remove(pos);
             s.split_whitespace().collect::<Vec<_>>().join(" ")
         }
-        "stray-close" => format!("{template} ]"),
-        "swap-close" => {
-            let pos = template.rfind(['}', ']']).expect("has closer");
+        ("swap-close", Some(pos), _) => {
             let ch = template.as_bytes()[pos];
             let swapped = if ch == b'}' { "]" } else { "}" };
             let mut s = template.to_string();
             s.replace_range(pos..pos + 1, swapped);
             s
         }
-        _ => {
-            // break-placeholder: remove the '>' of the first placeholder.
-            let pos = template.find('>').expect("has placeholder");
+        ("break-placeholder", _, Some(pos)) => {
+            // Remove the '>' of the first placeholder.
             let mut s = template.to_string();
             s.remove(pos);
             s
+        }
+        // stray-close, plus the (unreachable) arms where a mutation was
+        // chosen without its anchor character present.
+        _ => {
+            mutation = "stray-close";
+            format!("{template} ]")
         }
     };
     debug_assert!(
@@ -297,22 +299,31 @@ fn build_examples(
         for _ in 0..snippets {
             let mut lines = Vec::new();
             for (depth, opener) in chain.iter().enumerate() {
-                let rendered = style.render_template(&opener.template);
-                let graph =
-                    CliGraph::build(&parse_template(&rendered).expect("style output parses"));
-                lines.push(format!("{}{}", " ".repeat(depth), sample_instance(&graph, rng)));
+                if let Some(line) = instance_line(style, &opener.template, depth, rng) {
+                    lines.push(line);
+                }
             }
-            let rendered = style.render_template(&cmd.template);
-            let graph = CliGraph::build(&parse_template(&rendered).expect("style output parses"));
-            lines.push(format!(
-                "{}{}",
-                " ".repeat(chain.len()),
-                sample_instance(&graph, rng)
-            ));
+            if let Some(line) = instance_line(style, &cmd.template, chain.len(), rng) {
+                lines.push(line);
+            }
             out.push(lines);
         }
     }
     out
+}
+
+/// One indented sampled instance of a catalog template rendered through a
+/// vendor style, or `None` if the rendered form is not grammatical (base
+/// catalog templates always are; this keeps generation panic-free).
+fn instance_line(
+    style: &VendorStyle,
+    template: &str,
+    depth: usize,
+    rng: &mut StdRng,
+) -> Option<String> {
+    let rendered = style.render_template(template);
+    let graph = CliGraph::build(&parse_template(&rendered).ok()?);
+    Some(format!("{}{}", " ".repeat(depth), sample_instance(&graph, rng)))
 }
 
 /// The vendor view names a command works under, primary first.

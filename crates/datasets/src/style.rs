@@ -15,6 +15,7 @@
 //! vocabulary of its manual HTML.
 
 use crate::catalog::CatalogCommand;
+use nassim_diag::NassimError;
 use rand::Rng;
 use std::collections::BTreeMap;
 
@@ -90,8 +91,17 @@ pub fn vendors() -> Vec<VendorStyle> {
 pub const VENDORS: [&str; 4] = ["cirrus", "helix", "norsk", "h4c"];
 
 /// Look up one style by name.
-pub fn vendor(name: &str) -> Option<VendorStyle> {
-    vendors().into_iter().find(|v| v.name == name)
+///
+/// Unknown names return [`NassimError::UnknownVendor`] listing the
+/// registered vendors, so callers can print an actionable message.
+pub fn vendor(name: &str) -> Result<VendorStyle, NassimError> {
+    vendors()
+        .into_iter()
+        .find(|v| v.name == name)
+        .ok_or_else(|| NassimError::UnknownVendor {
+            vendor: name.to_string(),
+            known: VENDORS.iter().map(|v| v.to_string()).collect(),
+        })
 }
 
 fn cirrus() -> VendorStyle {
@@ -486,5 +496,18 @@ mod tests {
         let v = vendor("norsk").unwrap();
         assert_eq!(v.hierarchy, HierarchyStyle::ExplicitContext);
         assert_eq!(v.css.parent_views, "ContextHeader");
+    }
+
+    #[test]
+    fn unknown_vendor_is_actionable_error() {
+        let err = match vendor("acme") {
+            Err(e) => e,
+            Ok(v) => panic!("`acme` resolved to {}", v.name),
+        };
+        let msg = err.to_string();
+        assert!(msg.contains("acme"), "{msg}");
+        for known in VENDORS {
+            assert!(msg.contains(known), "{msg} missing {known}");
+        }
     }
 }

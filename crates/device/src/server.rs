@@ -10,6 +10,7 @@
 use crate::model::DeviceModel;
 use crate::protocol::Response;
 use crate::session::{Accepted, Session};
+use nassim_diag::NassimError;
 use parking_lot::Mutex;
 use std::io::{self, BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -24,6 +25,9 @@ pub struct DeviceServer {
     accept_thread: Option<JoinHandle<()>>,
     /// Join handles of live connection threads.
     conn_threads: Arc<Mutex<Vec<JoinHandle<()>>>>,
+    /// Typed errors from sessions that failed (I/O) or could not be
+    /// spawned (thread exhaustion). Neither kills the accept loop.
+    session_errors: Arc<Mutex<Vec<NassimError>>>,
 }
 
 impl DeviceServer {
@@ -33,9 +37,11 @@ impl DeviceServer {
         let addr = listener.local_addr()?;
         let shutdown = Arc::new(AtomicBool::new(false));
         let conn_threads: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
+        let session_errors: Arc<Mutex<Vec<NassimError>>> = Arc::new(Mutex::new(Vec::new()));
 
         let accept_shutdown = Arc::clone(&shutdown);
         let accept_conns = Arc::clone(&conn_threads);
+        let accept_errors = Arc::clone(&session_errors);
         let accept_thread = std::thread::Builder::new()
             .name("device-accept".to_string())
             .spawn(move || {
@@ -46,15 +52,28 @@ impl DeviceServer {
                     let Ok(stream) = stream else { continue };
                     let model = Arc::clone(&model);
                     let conn_shutdown = Arc::clone(&accept_shutdown);
-                    let handle = std::thread::Builder::new()
+                    let conn_errors = Arc::clone(&accept_errors);
+                    // A failed session is a client problem, not a server
+                    // problem: record the typed error and keep accepting.
+                    let spawned = std::thread::Builder::new()
                         .name("device-session".to_string())
                         .spawn(move || {
-                            // A failed session is a client problem, not a
-                            // server problem; log-and-continue semantics.
-                            let _ = serve_connection(stream, &model, &conn_shutdown);
-                        })
-                        .expect("spawn session thread");
-                    accept_conns.lock().push(handle);
+                            if let Err(e) = serve_connection(stream, &model, &conn_shutdown) {
+                                conn_errors.lock().push(NassimError::Device {
+                                    reason: format!("session failed: {e}"),
+                                });
+                            }
+                        });
+                    match spawned {
+                        Ok(handle) => accept_conns.lock().push(handle),
+                        Err(e) => {
+                            // Thread exhaustion: this connection is dropped,
+                            // but the server keeps serving others.
+                            accept_errors
+                                .lock()
+                                .push(NassimError::io("spawn session thread", &e));
+                        }
+                    }
                 }
             })?;
 
@@ -63,12 +82,18 @@ impl DeviceServer {
             shutdown,
             accept_thread: Some(accept_thread),
             conn_threads,
+            session_errors,
         })
     }
 
     /// The bound address clients connect to.
     pub fn addr(&self) -> SocketAddr {
         self.addr
+    }
+
+    /// Drain the typed errors recorded by failed or unspawnable sessions.
+    pub fn take_session_errors(&self) -> Vec<NassimError> {
+        std::mem::take(&mut *self.session_errors.lock())
     }
 
     /// Stop accepting and join all threads.
@@ -243,6 +268,34 @@ mod tests {
         for h in handles {
             h.join().unwrap();
         }
+        server.stop();
+    }
+
+    #[test]
+    fn failed_session_does_not_kill_server() {
+        let mut server = DeviceServer::spawn(model()).unwrap();
+        // Three rude clients: connect, optionally write a garbage
+        // half-line, and vanish without the protocol's goodbye.
+        for garbage in [b"\xff\xfe\xfd" as &[u8], b"bgp", b""] {
+            let mut s = TcpStream::connect(server.addr()).unwrap();
+            let _ = s.write_all(garbage);
+            drop(s);
+        }
+        // The accept loop must still be alive and serving new sessions.
+        let mut client = DeviceClient::connect(server.addr()).unwrap();
+        assert_eq!(
+            client.exec("sysname core1").unwrap(),
+            Response::Ok { view: "system".into() }
+        );
+        // Any recorded session errors are typed Device/Io errors, and the
+        // log drains.
+        for e in server.take_session_errors() {
+            assert!(matches!(
+                e,
+                NassimError::Device { .. } | NassimError::Io { .. }
+            ));
+        }
+        assert!(server.take_session_errors().is_empty());
         server.stop();
     }
 

@@ -74,7 +74,10 @@ impl<'m> Session<'m> {
 
     /// The current view name.
     pub fn current_view(&self) -> &str {
-        self.view_stack.last().expect("stack never empty")
+        self.view_stack
+            .last()
+            .map(String::as_str)
+            .unwrap_or_else(|| self.model.root_view())
     }
 
     /// Execute one command line.

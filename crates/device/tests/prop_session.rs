@@ -1,6 +1,9 @@
 //! Property tests for the device session: totality on arbitrary input,
 //! view-stack sanity, and config-store consistency with accepted
 //! commands.
+// Property-test bodies and helpers sit outside #[test] fns; panics are the
+// assertion mechanism here.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
 
 use nassim_device::{DeviceModel, Session};
 use proptest::prelude::*;

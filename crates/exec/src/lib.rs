@@ -108,11 +108,15 @@ where
                 })
             })
             .collect();
-        // Joining in spawn order gives the index-ordered merge.
-        handles
+        // Joining in spawn order gives the index-ordered merge. A worker
+        // panic is propagated, not swallowed: resuming with a partial
+        // result would silently corrupt the fold.
+        #[allow(clippy::expect_used)]
+        let joined: Vec<Vec<U>> = handles
             .into_iter()
             .map(|h| h.join().expect("nassim-exec worker panicked"))
-            .collect()
+            .collect();
+        joined
     });
     let mut out = Vec::with_capacity(items.len());
     for c in chunks {
@@ -141,7 +145,10 @@ where
     std::thread::scope(|scope| {
         let hb = scope.spawn(b);
         let ra = a();
-        (ra, hb.join().expect("nassim-exec worker panicked"))
+        // Propagate a worker panic rather than fabricate a half-result.
+        #[allow(clippy::expect_used)]
+        let rb = hb.join().expect("nassim-exec worker panicked");
+        (ra, rb)
     })
 }
 

@@ -1,6 +1,9 @@
 //! Property tests for the determinism contract: a parallel map must be
 //! indistinguishable from the serial map, for any input length and any
 //! worker count.
+// Property-test bodies and helpers sit outside #[test] fns; panics are the
+// assertion mechanism here.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
 
 use nassim_exec::{par_map, par_map_indexed, with_threads};
 use proptest::prelude::*;

@@ -7,7 +7,7 @@
 //! predecessor, void elements (`<br>`, `<img>`, …) never take children,
 //! and stray end tags are ignored.
 
-use crate::tokenizer::{Token, Tokenizer};
+use crate::tokenizer::{MarkupDefect, MarkupDefectKind, Token, Tokenizer};
 
 /// Index of a node within its [`Document`] arena.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -101,6 +101,14 @@ impl Document {
     /// Parse `input` into a DOM. Never fails; malformed markup degrades
     /// locally (see crate docs).
     pub fn parse(input: &str) -> Document {
+        Document::parse_with_report(input).0
+    }
+
+    /// Parse `input` into a DOM and report every malformation recovered
+    /// from, each with the byte offset it was found at. The DOM is the
+    /// same one [`Document::parse`] builds — recovery behaviour is
+    /// unchanged, only recorded.
+    pub fn parse_with_report(input: &str) -> (Document, Vec<MarkupDefect>) {
         let mut doc = Document {
             nodes: vec![Node {
                 kind: NodeKind::Root,
@@ -109,9 +117,14 @@ impl Document {
             }],
         };
         let root = NodeId(0);
-        let mut stack: Vec<NodeId> = vec![root];
+        // Each open element remembers the offset its start tag began at,
+        // so EOF-unclosed elements can be reported with a span.
+        let mut stack: Vec<(NodeId, usize)> = vec![(root, 0)];
 
-        for token in Tokenizer::new(input) {
+        let mut tokens = Tokenizer::new(input);
+        loop {
+            let at = tokens.pos();
+            let Some(token) = tokens.next() else { break };
             match token {
                 Token::StartTag {
                     name,
@@ -122,16 +135,16 @@ impl Document {
                     // matching open element.
                     let closes = implicitly_closes(&name);
                     if !closes.is_empty() {
-                        if let Some(pos) = stack.iter().rposition(|&id| {
+                        if let Some(pos) = stack.iter().rposition(|&(id, _)| {
                             doc.nodes[id.0]
                                 .as_element()
                                 .map(|e| closes.contains(&e.name.as_str()))
                                 .unwrap_or(false)
                         }) {
-                            stack.truncate(pos);
+                            stack.truncate(pos.max(1));
                         }
                     }
-                    let parent = *stack.last().expect("stack holds root");
+                    let parent = stack.last().map(|&(id, _)| id).unwrap_or(root);
                     let id = doc.push(
                         NodeKind::Element(Element {
                             name: name.clone(),
@@ -140,34 +153,51 @@ impl Document {
                         parent,
                     );
                     if !self_closing && !VOID_ELEMENTS.contains(&name.as_str()) {
-                        stack.push(id);
+                        stack.push((id, at));
                     }
                 }
                 Token::EndTag { name } => {
-                    // Pop to the matching open tag; ignore stray end tags.
-                    if let Some(pos) = stack.iter().rposition(|&id| {
+                    // Pop to the matching open tag; flag stray end tags.
+                    match stack.iter().rposition(|&(id, _)| {
                         doc.nodes[id.0]
                             .as_element()
                             .map(|e| e.name == name)
                             .unwrap_or(false)
                     }) {
-                        stack.truncate(pos);
+                        Some(pos) => stack.truncate(pos.max(1)),
+                        None => tokens.record_defect(
+                            MarkupDefectKind::StrayEndTag { name },
+                            at,
+                        ),
                     }
                 }
                 Token::Text(text) => {
                     if !text.is_empty() {
-                        let parent = *stack.last().expect("stack holds root");
+                        let parent = stack.last().map(|&(id, _)| id).unwrap_or(root);
                         doc.push(NodeKind::Text(text), parent);
                     }
                 }
                 Token::Comment(body) => {
-                    let parent = *stack.last().expect("stack holds root");
+                    let parent = stack.last().map(|&(id, _)| id).unwrap_or(root);
                     doc.push(NodeKind::Comment(body), parent);
                 }
                 Token::Doctype(_) => {}
             }
         }
-        doc
+        // Elements still open at EOF were closed implicitly.
+        for &(id, at) in stack.iter().skip(1) {
+            if let Some(e) = doc.nodes[id.0].as_element() {
+                tokens.record_defect(
+                    MarkupDefectKind::UnclosedElement {
+                        name: e.name.clone(),
+                    },
+                    at,
+                );
+            }
+        }
+        let mut defects = tokens.take_defects();
+        defects.sort_by_key(|d| d.offset);
+        (doc, defects)
     }
 
     fn push(&mut self, kind: NodeKind, parent: NodeId) -> NodeId {
@@ -471,5 +501,32 @@ mod tests {
         let doc = Document::parse("<p>a<!-- hidden -->b</p>");
         let p = doc.children(doc.root()).next().unwrap();
         assert_eq!(doc.text_of(p), "ab");
+    }
+
+    #[test]
+    fn clean_document_reports_no_defects() {
+        let (_, defects) = Document::parse_with_report("<div><p>a</p></div>");
+        assert!(defects.is_empty());
+    }
+
+    #[test]
+    fn stray_and_unclosed_elements_reported_with_offsets() {
+        let (doc, defects) = Document::parse_with_report("</div><div><span>x");
+        // The DOM itself is what `parse` builds: one div holding a span.
+        let div = doc.children(doc.root()).next().unwrap();
+        assert_eq!(doc.element(div).unwrap().name, "div");
+        assert!(defects.iter().any(|d| matches!(
+            &d.kind,
+            MarkupDefectKind::StrayEndTag { name } if name == "div"
+        ) && d.offset == 0));
+        assert!(defects.iter().any(|d| matches!(
+            &d.kind,
+            MarkupDefectKind::UnclosedElement { name } if name == "span"
+        ) && d.offset == 11));
+        // Report is sorted by offset.
+        let offsets: Vec<usize> = defects.iter().map(|d| d.offset).collect();
+        let mut sorted = offsets.clone();
+        sorted.sort_unstable();
+        assert_eq!(offsets, sorted);
     }
 }

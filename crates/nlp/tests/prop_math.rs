@@ -1,6 +1,9 @@
 //! Property tests for the numeric substrate: linear-algebra identities,
 //! softmax/normalisation invariants, tokenizer/vocab totality, TF-IDF
 //! self-retrieval.
+// Property-test bodies and helpers sit outside #[test] fns; panics are the
+// assertion mechanism here.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
 
 use nassim_nlp::tensor::{cosine, Matrix};
 use nassim_nlp::tokenizer::{tokenize, Vocab};

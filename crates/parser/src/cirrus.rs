@@ -9,8 +9,9 @@
 //! 'cKeyword', 'cBold' and 'cCN_CmdName'").
 
 use crate::extract::{cli_text, example_snippets, labelled_definition};
-use crate::framework::{ParsedPage, VendorParser};
+use crate::framework::{ensure_parsable, ParsedPage, VendorParser};
 use nassim_corpus::{CorpusEntry, ParaDef};
+use nassim_diag::NassimError;
 use nassim_html::Document;
 
 /// Class configuration for the cirrus parser.
@@ -64,8 +65,8 @@ impl VendorParser for ParserCirrus {
         "cirrus"
     }
 
-    fn parse_page(&self, url: &str, html: &str) -> Option<ParsedPage> {
-        let doc = Document::parse(html);
+    fn parse_doc(&self, url: &str, doc: &Document) -> Result<Option<ParsedPage>, NassimError> {
+        ensure_parsable(self.vendor(), url, doc)?;
         let params: Vec<&str> = self.param_classes.iter().map(String::as_str).collect();
         let cli_nodes: Vec<_> = doc
             .descendants(doc.root())
@@ -81,11 +82,11 @@ impl VendorParser for ParserCirrus {
         // report can flag it).
         let has_sections = doc.select_class(&self.views_class).next().is_some();
         if cli_nodes.is_empty() && !has_sections {
-            return None;
+            return Ok(None);
         }
         let clis: Vec<String> = cli_nodes
             .iter()
-            .map(|&n| cli_text(&doc, n, &params))
+            .map(|&n| cli_text(doc, n, &params))
             .filter(|s| !s.is_empty())
             .collect();
         let func_def = doc
@@ -100,7 +101,7 @@ impl VendorParser for ParserCirrus {
             .collect();
         let para_def: Vec<ParaDef> = doc
             .select_class(&self.para_class)
-            .filter_map(|n| labelled_definition(&doc, n, &params))
+            .filter_map(|n| labelled_definition(doc, n, &params))
             .map(|(name, info)| ParaDef::new(name, info))
             .collect();
         let example_nodes: Vec<_> = doc
@@ -111,8 +112,8 @@ impl VendorParser for ParserCirrus {
                     .unwrap_or(false)
             })
             .collect();
-        let examples = example_snippets(&doc, &example_nodes);
-        Some(ParsedPage {
+        let examples = example_snippets(doc, &example_nodes);
+        Ok(Some(ParsedPage {
             url: url.to_string(),
             entry: CorpusEntry {
                 clis,
@@ -124,7 +125,7 @@ impl VendorParser for ParserCirrus {
             },
             context_path: None,
             enters_view: None,
-        })
+        }))
     }
 }
 
@@ -133,6 +134,7 @@ mod tests {
     use super::*;
     use crate::framework::run_parser;
     use nassim_datasets::{catalog::Catalog, manualgen, style};
+    use std::error::Error;
 
     fn manual(seed: u64) -> manualgen::Manual {
         manualgen::generate(
@@ -159,14 +161,21 @@ mod tests {
     }
 
     #[test]
-    fn vendor_wording_is_parsed_verbatim() {
+    fn vendor_wording_is_parsed_verbatim() -> Result<(), Box<dyn Error>> {
         let m = manual(31);
-        let page = m.pages.iter().find(|p| p.command_key == "display.vlan").unwrap();
-        let parsed = ParserCirrus::new().parse_page(&page.url, &page.html).unwrap();
+        let page = m
+            .pages
+            .iter()
+            .find(|p| p.command_key == "display.vlan")
+            .ok_or("display.vlan page missing")?;
+        let parsed = ParserCirrus::new()
+            .parse_page(&page.url, &page.html)?
+            .ok_or("page skipped")?;
         // cirrus says `show`, not `display` (Table 2).
         assert_eq!(parsed.entry.clis[0], "show vlan [ <vlanid> ]");
         assert!(parsed.entry.func_def.starts_with("Use this command to"));
         assert!(parsed.entry.parent_views[0].ends_with("configuration mode"));
+        Ok(())
     }
 
     #[test]
@@ -190,12 +199,19 @@ mod tests {
     }
 
     #[test]
-    fn examples_survive_with_indentation() {
+    fn examples_survive_with_indentation() -> Result<(), Box<dyn Error>> {
         let m = manual(31);
-        let page = m.pages.iter().find(|p| p.command_key == "bgp.peer-as").unwrap();
-        let parsed = ParserCirrus::new().parse_page(&page.url, &page.html).unwrap();
+        let page = m
+            .pages
+            .iter()
+            .find(|p| p.command_key == "bgp.peer-as")
+            .ok_or("bgp.peer-as page missing")?;
+        let parsed = ParserCirrus::new()
+            .parse_page(&page.url, &page.html)?
+            .ok_or("page skipped")?;
         let snippet = &parsed.entry.examples[0];
         assert!(snippet.len() >= 2);
         assert!(snippet[1].starts_with(' '), "lost indentation: {snippet:?}");
+        Ok(())
     }
 }

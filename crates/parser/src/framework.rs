@@ -10,6 +10,8 @@
 //! *status of corpus* (every problematic field of every entry).
 
 use nassim_corpus::{CorpusEntry, CorpusViolation};
+use nassim_diag::{Diagnostic, NassimError, Severity, SourceSpan, Stage};
+use nassim_html::{Document, MarkupDefect};
 use std::fmt;
 
 /// One successfully parsed manual page.
@@ -40,9 +42,37 @@ pub trait VendorParser: Sync {
     /// Vendor identifier, e.g. `helix`.
     fn vendor(&self) -> &str;
 
-    /// Parse one page. Returns `None` for pages that do not document a
-    /// command (prefaces, chapter indexes).
-    fn parse_page(&self, url: &str, html: &str) -> Option<ParsedPage>;
+    /// Parse one already-built DOM. `Ok(None)` marks a page that does
+    /// not document a command (prefaces, chapter indexes); `Err` marks a
+    /// page the parser cannot make sense of at all. [`run_parser`] turns
+    /// the error into a diagnostic and keeps going — one damaged page
+    /// never aborts a vendor run.
+    fn parse_doc(&self, url: &str, doc: &Document) -> Result<Option<ParsedPage>, NassimError>;
+
+    /// Parse one raw-HTML page. Builds the DOM and discards the markup
+    /// defect report; [`run_parser`] keeps it and converts defects to
+    /// spanned diagnostics.
+    fn parse_page(&self, url: &str, html: &str) -> Result<Option<ParsedPage>, NassimError> {
+        self.parse_doc(url, &Document::parse(html))
+    }
+}
+
+/// Reject documents with no element markup at all — binary garbage or a
+/// truncated download that tokenized to plain text. Vendor parsers call
+/// this first so every implementation fails the same way.
+pub fn ensure_parsable(vendor: &str, url: &str, doc: &Document) -> Result<(), NassimError> {
+    let has_elements = doc
+        .descendants(doc.root())
+        .any(|id| doc.element(id).is_some());
+    if has_elements {
+        Ok(())
+    } else {
+        Err(NassimError::ParsePage {
+            vendor: vendor.to_string(),
+            url: url.to_string(),
+            reason: "page contains no HTML elements".to_string(),
+        })
+    }
 }
 
 /// One entry of the "summary of key attributes" report part.
@@ -65,6 +95,9 @@ pub struct TddReport {
     pub total_pages: usize,
     pub parsed: usize,
     pub skipped: usize,
+    /// Pages that could not be parsed at all (damaged markup, parser
+    /// error); each has a matching diagnostic in [`ParseRun::diagnostics`].
+    pub failed: usize,
     /// Part 1: pages whose `CLIs` field is problematic or empty.
     pub key_attr_problems: Vec<KeyAttrProblem>,
     /// Part 2: all problematic fields of each corpus entry.
@@ -74,7 +107,7 @@ pub struct TddReport {
 impl TddReport {
     /// True when every parsed entry passed every Appendix-B test.
     pub fn passes(&self) -> bool {
-        self.key_attr_problems.is_empty() && self.corpus_status.is_empty()
+        self.failed == 0 && self.key_attr_problems.is_empty() && self.corpus_status.is_empty()
     }
 
     /// Total violation count across both report parts.
@@ -92,10 +125,11 @@ impl fmt::Display for TddReport {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(
             f,
-            "TDD report: {}/{} pages parsed ({} skipped), {} violations",
+            "TDD report: {}/{} pages parsed ({} skipped, {} failed), {} violations",
             self.parsed,
             self.total_pages,
             self.skipped,
+            self.failed,
             self.violation_count()
         )?;
         if !self.key_attr_problems.is_empty() {
@@ -121,18 +155,33 @@ impl fmt::Display for TddReport {
 pub struct ParseRun {
     pub pages: Vec<ParsedPage>,
     pub report: TddReport,
+    /// Structured findings: markup defects with page-URL + byte-offset
+    /// spans, and per-page parse failures. Never aborts the run.
+    pub diagnostics: Vec<Diagnostic>,
 }
 
-/// Per-page parse outcome: `None` for a skipped page, otherwise the
-/// parsed page plus its optional audit records.
-type PageOutcome = Option<(ParsedPage, Option<KeyAttrProblem>, Option<CorpusStatus>)>;
+/// Per-page parse outcome plus its audit records and markup defects.
+type PageOutcome = (
+    Result<Option<ParsedPage>, NassimError>,
+    Vec<MarkupDefect>,
+    Option<KeyAttrProblem>,
+    Option<CorpusStatus>,
+);
+
+fn markup_diag(severity: Severity, vendor: &str, url: &str, defect: &MarkupDefect) -> Diagnostic {
+    Diagnostic::new(severity, Stage::Html, defect.kind.to_string())
+        .with_span(SourceSpan::point(url, defect.offset))
+        .with_vendor(vendor)
+}
 
 /// Run `parser` over `(url, html)` pages and validate every parsed entry
 /// — the `parsing()` + `validating()` workflow of Figure 2.
 ///
 /// Pages are parsed and audited in parallel ([`nassim_exec::par_map`]);
 /// the per-page results are folded back in page order, so the report and
-/// page list are identical to a serial run.
+/// page list are identical to a serial run. A page the parser rejects —
+/// or that skips with damaged markup — degrades to a diagnostic and a
+/// `failed` tick; the rest of the manual still parses.
 pub fn run_parser<'a>(
     parser: &dyn VendorParser,
     pages: impl IntoIterator<Item = (&'a str, &'a str)>,
@@ -140,42 +189,83 @@ pub fn run_parser<'a>(
     let pages: Vec<(&str, &str)> = pages.into_iter().collect();
     let per_page: Vec<PageOutcome> =
         nassim_exec::par_map(&pages, |&(url, html)| {
-            let parsed = parser.parse_page(url, html)?;
-            // Part 1: key attribute ('CLIs') summary.
-            let key_attr = (parsed.entry.clis.is_empty()
-                || parsed.entry.clis.iter().all(|c| c.trim().is_empty()))
-            .then(|| KeyAttrProblem {
-                url: parsed.url.clone(),
-                reason: "empty CLIs field".to_string(),
-            });
-            // Part 2: full per-entry status.
-            let violations = parsed.entry.check();
-            let status = (!violations.is_empty()).then(|| CorpusStatus {
-                url: parsed.url.clone(),
-                violations,
-            });
-            Some((parsed, key_attr, status))
+            let (doc, defects) = Document::parse_with_report(html);
+            let outcome = parser.parse_doc(url, &doc);
+            let (key_attr, status) = match &outcome {
+                Ok(Some(parsed)) => {
+                    // Part 1: key attribute ('CLIs') summary.
+                    let key_attr = (parsed.entry.clis.is_empty()
+                        || parsed.entry.clis.iter().all(|c| c.trim().is_empty()))
+                    .then(|| KeyAttrProblem {
+                        url: parsed.url.clone(),
+                        reason: "empty CLIs field".to_string(),
+                    });
+                    // Part 2: full per-entry status.
+                    let violations = parsed.entry.check();
+                    let status = (!violations.is_empty()).then(|| CorpusStatus {
+                        url: parsed.url.clone(),
+                        violations,
+                    });
+                    (key_attr, status)
+                }
+                _ => (None, None),
+            };
+            (outcome, defects, key_attr, status)
         });
 
+    let vendor = parser.vendor();
     let mut parsed_pages = Vec::new();
+    let mut diagnostics = Vec::new();
     let mut report = TddReport {
         total_pages: pages.len(),
         ..TddReport::default()
     };
-    for outcome in per_page {
+    for (&(url, _), (outcome, defects, key_attr, status)) in pages.iter().zip(per_page) {
         match outcome {
-            None => report.skipped += 1,
-            Some((parsed, key_attr, status)) => {
+            Ok(Some(parsed)) => {
                 report.parsed += 1;
+                // The page parsed despite its defects: warnings only.
+                for d in &defects {
+                    diagnostics.push(markup_diag(Severity::Warning, vendor, url, d));
+                }
                 report.key_attr_problems.extend(key_attr);
                 report.corpus_status.extend(status);
                 parsed_pages.push(parsed);
+            }
+            Ok(None) if defects.is_empty() => report.skipped += 1,
+            Ok(None) => {
+                // No corpus entry *and* damaged markup: the damage most
+                // likely destroyed the sections the parser keys on.
+                report.failed += 1;
+                for d in &defects {
+                    diagnostics.push(markup_diag(Severity::Error, vendor, url, d));
+                }
+                diagnostics.push(
+                    Diagnostic::error(
+                        Stage::Parse,
+                        format!(
+                            "page skipped: markup damaged ({} defect{})",
+                            defects.len(),
+                            if defects.len() == 1 { "" } else { "s" }
+                        ),
+                    )
+                    .with_span(SourceSpan::point(url, defects[0].offset))
+                    .with_vendor(vendor),
+                );
+            }
+            Err(e) => {
+                report.failed += 1;
+                for d in &defects {
+                    diagnostics.push(markup_diag(Severity::Error, vendor, url, d));
+                }
+                diagnostics.push(e.to_diagnostic());
             }
         }
     }
     ParseRun {
         pages: parsed_pages,
         report,
+        diagnostics,
     }
 }
 
@@ -193,9 +283,17 @@ mod tests {
         fn vendor(&self) -> &str {
             "toy"
         }
-        fn parse_page(&self, url: &str, html: &str) -> Option<ParsedPage> {
-            if html.contains("preface") {
-                return None;
+        fn parse_doc(&self, url: &str, doc: &Document) -> Result<Option<ParsedPage>, NassimError> {
+            let text = doc.text_of(doc.root());
+            if text.contains("garbage") {
+                return Err(NassimError::ParsePage {
+                    vendor: "toy".into(),
+                    url: url.into(),
+                    reason: "unintelligible page".into(),
+                });
+            }
+            if text.contains("preface") {
+                return Ok(None);
             }
             let mut entry = CorpusEntry {
                 clis: vec!["vlan <vlan-id>".into()],
@@ -208,19 +306,19 @@ mod tests {
             if self.break_paradef {
                 entry.para_def.clear(); // self-check violation
             }
-            Some(ParsedPage {
+            Ok(Some(ParsedPage {
                 url: url.to_string(),
                 entry,
                 context_path: None,
                 enters_view: None,
-            })
+            }))
         }
     }
 
     fn pages() -> Vec<(&'static str, &'static str)> {
         vec![
-            ("manual://toy/preface", "preface"),
-            ("manual://toy/vlan", "page"),
+            ("manual://toy/preface", "<p>preface</p>"),
+            ("manual://toy/vlan", "<p>page</p>"),
         ]
     }
 
@@ -229,6 +327,8 @@ mod tests {
         let run = run_parser(&ToyParser { break_paradef: false }, pages());
         assert_eq!(run.report.parsed, 1);
         assert_eq!(run.report.skipped, 1);
+        assert_eq!(run.report.failed, 0);
+        assert!(run.diagnostics.is_empty());
         assert!(run.report.passes(), "{}", run.report);
     }
 
@@ -240,5 +340,49 @@ mod tests {
         let text = run.report.to_string();
         assert!(text.contains("status of corpus"));
         assert!(text.contains("vlan-id"));
+    }
+
+    #[test]
+    fn rejected_page_degrades_to_diagnostic() {
+        let mut pages = pages();
+        pages.push(("manual://toy/bad", "<p>garbage</p>"));
+        let run = run_parser(&ToyParser { break_paradef: false }, pages);
+        // The other pages still parse; the bad one is a failure + finding.
+        assert_eq!(run.report.parsed, 1);
+        assert_eq!(run.report.failed, 1);
+        assert!(!run.report.passes());
+        let diag = &run.diagnostics[0];
+        assert_eq!(diag.severity, Severity::Error);
+        assert!(diag.message.contains("manual://toy/bad"));
+    }
+
+    #[test]
+    fn damaged_markup_on_parsed_page_is_warning_with_span() {
+        let pages = vec![("manual://toy/vlan", "<p>page <b class=\"x")];
+        let run = run_parser(&ToyParser { break_paradef: false }, pages);
+        assert_eq!(run.report.parsed, 1);
+        let html_diags: Vec<_> = run
+            .diagnostics
+            .iter()
+            .filter(|d| d.stage == Stage::Html)
+            .collect();
+        assert!(!html_diags.is_empty());
+        assert!(html_diags
+            .iter()
+            .all(|d| d.severity == Severity::Warning));
+        let span = html_diags[0].span.as_ref().expect("markup diags carry spans");
+        assert_eq!(span.source, "manual://toy/vlan");
+    }
+
+    #[test]
+    fn skipped_page_with_damaged_markup_counts_failed() {
+        let pages = vec![("manual://toy/preface", "<div>preface <!-- cut")];
+        let run = run_parser(&ToyParser { break_paradef: false }, pages);
+        assert_eq!(run.report.skipped, 0);
+        assert_eq!(run.report.failed, 1);
+        assert!(run
+            .diagnostics
+            .iter()
+            .any(|d| d.message.contains("markup damaged")));
     }
 }

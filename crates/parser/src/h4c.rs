@@ -6,8 +6,9 @@
 //! `Description`, `Examples`).
 
 use crate::extract::{cli_text, example_snippets, labelled_definition};
-use crate::framework::{ParsedPage, VendorParser};
+use crate::framework::{ensure_parsable, ParsedPage, VendorParser};
 use nassim_corpus::{CorpusEntry, ParaDef};
+use nassim_diag::NassimError;
 use nassim_html::{Document, NodeId};
 
 /// Class configuration for the h4c parser.
@@ -54,41 +55,41 @@ impl VendorParser for ParserH4c {
         "h4c"
     }
 
-    fn parse_page(&self, url: &str, html: &str) -> Option<ParsedPage> {
-        let doc = Document::parse(html);
-        let syntax = self.block(&doc, "Syntax");
+    fn parse_doc(&self, url: &str, doc: &Document) -> Result<Option<ParsedPage>, NassimError> {
+        ensure_parsable(self.vendor(), url, doc)?;
+        let syntax = self.block(doc, "Syntax");
         if syntax.is_empty() {
-            return None;
+            return Ok(None);
         }
         let params: Vec<&str> = self.param_classes.iter().map(String::as_str).collect();
         let clis: Vec<String> = syntax
             .iter()
             .filter(|&&n| doc.element(n).is_some())
-            .map(|&n| cli_text(&doc, n, &params))
+            .map(|&n| cli_text(doc, n, &params))
             .filter(|s| !s.is_empty())
             .collect();
         let parent_views: Vec<String> = self
-            .block(&doc, "View")
+            .block(doc, "View")
             .iter()
             .filter(|&&n| doc.element(n).is_some())
             .map(|&n| doc.text_of(n))
             .filter(|s| !s.is_empty())
             .collect();
         let para_def: Vec<ParaDef> = self
-            .block(&doc, "Parameters")
+            .block(doc, "Parameters")
             .iter()
-            .filter_map(|&n| labelled_definition(&doc, n, &params))
+            .filter_map(|&n| labelled_definition(doc, n, &params))
             .map(|(name, info)| ParaDef::new(name, info))
             .collect();
         let func_def = self
-            .block(&doc, "Description")
+            .block(doc, "Description")
             .iter()
             .filter(|&&n| doc.element(n).is_some())
             .map(|&n| doc.text_of(n))
             .collect::<Vec<_>>()
             .join(" ");
-        let examples = example_snippets(&doc, &self.block(&doc, "Examples"));
-        Some(ParsedPage {
+        let examples = example_snippets(doc, &self.block(doc, "Examples"));
+        Ok(Some(ParsedPage {
             url: url.to_string(),
             entry: CorpusEntry {
                 clis,
@@ -100,7 +101,7 @@ impl VendorParser for ParserH4c {
             },
             context_path: None,
             enters_view: None,
-        })
+        }))
     }
 }
 
@@ -109,6 +110,7 @@ mod tests {
     use super::*;
     use crate::framework::run_parser;
     use nassim_datasets::{catalog::Catalog, manualgen, style};
+    use std::error::Error;
 
     fn manual() -> manualgen::Manual {
         manualgen::generate(
@@ -135,10 +137,16 @@ mod tests {
     }
 
     #[test]
-    fn single_class_blocks_discriminated_by_header() {
+    fn single_class_blocks_discriminated_by_header() -> Result<(), Box<dyn Error>> {
         let m = manual();
-        let page = m.pages.iter().find(|p| p.command_key == "stp.root").unwrap();
-        let parsed = ParserH4c::new().parse_page(&page.url, &page.html).unwrap();
+        let page = m
+            .pages
+            .iter()
+            .find(|p| p.command_key == "stp.root")
+            .ok_or("stp.root page missing")?;
+        let parsed = ParserH4c::new()
+            .parse_page(&page.url, &page.html)?
+            .ok_or("page skipped")?;
         assert_eq!(
             parsed.entry.clis[0],
             "stp instance <instance-id> root { primary | secondary }"
@@ -146,15 +154,23 @@ mod tests {
         assert_eq!(parsed.entry.parent_views, vec!["system view"]);
         assert!(parsed.entry.func_def.contains("root bridge"));
         assert_eq!(parsed.entry.para_def.len(), 1);
+        Ok(())
     }
 
     #[test]
-    fn examples_extracted_from_blocks() {
+    fn examples_extracted_from_blocks() -> Result<(), Box<dyn Error>> {
         let m = manual();
-        let page = m.pages.iter().find(|p| p.command_key == "ospf.network").unwrap();
-        let parsed = ParserH4c::new().parse_page(&page.url, &page.html).unwrap();
+        let page = m
+            .pages
+            .iter()
+            .find(|p| p.command_key == "ospf.network")
+            .ok_or("ospf.network page missing")?;
+        let parsed = ParserH4c::new()
+            .parse_page(&page.url, &page.html)?
+            .ok_or("page skipped")?;
         assert!(!parsed.entry.examples.is_empty());
         // ospf.network sits two views deep: snippet has three lines.
         assert_eq!(parsed.entry.examples[0].len(), 3);
+        Ok(())
     }
 }

@@ -6,8 +6,9 @@
 //! to the next header.
 
 use crate::extract::{cli_text, example_snippets, labelled_definition, section_body};
-use crate::framework::{ParsedPage, VendorParser};
+use crate::framework::{ensure_parsable, ParsedPage, VendorParser};
 use nassim_corpus::{CorpusEntry, ParaDef};
+use nassim_diag::NassimError;
 use nassim_html::{Document, NodeId};
 
 /// CSS/class configuration; [`ParserHelix::new`] holds the complete table
@@ -54,38 +55,38 @@ impl VendorParser for ParserHelix {
         "helix"
     }
 
-    fn parse_page(&self, url: &str, html: &str) -> Option<ParsedPage> {
-        let doc = Document::parse(html);
-        let format = self.section(&doc, "Format");
+    fn parse_doc(&self, url: &str, doc: &Document) -> Result<Option<ParsedPage>, NassimError> {
+        ensure_parsable(self.vendor(), url, doc)?;
+        let format = self.section(doc, "Format");
         if format.is_empty() {
-            return None; // preface / index page
+            return Ok(None); // preface / index page
         }
         let params: Vec<&str> = self.param_classes.iter().map(String::as_str).collect();
         let clis: Vec<String> = format
             .iter()
-            .map(|&n| cli_text(&doc, n, &params))
+            .map(|&n| cli_text(doc, n, &params))
             .filter(|s| !s.is_empty())
             .collect();
         let func_def = self
-            .section(&doc, "Function")
+            .section(doc, "Function")
             .iter()
             .map(|&n| doc.text_of(n))
             .collect::<Vec<_>>()
             .join(" ");
         let parent_views: Vec<String> = self
-            .section(&doc, "Views")
+            .section(doc, "Views")
             .iter()
             .map(|&n| doc.text_of(n))
             .filter(|s| !s.is_empty())
             .collect();
         let para_def: Vec<ParaDef> = self
-            .section(&doc, "Parameters")
+            .section(doc, "Parameters")
             .iter()
-            .filter_map(|&n| labelled_definition(&doc, n, &params))
+            .filter_map(|&n| labelled_definition(doc, n, &params))
             .map(|(name, info)| ParaDef::new(name, info))
             .collect();
-        let examples = example_snippets(&doc, &self.section(&doc, "Examples"));
-        Some(ParsedPage {
+        let examples = example_snippets(doc, &self.section(doc, "Examples"));
+        Ok(Some(ParsedPage {
             url: url.to_string(),
             entry: CorpusEntry {
                 clis,
@@ -97,7 +98,7 @@ impl VendorParser for ParserHelix {
             },
             context_path: None,
             enters_view: None,
-        })
+        }))
     }
 }
 
@@ -106,6 +107,7 @@ mod tests {
     use super::*;
     use crate::framework::run_parser;
     use nassim_datasets::{catalog::Catalog, manualgen, style};
+    use std::error::Error;
 
     fn manual() -> manualgen::Manual {
         manualgen::generate(
@@ -133,10 +135,16 @@ mod tests {
     }
 
     #[test]
-    fn reconstructs_paper_style_corpus_entry() {
+    fn reconstructs_paper_style_corpus_entry() -> Result<(), Box<dyn Error>> {
         let m = manual();
-        let page = m.pages.iter().find(|p| p.command_key == "bgp.peer-group").unwrap();
-        let parsed = ParserHelix::new().parse_page(&page.url, &page.html).unwrap();
+        let page = m
+            .pages
+            .iter()
+            .find(|p| p.command_key == "bgp.peer-group")
+            .ok_or("bgp.peer-group page missing")?;
+        let parsed = ParserHelix::new()
+            .parse_page(&page.url, &page.html)?
+            .ok_or("page skipped")?;
         assert_eq!(
             parsed.entry.clis,
             vec![
@@ -156,24 +164,33 @@ mod tests {
         // Example shows the opener with indentation.
         let snippet = &parsed.entry.examples[0];
         assert!(snippet[0].starts_with("bgp "));
-        assert!(snippet.last().unwrap().starts_with(" peer "));
+        assert!(snippet.last().ok_or("empty snippet")?.starts_with(" peer "));
+        Ok(())
     }
 
     #[test]
-    fn undo_forms_documented_on_same_page() {
+    fn undo_forms_documented_on_same_page() -> Result<(), Box<dyn Error>> {
         let m = manual();
-        let page = m.pages.iter().find(|p| p.command_key == "vlan.create").unwrap();
-        let parsed = ParserHelix::new().parse_page(&page.url, &page.html).unwrap();
+        let page = m
+            .pages
+            .iter()
+            .find(|p| p.command_key == "vlan.create")
+            .ok_or("vlan.create page missing")?;
+        let parsed = ParserHelix::new()
+            .parse_page(&page.url, &page.html)?
+            .ok_or("page skipped")?;
         assert_eq!(parsed.entry.clis.len(), 2);
         assert!(parsed.entry.clis[1].starts_with("undo vlan"));
+        Ok(())
     }
 
     #[test]
-    fn preface_is_skipped() {
+    fn preface_is_skipped() -> Result<(), Box<dyn Error>> {
         let m = manual();
         assert!(ParserHelix::new()
-            .parse_page(&m.pages[0].url, &m.pages[0].html)
+            .parse_page(&m.pages[0].url, &m.pages[0].html)?
             .is_none());
+        Ok(())
     }
 
     #[test]

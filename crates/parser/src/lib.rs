@@ -22,14 +22,16 @@
 //! use nassim_datasets::{catalog::Catalog, manualgen, style};
 //! use nassim_parser::{framework::run_parser, helix::ParserHelix};
 //!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
 //! let cat = Catalog::base();
 //! let manual = manualgen::generate(
-//!     &style::vendor("helix").unwrap(), &cat, &Default::default());
+//!     &style::vendor("helix")?, &cat, &Default::default());
 //! let run = run_parser(
 //!     &ParserHelix::new(),
 //!     manual.pages.iter().map(|p| (p.url.as_str(), p.html.as_str())),
 //! );
 //! assert!(run.pages.len() > 70);
+//! # Ok(()) }
 //! ```
 
 pub mod cirrus;
@@ -39,15 +41,24 @@ pub mod h4c;
 pub mod helix;
 pub mod norsk;
 
-pub use framework::{run_parser, ParseRun, ParsedPage, TddReport, VendorParser};
+pub use framework::{ensure_parsable, run_parser, ParseRun, ParsedPage, TddReport, VendorParser};
 
-/// The full-strength parser for a vendor name, or `None` if unknown.
-pub fn parser_for(vendor: &str) -> Option<Box<dyn VendorParser>> {
+/// Vendor names a parser is registered for.
+pub const KNOWN_VENDORS: [&str; 4] = ["cirrus", "helix", "norsk", "h4c"];
+
+/// The full-strength parser for a vendor name.
+///
+/// Unknown names return [`NassimError::UnknownVendor`] carrying the
+/// registered vendor set, so callers can print an actionable message.
+pub fn parser_for(vendor: &str) -> Result<Box<dyn VendorParser>, nassim_diag::NassimError> {
     match vendor {
-        "cirrus" => Some(Box::new(cirrus::ParserCirrus::new())),
-        "helix" => Some(Box::new(helix::ParserHelix::new())),
-        "norsk" => Some(Box::new(norsk::ParserNorsk::new())),
-        "h4c" => Some(Box::new(h4c::ParserH4c::new())),
-        _ => None,
+        "cirrus" => Ok(Box::new(cirrus::ParserCirrus::new())),
+        "helix" => Ok(Box::new(helix::ParserHelix::new())),
+        "norsk" => Ok(Box::new(norsk::ParserNorsk::new())),
+        "h4c" => Ok(Box::new(h4c::ParserH4c::new())),
+        _ => Err(nassim_diag::NassimError::UnknownVendor {
+            vendor: vendor.to_string(),
+            known: KNOWN_VENDORS.iter().map(|v| v.to_string()).collect(),
+        }),
     }
 }

@@ -7,8 +7,9 @@
 //! "extra functions" that let hierarchy be read rather than derived.
 
 use crate::extract::{cli_text, labelled_definition, section_body};
-use crate::framework::{ParsedPage, VendorParser};
+use crate::framework::{ensure_parsable, ParsedPage, VendorParser};
 use nassim_corpus::{CorpusEntry, ParaDef};
+use nassim_diag::NassimError;
 use nassim_html::{Document, NodeId};
 
 /// Class configuration for the norsk parser.
@@ -60,23 +61,23 @@ impl VendorParser for ParserNorsk {
         "norsk"
     }
 
-    fn parse_page(&self, url: &str, html: &str) -> Option<ParsedPage> {
-        let doc = Document::parse(html);
-        let syntax = self.section(&doc, &self.syntax_header);
+    fn parse_doc(&self, url: &str, doc: &Document) -> Result<Option<ParsedPage>, NassimError> {
+        ensure_parsable(self.vendor(), url, doc)?;
+        let syntax = self.section(doc, &self.syntax_header);
         if syntax.is_empty() {
-            return None;
+            return Ok(None);
         }
         let params: Vec<&str> = self.param_classes.iter().map(String::as_str).collect();
         let clis: Vec<String> = syntax
             .iter()
-            .map(|&n| cli_text(&doc, n, &params))
+            .map(|&n| cli_text(doc, n, &params))
             .filter(|s| !s.is_empty())
             .collect();
         // Context: explicit view paths "configure > configure BGP > …",
         // one paragraph per working view (multi-view commands have
         // several).
         let context_paths: Vec<Vec<String>> = self
-            .section(&doc, &self.context_header)
+            .section(doc, &self.context_header)
             .iter()
             .map(|&n| doc.text_of(n))
             .filter(|t| !t.trim().is_empty())
@@ -95,12 +96,12 @@ impl VendorParser for ParserNorsk {
         let context_path: Vec<String> = context_paths.first().cloned().unwrap_or_default();
         // Explicit command tree: "Enters: <view name>" on container pages.
         let enters_view = self
-            .section(&doc, &self.tree_header)
+            .section(doc, &self.tree_header)
             .iter()
             .map(|&n| doc.text_of(n))
             .find_map(|t| t.strip_prefix("Enters:").map(|v| v.trim().to_string()));
         let func_def = self
-            .section(&doc, &self.description_header)
+            .section(doc, &self.description_header)
             .iter()
             .map(|&n| doc.text_of(n))
             .collect::<Vec<_>>()
@@ -108,7 +109,7 @@ impl VendorParser for ParserNorsk {
         // Parameters live in a definition list: dt holds the name span,
         // the following dd holds the description.
         let para_def: Vec<ParaDef> = self
-            .section(&doc, &self.parameters_header)
+            .section(doc, &self.parameters_header)
             .iter()
             .flat_map(|&n| {
                 let mut defs = Vec::new();
@@ -117,7 +118,7 @@ impl VendorParser for ParserNorsk {
                     .filter(|&id| doc.element(id).map(|e| e.name == "dt").unwrap_or(false))
                     .collect();
                 for dt in dts {
-                    if let Some((name, _)) = labelled_definition(&doc, dt, &params) {
+                    if let Some((name, _)) = labelled_definition(doc, dt, &params) {
                         let desc = doc
                             .following_siblings(dt)
                             .find(|&id| {
@@ -131,7 +132,7 @@ impl VendorParser for ParserNorsk {
                 defs
             })
             .collect();
-        Some(ParsedPage {
+        Ok(Some(ParsedPage {
             url: url.to_string(),
             entry: CorpusEntry {
                 clis,
@@ -143,7 +144,7 @@ impl VendorParser for ParserNorsk {
             },
             context_path: Some(context_path),
             enters_view,
-        })
+        }))
     }
 }
 
@@ -152,6 +153,7 @@ mod tests {
     use super::*;
     use crate::framework::run_parser;
     use nassim_datasets::{catalog::Catalog, manualgen, style};
+    use std::error::Error;
 
     fn manual() -> manualgen::Manual {
         manualgen::generate(
@@ -167,11 +169,17 @@ mod tests {
     }
 
     #[test]
-    fn parses_with_explicit_context_paths() {
+    fn parses_with_explicit_context_paths() -> Result<(), Box<dyn Error>> {
         let m = manual();
-        let page = m.pages.iter().find(|p| p.command_key == "bgp.af-pref").unwrap();
-        let parsed = ParserNorsk::new().parse_page(&page.url, &page.html).unwrap();
-        let path = parsed.context_path.as_ref().unwrap();
+        let page = m
+            .pages
+            .iter()
+            .find(|p| p.command_key == "bgp.af-pref")
+            .ok_or("bgp.af-pref page missing")?;
+        let parsed = ParserNorsk::new()
+            .parse_page(&page.url, &page.html)?
+            .ok_or("page skipped")?;
+        let path = parsed.context_path.as_ref().ok_or("no context path")?;
         assert_eq!(
             path,
             &vec![
@@ -182,6 +190,7 @@ mod tests {
         );
         assert_eq!(parsed.entry.parent_views, vec!["configure BGP-IPv4 unicast"]);
         assert!(parsed.entry.examples.is_empty());
+        Ok(())
     }
 
     #[test]
@@ -197,24 +206,38 @@ mod tests {
     }
 
     #[test]
-    fn vendor_renames_visible_in_clis() {
+    fn vendor_renames_visible_in_clis() -> Result<(), Box<dyn Error>> {
         let m = manual();
-        let page = m.pages.iter().find(|p| p.command_key == "bgp.peer-as").unwrap();
-        let parsed = ParserNorsk::new().parse_page(&page.url, &page.html).unwrap();
+        let page = m
+            .pages
+            .iter()
+            .find(|p| p.command_key == "bgp.peer-as")
+            .ok_or("bgp.peer-as page missing")?;
+        let parsed = ParserNorsk::new()
+            .parse_page(&page.url, &page.html)?
+            .ok_or("page skipped")?;
         // norsk renames as-number → autonomous-system (Table-2 divergence).
         assert!(
             parsed.entry.clis[0].contains("<autonomous-system>"),
             "{:?}",
             parsed.entry.clis
         );
+        Ok(())
     }
 
     #[test]
-    fn dl_parameter_lists_are_parsed() {
+    fn dl_parameter_lists_are_parsed() -> Result<(), Box<dyn Error>> {
         let m = manual();
-        let page = m.pages.iter().find(|p| p.command_key == "bgp.timer").unwrap();
-        let parsed = ParserNorsk::new().parse_page(&page.url, &page.html).unwrap();
+        let page = m
+            .pages
+            .iter()
+            .find(|p| p.command_key == "bgp.timer")
+            .ok_or("bgp.timer page missing")?;
+        let parsed = ParserNorsk::new()
+            .parse_page(&page.url, &page.html)?
+            .ok_or("page skipped")?;
         assert_eq!(parsed.entry.para_def.len(), 2);
         assert!(parsed.entry.para_def[0].info.contains("keepalive"));
+        Ok(())
     }
 }

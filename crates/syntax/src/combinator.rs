@@ -39,6 +39,14 @@ impl PErr {
     }
 }
 
+impl std::fmt::Display for PErr {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "expected {} at byte {}", self.expected, self.pos)
+    }
+}
+
+impl std::error::Error for PErr {}
+
 /// Result of applying a parser at some offset.
 pub type PRes<T> = Result<(T, usize), PErr>;
 

@@ -67,6 +67,23 @@ impl fmt::Display for SyntaxDiagnosis {
     }
 }
 
+impl std::error::Error for SyntaxDiagnosis {}
+
+impl SyntaxDiagnosis {
+    /// Convert into a structured pipeline diagnostic.
+    ///
+    /// `source` is where the template came from (page URL); the span
+    /// column is the byte offset into the template text itself.
+    pub fn to_diagnostic(&self, source: &str) -> nassim_diag::Diagnostic {
+        let mut d = nassim_diag::Diagnostic::warning(nassim_diag::Stage::Syntax, self.to_string())
+            .with_span(nassim_diag::SourceSpan::point(source, self.pos));
+        if !self.candidate_fixes.is_empty() {
+            d.message.push_str(&format!(": try `{}`", self.candidate_fixes[0]));
+        }
+        d
+    }
+}
+
 /// Validate one CLI template; `Ok` carries the parsed structure.
 pub fn validate_template(template: &str) -> Result<CliStruc, SyntaxDiagnosis> {
     if template.trim().is_empty() {

@@ -5,6 +5,9 @@
 //! structure; (2) validation is total — arbitrary byte soup never panics;
 //! (3) the hand-written parser and the BNF interpreter accept the same
 //! language.
+// Property-test bodies and helpers sit outside #[test] fns; panics are the
+// assertion mechanism here.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
 
 use nassim_syntax::bnf::command_grammar;
 use nassim_syntax::template::{parse_template, CliStruc, Ele};

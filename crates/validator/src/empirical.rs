@@ -17,6 +17,7 @@
 use nassim_cgm::{generate, matching::is_cli_match, CliGraph};
 use nassim_corpus::{Vdm, VdmNodeId};
 use nassim_device::{DeviceClient, Response};
+use nassim_diag::NassimError;
 use nassim_syntax::parse_template;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -64,6 +65,30 @@ impl EmpiricalReport {
             return 1.0;
         }
         self.matched as f64 / self.total_instances as f64
+    }
+
+    /// Every unmatched config line as an `empirical`-stage warning
+    /// diagnostic spanned at `file:line`.
+    pub fn diagnostics(&self) -> Vec<nassim_diag::Diagnostic> {
+        self.failures
+            .iter()
+            .map(|f| {
+                let reason = match &f.reason {
+                    UnmatchReason::NoTemplate => "no VDM template matches".to_string(),
+                    UnmatchReason::WrongHierarchy {
+                        matched_elsewhere_in,
+                    } => format!(
+                        "template matches only outside the implied view (in: {})",
+                        matched_elsewhere_in.join(", ")
+                    ),
+                };
+                nassim_diag::Diagnostic::warning(
+                    nassim_diag::Stage::Empirical,
+                    format!("config line `{}` unmatched: {reason}", f.line.trim()),
+                )
+                .with_span(nassim_diag::SourceSpan::point(&f.file, f.line_no))
+            })
+            .collect()
     }
 }
 
@@ -203,10 +228,14 @@ pub fn validate_on_device(
     nodes: &[VdmNodeId],
     addr: SocketAddr,
     seed: u64,
-) -> io::Result<DeviceValidation> {
+) -> Result<DeviceValidation, NassimError> {
+    let dev_err = |context: &str, e: io::Error| NassimError::Device {
+        reason: format!("{context}: {e}"),
+    };
     let matcher = VdmMatcher::new(vdm);
     let mut rng = StdRng::seed_from_u64(seed);
-    let mut client = DeviceClient::connect(addr)?;
+    let mut client =
+        DeviceClient::connect(addr).map_err(|e| dev_err("connect to device", e))?;
     let mut out = DeviceValidation::default();
 
     'nodes: for &id in nodes {
@@ -234,7 +263,7 @@ pub fn validate_on_device(
                 continue 'nodes;
             };
             let oi = generate::sample_instance(og, &mut rng);
-            match client.exec(&oi)? {
+            match client.exec(&oi).map_err(|e| dev_err("exec opener", e))? {
                 Response::Ok { .. } => {}
                 Response::Err { message } => {
                     out.failures.push((template.clone(), oi, format!("opener rejected: {message}")));
@@ -244,10 +273,13 @@ pub fn validate_on_device(
             }
         }
         // Issue the instance itself.
-        match client.exec(&instance)? {
+        match client.exec(&instance).map_err(|e| dev_err("exec instance", e))? {
             Response::Ok { .. } => {
                 out.accepted += 1;
-                if client.has_config_line(&instance)? {
+                if client
+                    .has_config_line(&instance)
+                    .map_err(|e| dev_err("read back configuration", e))?
+                {
                     out.readback_ok += 1;
                 } else {
                     out.failures.push((

@@ -86,12 +86,59 @@ impl Derivation {
     pub fn ambiguous_count(&self) -> usize {
         self.ambiguous.len()
     }
+
+    /// Every ambiguous view as a `hierarchy`-stage warning diagnostic,
+    /// with candidate opener pages (URL × votes) named for expert review.
+    pub fn diagnostics(&self, pages: &[ParsedPage]) -> Vec<nassim_diag::Diagnostic> {
+        self.ambiguous
+            .iter()
+            .map(|a| a.to_diagnostic(pages))
+            .collect()
+    }
+}
+
+impl AmbiguousView {
+    /// The expert-review warning for this view. The span points at the
+    /// leading candidate opener's page when there is one.
+    pub fn to_diagnostic(&self, pages: &[ParsedPage]) -> nassim_diag::Diagnostic {
+        let url_of = |pi: usize| {
+            pages
+                .get(pi)
+                .map(|p| p.url.as_str())
+                .unwrap_or("<unknown page>")
+        };
+        let message = match self.reason {
+            AmbiguityReason::NoEvidence => format!(
+                "view `{}` has no usable hierarchy evidence (no snippet or context path)",
+                self.view
+            ),
+            AmbiguityReason::ConflictingEvidence => {
+                let candidates: Vec<String> = self
+                    .candidates
+                    .iter()
+                    .map(|&(pi, votes)| format!("{} ({votes} votes)", url_of(pi)))
+                    .collect();
+                format!(
+                    "view `{}` has conflicting opener evidence: {}",
+                    self.view,
+                    candidates.join(", ")
+                )
+            }
+        };
+        let mut d =
+            nassim_diag::Diagnostic::warning(nassim_diag::Stage::Hierarchy, message);
+        if let Some(&(pi, _)) = self.candidates.first() {
+            d = d.with_span(nassim_diag::SourceSpan::point(url_of(pi), 0));
+        }
+        d
+    }
 }
 
 /// Compiled template graphs for one page, bucketed for fast lookup.
 pub struct CorpusGraphs {
-    /// (page index, cli index) → graph.
-    pub graphs: Vec<Vec<CliGraph>>,
+    /// (page index, cli index) → graph; `None` for templates that failed
+    /// stage-1 parsing (they can never match an instance).
+    pub graphs: Vec<Vec<Option<CliGraph>>>,
     /// head keyword → (page, cli) pairs whose template starts with it.
     head_index: BTreeMap<String, Vec<(usize, usize)>>,
     /// Templates with no leading keyword (start with a group) — always
@@ -109,7 +156,7 @@ impl CorpusGraphs {
     pub fn build(pages: &[ParsedPage]) -> CorpusGraphs {
         // One page's compiled graphs plus its (cli index, head keyword)
         // bucket entries.
-        type PageGraphs = (Vec<CliGraph>, Vec<(usize, Option<String>)>);
+        type PageGraphs = (Vec<Option<CliGraph>>, Vec<(usize, Option<String>)>);
         let per_page: Vec<PageGraphs> =
             nassim_exec::par_map(pages, |page| {
                 let mut page_graphs = Vec::new();
@@ -120,14 +167,10 @@ impl CorpusGraphs {
                     match parse_template(cli) {
                         Ok(struc) => {
                             buckets.push((ci, struc.head_keyword().map(str::to_string)));
-                            page_graphs.push(CliGraph::build(&struc));
+                            page_graphs.push(Some(CliGraph::build(&struc)));
                         }
-                        Err(_) => {
-                            // Placeholder so (page, cli) indexing stays aligned.
-                            page_graphs.push(CliGraph::build(
-                                &parse_template("__invalid__").expect("sentinel parses"),
-                            ));
-                        }
+                        // `None` keeps (page, cli) indexing aligned.
+                        Err(_) => page_graphs.push(None),
                     }
                 }
                 (page_graphs, buckets)
@@ -169,7 +212,11 @@ impl CorpusGraphs {
         let mut out: Vec<usize> = self
             .candidates(instance)
             .into_iter()
-            .filter(|&(pi, ci)| is_cli_match(instance, &self.graphs[pi][ci]))
+            .filter(|&(pi, ci)| {
+                self.graphs[pi][ci]
+                    .as_ref()
+                    .is_some_and(|g| is_cli_match(instance, g))
+            })
             .map(|(pi, _)| pi)
             .collect();
         out.sort_unstable();
@@ -247,7 +294,12 @@ pub fn derive_hierarchy(pages: &[ParsedPage]) -> Derivation {
             let self_matches = corpus
                 .candidates(child_instance)
                 .into_iter()
-                .any(|(p, c)| p == pi && is_cli_match(child_instance, &corpus.graphs[p][c]));
+                .any(|(p, c)| {
+                    p == pi
+                        && corpus.graphs[p][c]
+                            .as_ref()
+                            .is_some_and(|g| is_cli_match(child_instance, g))
+                });
             if !self_matches {
                 ev.self_match_failures += 1;
                 continue;

@@ -4,6 +4,7 @@ use crate::empirical::EmpiricalReport;
 use crate::hierarchy::Derivation;
 use crate::syntax_stage::SyntaxAudit;
 use nassim_corpus::Vdm;
+use nassim_diag::DiagReport;
 use std::fmt;
 use std::time::Duration;
 
@@ -25,6 +26,9 @@ pub struct VdmConstructionReport {
     // Device-configuration validation (None when no config corpus).
     pub config_files: Option<usize>,
     pub matching_ratio: Option<f64>,
+    /// Every defect surfaced during construction, across all stages,
+    /// with severities and source spans.
+    pub diagnostics: DiagReport,
 }
 
 impl VdmConstructionReport {
@@ -36,6 +40,7 @@ impl VdmConstructionReport {
         audit: &SyntaxAudit,
         derivation: &Derivation,
         empirical: Option<(&EmpiricalReport, usize)>,
+        diagnostics: DiagReport,
     ) -> VdmConstructionReport {
         VdmConstructionReport {
             vendor: vendor.to_string(),
@@ -49,6 +54,7 @@ impl VdmConstructionReport {
             ambiguous_views: derivation.ambiguous_count(),
             config_files: empirical.map(|(_, n)| n),
             matching_ratio: empirical.map(|(r, _)| r.matching_ratio()),
+            diagnostics,
         }
     }
 
@@ -86,6 +92,15 @@ impl fmt::Display for VdmConstructionReport {
         for (label, value) in self.rows() {
             writeln!(f, "  {label:<28} {value}")?;
         }
+        if !self.diagnostics.is_empty() {
+            writeln!(
+                f,
+                "  {:<28} {} error(s), {} warning(s)",
+                "#Diagnostics",
+                self.diagnostics.errors(),
+                self.diagnostics.warnings()
+            )?;
+        }
         Ok(())
     }
 }
@@ -109,6 +124,7 @@ mod tests {
             &audit,
             &derivation,
             None,
+            DiagReport::default(),
         );
         let text = report.to_string();
         for label in [

@@ -45,6 +45,16 @@ impl SyntaxAudit {
         urls.len()
     }
 
+    /// Every failure as a spanned [`nassim_diag::Diagnostic`]: stage
+    /// `syntax`, severity warning, span pointing at the offending column
+    /// of the template on its source page.
+    pub fn diagnostics(&self) -> Vec<nassim_diag::Diagnostic> {
+        self.failures
+            .iter()
+            .map(|f| f.diagnosis.to_diagnostic(&f.url))
+            .collect()
+    }
+
     /// Render the expert-facing summary.
     pub fn render(&self) -> String {
         let mut out = format!(

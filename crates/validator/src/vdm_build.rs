@@ -20,6 +20,29 @@ pub struct VdmBuild {
     pub unplaced_pages: Vec<usize>,
 }
 
+impl VdmBuild {
+    /// Every unplaced page as a `build`-stage warning diagnostic spanned
+    /// at its source page, so lossy construction is never silent.
+    pub fn diagnostics(&self, pages: &[ParsedPage]) -> Vec<nassim_diag::Diagnostic> {
+        self.unplaced_pages
+            .iter()
+            .map(|&pi| {
+                let (url, views) = pages
+                    .get(pi)
+                    .map(|p| (p.url.as_str(), p.entry.parent_views.join(", ")))
+                    .unwrap_or(("<unknown page>", String::new()));
+                nassim_diag::Diagnostic::warning(
+                    nassim_diag::Stage::Build,
+                    format!(
+                        "page not placed in VDM: working view(s) [{views}] unreachable from the root view"
+                    ),
+                )
+                .with_span(nassim_diag::SourceSpan::point(url, 0))
+            })
+            .collect()
+    }
+}
+
 /// Build the VDM of `vendor` from parsed pages and their derivation.
 pub fn build_vdm(vendor: &str, pages: &[ParsedPage], derivation: &Derivation) -> VdmBuild {
     let root_view = derivation

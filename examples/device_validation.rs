@@ -13,10 +13,10 @@ use nassim::pipeline::assimilate;
 use nassim::validator::empirical::{validate_config_files, validate_on_device};
 use std::sync::Arc;
 
-fn main() {
+fn main() -> Result<(), Box<dyn std::error::Error>> {
     // The validated VDM of a vendor (clean manual for brevity).
     let catalog = Catalog::base();
-    let style = style::vendor("helix").unwrap();
+    let style = style::vendor("helix")?;
     let manual = manualgen::generate(
         &style,
         &catalog,
@@ -28,9 +28,9 @@ fn main() {
         },
     );
     let a = assimilate(
-        parser_for("helix").unwrap().as_ref(),
+        parser_for("helix")?.as_ref(),
         manual.pages.iter().map(|p| (p.url.as_str(), p.html.as_str())),
-    );
+    )?;
     let vdm = &a.build.vdm;
 
     // ── Stage 3a: replay config files from "running devices". ─────────
@@ -63,11 +63,11 @@ fn main() {
         unused.len()
     );
 
-    let model = device_model_from_catalog(&catalog, &style).expect("device model");
-    let mut server = nassim::device::DeviceServer::spawn(Arc::new(model)).expect("server");
+    let model = device_model_from_catalog(&catalog, &style)?;
+    let mut server = nassim::device::DeviceServer::spawn(Arc::new(model))?;
     println!("simulated device listening on {}", server.addr());
 
-    let outcome = validate_on_device(vdm, &unused, server.addr(), 9).expect("device session");
+    let outcome = validate_on_device(vdm, &unused, server.addr(), 9)?;
     println!(
         "device validation: {} tested, {} accepted, {} confirmed by read-back",
         outcome.nodes_tested, outcome.accepted, outcome.readback_ok
@@ -76,4 +76,5 @@ fn main() {
         println!("  FAILED {template} (instance `{instance}`): {why}");
     }
     server.stop();
+    Ok(())
 }

@@ -14,10 +14,10 @@ use nassim::modelzoo::{ModelZoo, PretrainOptions};
 use nassim::parser::parser_for;
 use nassim::pipeline::assimilate;
 
-fn main() {
+fn main() -> Result<(), Box<dyn std::error::Error>> {
     // ── Inputs: a validated VDM and the controller's UDM. ─────────────
     let catalog = Catalog::base();
-    let style = style::vendor("helix").unwrap();
+    let style = style::vendor("helix")?;
     let manual = manualgen::generate(
         &style,
         &catalog,
@@ -29,9 +29,9 @@ fn main() {
         },
     );
     let a = assimilate(
-        parser_for("helix").unwrap().as_ref(),
+        parser_for("helix")?.as_ref(),
         manual.pages.iter().map(|p| (p.url.as_str(), p.html.as_str())),
-    );
+    )?;
     let vdm = &a.build.vdm;
     let udm_data = udmgen::generate(&catalog, &Default::default());
     let udm = &udm_data.udm;
@@ -100,4 +100,5 @@ fn main() {
     );
     let accel = 1.0 / (1.0 - report.recall_pct(10) / 100.0).max(1e-9);
     println!("→ mapping-phase acceleration ≈ {accel:.1}x (paper: 9.1x)");
+    Ok(())
 }

@@ -10,10 +10,10 @@ use nassim::datasets::{catalog::Catalog, manualgen, style};
 use nassim::parser::{cirrus::ParserCirrus, run_parser};
 use nassim::pipeline::assimilate;
 
-fn main() {
+fn main() -> Result<(), Box<dyn std::error::Error>> {
     // The "new device" whose manual just landed on the NetOps desk.
     let catalog = Catalog::base();
-    let style = style::vendor("cirrus").unwrap();
+    let style = style::vendor("cirrus")?;
     let manual = manualgen::generate(
         &style,
         &catalog,
@@ -41,7 +41,7 @@ fn main() {
     assert!(full.report.passes(), "iteration 2 must pass all tests");
 
     // ── Steps 2-3: Validator + VDM assembly. ──────────────────────────
-    let a = assimilate(&ParserCirrus::new(), pages());
+    let a = assimilate(&ParserCirrus::new(), pages())?;
     println!("syntax audit:\n{}", a.syntax.render());
     println!(
         "hierarchy: {} views derived, {} ambiguous (reported for expert review)",
@@ -59,4 +59,5 @@ fn main() {
         a.build.vdm.cli_view_pairs(),
         a.build.vdm.distinct_views()
     );
+    Ok(())
 }

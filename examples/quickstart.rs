@@ -25,12 +25,12 @@ const PAGE: &str = r#"<html><body>
  peer 10.1.1.1 group test</pre>
 </body></html>"#;
 
-fn main() {
+fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 1. Parse the page with the vendor parser.
     let parser = ParserHelix::new();
     let parsed = parser
-        .parse_page("manual://helix/bgp/peer-group", PAGE)
-        .expect("page documents a command");
+        .parse_page("manual://helix/bgp/peer-group", PAGE)?
+        .ok_or("page documents a command")?;
 
     println!("parsed corpus entry (Table 3 JSON format):");
     println!("{}", parsed.entry.to_json());
@@ -49,9 +49,12 @@ fn main() {
 
     // 4. And what the validator says about the paper's broken example.
     let broken = "neighbor { <ip-addr> | <ip-prefix/length> } [ remote-as { <as-num> [ <.as-num> ] | route-map <name> }";
-    let diag = validate_template(broken).expect_err("the paper's example is invalid");
+    let Err(diag) = validate_template(broken) else {
+        return Err("the paper's §2.2 example should be invalid".into());
+    };
     println!("\npaper's §2.2 ambiguous template: {diag}");
     for fix in &diag.candidate_fixes {
         println!("  candidate fix: {fix}");
     }
+    Ok(())
 }

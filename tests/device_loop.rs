@@ -3,6 +3,8 @@
 //! over TCP at a simulated device built from the *same* catalog, and
 //! confirm read-back; then repeat against a device with a feature gap and
 //! confirm the gap is caught.
+// Test fixtures: unwrap/expect outside #[test] fns (helpers) are fine here.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
 
 use nassim::datasets::{catalog::Catalog, configgen, manualgen, style};
 use nassim::deviceize::device_model_from_catalog;
@@ -28,7 +30,8 @@ fn unused_templates_validate_against_live_device() {
     let a = assimilate(
         parser_for("helix").unwrap().as_ref(),
         manual.pages.iter().map(|p| (p.url.as_str(), p.html.as_str())),
-    );
+    )
+    .unwrap();
     let vdm = &a.build.vdm;
 
     let corpus = configgen::generate(
@@ -86,7 +89,8 @@ fn device_feature_gap_is_reported() {
     let a = assimilate(
         parser_for("helix").unwrap().as_ref(),
         manual.pages.iter().map(|p| (p.url.as_str(), p.html.as_str())),
-    );
+    )
+    .unwrap();
     let vdm = &a.build.vdm;
 
     // Build a device that lacks the whole `stp` group.

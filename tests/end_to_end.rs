@@ -1,6 +1,8 @@
 //! Cross-crate integration: the full VDM construction phase for every
 //! vendor, with defect-detection scoring against the generator's ground
 //! truth and empirical validation closing the loop.
+// Test fixtures: unwrap/expect outside #[test] fns (helpers) are fine here.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
 
 use nassim::datasets::{catalog::Catalog, configgen, manualgen, style};
 use nassim::parser::parser_for;
@@ -26,7 +28,8 @@ fn every_vendor_round_trips_the_full_catalog() {
         let a = assimilate(
             parser_for(vendor).unwrap().as_ref(),
             manual.pages.iter().map(|p| (p.url.as_str(), p.html.as_str())),
-        );
+        )
+        .unwrap();
         assert!(a.parse.report.passes(), "{vendor}: {}", a.parse.report);
         assert_eq!(a.syntax.invalid_count(), 0, "{vendor}");
         assert!(
@@ -57,7 +60,8 @@ fn multi_view_commands_appear_once_per_view() {
     let a = assimilate(
         parser_for("helix").unwrap().as_ref(),
         manual.pages.iter().map(|p| (p.url.as_str(), p.html.as_str())),
-    );
+    )
+    .unwrap();
     // bgp.peer-as works in BGP view and in the address-family view.
     let placements: Vec<_> = a
         .build
@@ -91,7 +95,8 @@ fn injected_syntax_errors_are_all_detected() {
         let a = assimilate(
             parser_for(vendor).unwrap().as_ref(),
             manual.pages.iter().map(|p| (p.url.as_str(), p.html.as_str())),
-        );
+        )
+        .unwrap();
         let injected: Vec<&str> = manual
             .defects
             .iter()
@@ -123,7 +128,8 @@ fn config_replay_matches_fully_on_clean_vdm() {
         let a = assimilate(
             parser_for(vendor).unwrap().as_ref(),
             manual.pages.iter().map(|p| (p.url.as_str(), p.html.as_str())),
-        );
+        )
+        .unwrap();
         let corpus = configgen::generate(
             &st,
             &catalog,
@@ -165,7 +171,8 @@ fn ambiguity_injection_is_detected_with_high_recall() {
     let a = assimilate(
         parser_for("helix").unwrap().as_ref(),
         manual.pages.iter().map(|p| (p.url.as_str(), p.html.as_str())),
-    );
+    )
+    .unwrap();
     let injected = manual.ambiguous_views();
     assert!(!injected.is_empty());
     let detected = injected

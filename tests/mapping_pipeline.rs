@@ -1,6 +1,8 @@
 //! Cross-crate integration: the VDM-UDM mapping phase — context
 //! extraction from a *parsed* VDM, all three mapper families, and the
 //! NetBERT fine-tuning loop.
+// Test fixtures: unwrap/expect outside #[test] fns (helpers) are fine here.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
 
 use nassim::datasets::{catalog::Catalog, manualgen, style, udmgen};
 use nassim::mapper::eval::{evaluate, resolve_cases};
@@ -26,6 +28,7 @@ fn helix_vdm(catalog: &Catalog) -> Vdm {
         parser_for("helix").unwrap().as_ref(),
         manual.pages.iter().map(|p| (p.url.as_str(), p.html.as_str())),
     )
+    .unwrap()
     .build
     .vdm
 }

@@ -1,6 +1,8 @@
 //! The parallel engine must be invisible: generating and assimilating a
 //! manual with 1 worker and with 8 workers must produce identical pages,
 //! reports, votes and VDMs — wall-clock timings excluded.
+// Test fixtures: unwrap/expect outside #[test] fns (helpers) are fine here.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
 
 use nassim::pipeline::{assimilate, Assimilation};
 use nassim_datasets::{catalog::Catalog, manualgen, style};
@@ -27,6 +29,7 @@ fn assimilate_helix(threads: usize) -> Assimilation {
             parser.as_ref(),
             m.pages.iter().map(|p| (p.url.as_str(), p.html.as_str())),
         )
+        .unwrap()
     })
 }
 
