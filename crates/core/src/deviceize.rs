@@ -8,7 +8,11 @@
 
 use nassim_datasets::catalog::Catalog;
 use nassim_datasets::style::VendorStyle;
+use nassim_device::faults::FaultPlan;
 use nassim_device::model::{DeviceModel, ModelError};
+use nassim_device::DeviceServer;
+use nassim_diag::NassimError;
+use std::sync::Arc;
 
 /// Assemble the device model of `style`'s rendering of `catalog`.
 pub fn device_model_from_catalog(
@@ -70,6 +74,33 @@ pub fn device_model_from_catalog(
     Ok(model)
 }
 
+/// How to spawn the simulated device for a validation run.
+#[derive(Default)]
+pub struct DeviceSpawnOptions {
+    /// Chaos layer: a seeded fault-injection plan (`None` = a faithful
+    /// device). When `None`, the server still honors the
+    /// `NASSIM_FAULTS=seed:rate` environment knob.
+    pub faults: Option<Arc<FaultPlan>>,
+}
+
+/// Build the device model of `style`'s rendering of `catalog` and spawn
+/// a [`DeviceServer`] for it — the one-call path from catalog to a live
+/// (optionally chaotic) validation endpoint.
+pub fn spawn_device(
+    catalog: &Catalog,
+    style: &VendorStyle,
+    opts: DeviceSpawnOptions,
+) -> Result<DeviceServer, NassimError> {
+    let model = device_model_from_catalog(catalog, style).map_err(|e| NassimError::Device {
+        reason: format!("build device model: {e}"),
+    })?;
+    let server = match opts.faults {
+        Some(plan) => DeviceServer::spawn_with(Arc::new(model), Some(plan)),
+        None => DeviceServer::spawn(Arc::new(model)),
+    };
+    server.map_err(|e| NassimError::io("spawn device server", &e))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -100,6 +131,44 @@ mod tests {
         s.exec("bgp 65001").unwrap();
         assert!(s.exec("peer 10.0.0.2 as-number 65002").is_err());
         assert!(s.exec("neighbor 10.0.0.2 as-number 65002").is_ok());
+    }
+
+    #[test]
+    fn spawn_device_serves_catalog_commands() {
+        use nassim_device::DeviceClient;
+        let cat = Catalog::base();
+        let style = vendor("helix").unwrap();
+        let mut server = spawn_device(&cat, &style, DeviceSpawnOptions::default()).unwrap();
+        let mut client = DeviceClient::connect(server.addr()).unwrap();
+        assert!(matches!(
+            client.exec("bgp 65001").unwrap(),
+            nassim_device::Response::Ok { .. }
+        ));
+        server.stop();
+    }
+
+    #[test]
+    fn spawn_device_threads_the_fault_plan_through() {
+        use nassim_device::DeviceClient;
+        let cat = Catalog::base();
+        let style = vendor("helix").unwrap();
+        let plan = Arc::new(FaultPlan::new(
+            4,
+            nassim_device::FaultRates { busy: 1.0, ..Default::default() },
+        ));
+        let mut server = spawn_device(
+            &cat,
+            &style,
+            DeviceSpawnOptions { faults: Some(Arc::clone(&plan)) },
+        )
+        .unwrap();
+        let mut client = DeviceClient::connect(server.addr()).unwrap();
+        match client.exec("bgp 65001").unwrap() {
+            nassim_device::Response::Err { message } => assert!(message.starts_with("busy")),
+            other => panic!("expected injected busy, got {other:?}"),
+        }
+        assert_eq!(plan.take_injections().len(), 1);
+        server.stop();
     }
 
     #[test]

@@ -5,7 +5,9 @@ use nassim_parser::{run_parser, ParseRun, VendorParser};
 use nassim_validator::hierarchy::Derivation;
 use nassim_validator::syntax_stage::SyntaxAudit;
 use nassim_validator::vdm_build::VdmBuild;
-use nassim_validator::{audit_corpus, build_vdm, derive_hierarchy, VdmConstructionReport};
+use nassim_validator::{
+    audit_corpus, build_vdm, derive_hierarchy, DeviceValidation, VdmConstructionReport,
+};
 
 /// Everything the construction phase produces for one vendor.
 pub struct Assimilation {
@@ -32,10 +34,26 @@ impl Assimilation {
         device_model: &str,
         empirical: Option<(&nassim_validator::EmpiricalReport, usize)>,
     ) -> VdmConstructionReport {
+        self.report_with_device(device_model, empirical, None)
+    }
+
+    /// Like [`Assimilation::report`], additionally folding a stage-3b
+    /// live-device run into the diagnostics: every retry the resilient
+    /// client performed becomes a note, every failure or degraded
+    /// (skipped) node a warning.
+    pub fn report_with_device(
+        &self,
+        device_model: &str,
+        empirical: Option<(&nassim_validator::EmpiricalReport, usize)>,
+        device: Option<&DeviceValidation>,
+    ) -> VdmConstructionReport {
         let mut diags: Vec<nassim_diag::Diagnostic> =
             self.diagnostics.diagnostics.clone();
         if let Some((emp, _)) = empirical {
             diags.extend(emp.diagnostics());
+        }
+        if let Some(dev) = device {
+            diags.extend(dev.diagnostics());
         }
         VdmConstructionReport::assemble(
             &self.build.vdm.vendor,

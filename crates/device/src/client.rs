@@ -13,14 +13,29 @@ pub struct DeviceClient {
     writer: TcpStream,
 }
 
+/// Default TCP connect deadline (the OS default can be minutes).
+pub const DEFAULT_CONNECT_TIMEOUT: Duration = Duration::from_secs(10);
+/// Default per-operation read/write deadline.
+pub const DEFAULT_OP_TIMEOUT: Duration = Duration::from_secs(10);
+
 impl DeviceClient {
-    /// Connect to a device server.
+    /// Connect to a device server with the default deadlines.
     pub fn connect(addr: SocketAddr) -> io::Result<DeviceClient> {
-        let stream = TcpStream::connect(addr)?;
-        // Validation commands are tiny; fail fast rather than hang if the
-        // server misbehaves.
-        stream.set_read_timeout(Some(Duration::from_secs(10)))?;
-        stream.set_write_timeout(Some(Duration::from_secs(10)))?;
+        DeviceClient::connect_with_timeout(addr, DEFAULT_CONNECT_TIMEOUT, DEFAULT_OP_TIMEOUT)
+    }
+
+    /// Connect with explicit deadlines: `connect_timeout` bounds the TCP
+    /// handshake, `op_timeout` bounds each later read/write. Validation
+    /// commands are tiny; fail fast rather than hang if the server
+    /// misbehaves.
+    pub fn connect_with_timeout(
+        addr: SocketAddr,
+        connect_timeout: Duration,
+        op_timeout: Duration,
+    ) -> io::Result<DeviceClient> {
+        let stream = TcpStream::connect_timeout(&addr, connect_timeout)?;
+        stream.set_read_timeout(Some(op_timeout))?;
+        stream.set_write_timeout(Some(op_timeout))?;
         stream.set_nodelay(true)?;
         Ok(DeviceClient {
             reader: BufReader::new(stream.try_clone()?),
@@ -50,11 +65,12 @@ impl DeviceClient {
     }
 
     /// Convenience: is `line` present in the device's configuration?
-    /// (The §5.3 read-back check.)
+    /// (The §5.3 read-back check.) Both sides are fully trimmed so a
+    /// config line carrying trailing whitespace still compares equal.
     pub fn has_config_line(&mut self, line: &str) -> io::Result<bool> {
         Ok(self
             .current_configuration()?
             .iter()
-            .any(|l| l.trim_start() == line.trim()))
+            .any(|l| l.trim() == line.trim()))
     }
 }

@@ -18,7 +18,15 @@
 //!   `*N` output blocks);
 //! * [`server`] / [`client`] — a blocking TCP server (thread per
 //!   connection, std::net) and client, so the validation loop runs over a
-//!   real socket exactly as a Telnet-driven SDN controller would.
+//!   real socket exactly as a Telnet-driven SDN controller would;
+//! * [`faults`] — deterministic, seeded fault injection (connection
+//!   resets, stalled responses, garbled frames, transient `busy`
+//!   errors), env-tunable via `NASSIM_FAULTS=seed:rate`, with a
+//!   drainable injection log;
+//! * [`resilient`] — [`ResilientClient`]: per-op timeouts, bounded
+//!   retries with deterministic exponential backoff (injectable clock),
+//!   automatic reconnect with opener-chain re-navigation, and a retry
+//!   budget that opens a circuit for graceful degradation.
 //!
 //! ```
 //! use nassim_device::{model::DeviceModel, session::Session};
@@ -35,13 +43,20 @@
 //! ```
 
 pub mod client;
+pub mod faults;
 pub mod model;
 pub mod protocol;
+pub mod resilient;
 pub mod server;
 pub mod session;
 
 pub use client::DeviceClient;
+pub use faults::{FaultKind, FaultPlan, FaultRates, InjectedFault};
 pub use model::DeviceModel;
 pub use protocol::Response;
+pub use resilient::{
+    Clock, ManualClock, Navigated, ResilienceError, ResiliencePolicy, ResilienceStats,
+    ResilientClient, RetryEvent, WallClock,
+};
 pub use server::DeviceServer;
 pub use session::Session;

@@ -14,6 +14,10 @@
 use std::fmt;
 use std::io::{self, BufRead, Write};
 
+/// Upper bound on a declared output-block size. Real configuration dumps
+/// are thousands of lines; anything past this is a corrupted frame.
+pub const MAX_OUTPUT_LINES: usize = 1 << 20;
+
 /// A framed server response.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Response {
@@ -73,7 +77,17 @@ impl Response {
             let n: usize = n.parse().map_err(|_| {
                 io::Error::new(io::ErrorKind::InvalidData, format!("bad count line: {head}"))
             })?;
-            let mut lines = Vec::with_capacity(n);
+            // A corrupted or hostile count line must not drive a huge
+            // allocation or an unbounded read loop.
+            if n > MAX_OUTPUT_LINES {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("output block of {n} lines exceeds the {MAX_OUTPUT_LINES}-line cap"),
+                ));
+            }
+            // Reserve conservatively: the declared count is untrusted
+            // until the lines actually arrive.
+            let mut lines = Vec::with_capacity(n.min(1024));
             for _ in 0..n {
                 let mut line = String::new();
                 if r.read_line(&mut line)? == 0 {
@@ -145,5 +159,59 @@ mod tests {
         assert!(Response::read_from(&mut r).is_err());
         let mut r = BufReader::new(&b"*2\nonly-one\n"[..]);
         assert!(Response::read_from(&mut r).is_err());
+    }
+
+    /// Malformed input must yield typed errors — never a panic, a hang,
+    /// or a huge allocation.
+    fn kind_of(bytes: &[u8]) -> std::io::ErrorKind {
+        let mut r = BufReader::new(bytes);
+        match Response::read_from(&mut r) {
+            Err(e) => e.kind(),
+            Ok(resp) => panic!("malformed input parsed as {resp:?}"),
+        }
+    }
+
+    #[test]
+    fn empty_stream_is_unexpected_eof() {
+        assert_eq!(kind_of(b""), std::io::ErrorKind::UnexpectedEof);
+    }
+
+    #[test]
+    fn truncated_frames_are_typed_errors() {
+        // Head cut off mid-token (EOF before the newline).
+        assert_eq!(kind_of(b"+OK vi"), std::io::ErrorKind::InvalidData);
+        // Output block shorter than declared.
+        assert_eq!(kind_of(b"*3\none\ntwo\n"), std::io::ErrorKind::UnexpectedEof);
+        // Count line truncated to bare `*`.
+        assert_eq!(kind_of(b"*\n"), std::io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn oversized_output_blocks_are_rejected_without_allocating() {
+        // Within usize range but far past the cap: must be InvalidData,
+        // not a multi-gigabyte Vec reservation.
+        assert_eq!(kind_of(b"*9999999999\nx\n"), std::io::ErrorKind::InvalidData);
+        // Count overflowing usize entirely.
+        assert_eq!(
+            kind_of(b"*99999999999999999999999999\n"),
+            std::io::ErrorKind::InvalidData
+        );
+        // Exactly at the cap boundary + 1.
+        let head = format!("*{}\n", MAX_OUTPUT_LINES + 1);
+        assert_eq!(kind_of(head.as_bytes()), std::io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn non_utf8_bytes_are_typed_errors() {
+        assert_eq!(kind_of(b"+OK view=\xff\xfe\n"), std::io::ErrorKind::InvalidData);
+        assert_eq!(kind_of(b"\xf0\x28\x8c\x28\n"), std::io::ErrorKind::InvalidData);
+        // Non-UTF-8 inside an output block.
+        assert_eq!(kind_of(b"*1\n\xff\xff\n"), std::io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn negative_and_nonsense_counts_are_rejected() {
+        assert_eq!(kind_of(b"*-1\nx\n"), std::io::ErrorKind::InvalidData);
+        assert_eq!(kind_of(b"*two\n"), std::io::ErrorKind::InvalidData);
     }
 }

@@ -7,6 +7,7 @@
 //! simplest thing that is obviously correct; an async runtime would add
 //! machinery without adding capacity.
 
+use crate::faults::{FaultKind, FaultPlan, BUSY_MESSAGE};
 use crate::model::DeviceModel;
 use crate::protocol::Response;
 use crate::session::{Accepted, Session};
@@ -32,7 +33,20 @@ pub struct DeviceServer {
 
 impl DeviceServer {
     /// Bind to an ephemeral localhost port and start serving `model`.
+    ///
+    /// Honors the `NASSIM_FAULTS=seed:rate` environment knob: when set,
+    /// the server injects deterministic faults via a [`FaultPlan`]
+    /// seeded from it (see [`crate::faults`]).
     pub fn spawn(model: Arc<DeviceModel>) -> io::Result<DeviceServer> {
+        DeviceServer::spawn_with(model, FaultPlan::from_env().map(Arc::new))
+    }
+
+    /// Spawn with an explicit fault-injection plan (`None` = a faithful
+    /// device; tests and chaos harnesses pass their own seeded plan).
+    pub fn spawn_with(
+        model: Arc<DeviceModel>,
+        faults: Option<Arc<FaultPlan>>,
+    ) -> io::Result<DeviceServer> {
         let listener = TcpListener::bind(("127.0.0.1", 0))?;
         let addr = listener.local_addr()?;
         let shutdown = Arc::new(AtomicBool::new(false));
@@ -53,19 +67,32 @@ impl DeviceServer {
                     let model = Arc::clone(&model);
                     let conn_shutdown = Arc::clone(&accept_shutdown);
                     let conn_errors = Arc::clone(&accept_errors);
+                    let conn_faults = faults.clone();
                     // A failed session is a client problem, not a server
                     // problem: record the typed error and keep accepting.
                     let spawned = std::thread::Builder::new()
                         .name("device-session".to_string())
                         .spawn(move || {
-                            if let Err(e) = serve_connection(stream, &model, &conn_shutdown) {
+                            if let Err(e) = serve_connection(
+                                stream,
+                                &model,
+                                &conn_shutdown,
+                                conn_faults.as_deref(),
+                            ) {
                                 conn_errors.lock().push(NassimError::Device {
                                     reason: format!("session failed: {e}"),
                                 });
                             }
                         });
                     match spawned {
-                        Ok(handle) => accept_conns.lock().push(handle),
+                        Ok(handle) => {
+                            // Reap finished session threads as we go, so
+                            // long-lived servers don't accumulate one dead
+                            // JoinHandle per past connection.
+                            let mut conns = accept_conns.lock();
+                            conns.retain(|h| !h.is_finished());
+                            conns.push(handle);
+                        }
                         Err(e) => {
                             // Thread exhaustion: this connection is dropped,
                             // but the server keeps serving others.
@@ -94,6 +121,13 @@ impl DeviceServer {
     /// Drain the typed errors recorded by failed or unspawnable sessions.
     pub fn take_session_errors(&self) -> Vec<NassimError> {
         std::mem::take(&mut *self.session_errors.lock())
+    }
+
+    /// Connection threads still running (reaps finished ones first).
+    pub fn live_sessions(&self) -> usize {
+        let mut conns = self.conn_threads.lock();
+        conns.retain(|h| !h.is_finished());
+        conns.len()
     }
 
     /// Stop accepting and join all threads.
@@ -129,6 +163,7 @@ fn serve_connection(
     stream: TcpStream,
     model: &DeviceModel,
     shutdown: &AtomicBool,
+    faults: Option<&FaultPlan>,
 ) -> io::Result<()> {
     stream.set_read_timeout(Some(std::time::Duration::from_millis(200)))?;
     let mut reader = BufReader::new(stream.try_clone()?);
@@ -160,6 +195,34 @@ fn serve_connection(
         let input = line.trim_end_matches(['\r', '\n']);
         if input == "\u{4}" || input == "logout" {
             return Ok(());
+        }
+        // Chaos layer: the fault plan decides per request whether this
+        // one fails, and how (each injection is recorded in the plan's
+        // drainable log).
+        if let Some(plan) = faults {
+            match plan.decide(input) {
+                Some(FaultKind::Reset) => return Ok(()), // drop mid-session
+                Some(FaultKind::Delay) => {
+                    // Stall past the client deadline, then answer anyway
+                    // (the write usually lands on a hung-up peer).
+                    plan.sleep_delay(shutdown);
+                }
+                Some(FaultKind::Garble) => {
+                    writer.write_all(b"?garbled-frame 0xdeadbeef\n")?;
+                    writer.flush()?;
+                    line.clear();
+                    continue;
+                }
+                Some(FaultKind::Busy) => {
+                    Response::Err {
+                        message: BUSY_MESSAGE.to_string(),
+                    }
+                    .write_to(&mut writer)?;
+                    line.clear();
+                    continue;
+                }
+                None => {}
+            }
         }
         let response = match session.exec(input) {
             Ok(Accepted::Output(lines)) => Response::Output { lines },
@@ -303,6 +366,70 @@ mod tests {
     fn stop_is_idempotent() {
         let mut server = DeviceServer::spawn(model()).unwrap();
         server.stop();
+        server.stop();
+    }
+
+    #[test]
+    fn finished_session_threads_are_reaped() {
+        let mut server = DeviceServer::spawn(model()).unwrap();
+        for _ in 0..16 {
+            let mut client = DeviceClient::connect(server.addr()).unwrap();
+            client.exec("sysname probe").unwrap();
+            client.exec("logout").unwrap_err(); // server closes, read EOFs
+        }
+        // Closed sessions exit promptly; live_sessions reaps them. Poll
+        // briefly to absorb thread-exit latency.
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
+        while server.live_sessions() > 0 && std::time::Instant::now() < deadline {
+            std::thread::sleep(std::time::Duration::from_millis(20));
+        }
+        assert_eq!(server.live_sessions(), 0, "dead session threads not reaped");
+        server.stop();
+    }
+
+    #[test]
+    fn busy_fault_is_injected_and_logged() {
+        let plan = Arc::new(FaultPlan::new(
+            1,
+            crate::faults::FaultRates { busy: 1.0, ..Default::default() },
+        ));
+        let mut server = DeviceServer::spawn_with(model(), Some(Arc::clone(&plan))).unwrap();
+        let mut client = DeviceClient::connect(server.addr()).unwrap();
+        match client.exec("sysname core1").unwrap() {
+            Response::Err { message } => assert!(message.starts_with("busy"), "{message}"),
+            other => panic!("expected injected busy, got {other:?}"),
+        }
+        let log = plan.take_injections();
+        assert_eq!(log.len(), 1);
+        assert_eq!(log[0].kind, FaultKind::Busy);
+        assert_eq!(log[0].request, "sysname core1");
+        server.stop();
+    }
+
+    #[test]
+    fn reset_fault_drops_the_connection() {
+        let plan = Arc::new(FaultPlan::new(
+            2,
+            crate::faults::FaultRates { reset: 1.0, ..Default::default() },
+        ));
+        let mut server = DeviceServer::spawn_with(model(), Some(Arc::clone(&plan))).unwrap();
+        let mut client = DeviceClient::connect(server.addr()).unwrap();
+        let err = client.exec("sysname core1").unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::UnexpectedEof, "{err}");
+        assert_eq!(plan.take_injections()[0].kind, FaultKind::Reset);
+        server.stop();
+    }
+
+    #[test]
+    fn garble_fault_is_unparseable_but_typed() {
+        let plan = Arc::new(FaultPlan::new(
+            3,
+            crate::faults::FaultRates { garble: 1.0, ..Default::default() },
+        ));
+        let mut server = DeviceServer::spawn_with(model(), Some(Arc::clone(&plan))).unwrap();
+        let mut client = DeviceClient::connect(server.addr()).unwrap();
+        let err = client.exec("sysname core1").unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData, "{err}");
         server.stop();
     }
 }

@@ -174,11 +174,10 @@ impl<'m> Session<'m> {
     }
 
     /// True if `line` (exact text, any indentation level) is present in
-    /// the stored configuration — the §5.3 read-back check.
+    /// the stored configuration — the §5.3 read-back check. Both sides
+    /// are fully trimmed so trailing whitespace never breaks the match.
     pub fn has_config_line(&self, line: &str) -> bool {
-        self.render_config()
-            .iter()
-            .any(|l| l.trim_start() == line.trim())
+        self.render_config().iter().any(|l| l.trim() == line.trim())
     }
 }
 
@@ -265,6 +264,19 @@ mod tests {
         s.exec("peer 10.0.0.2 as-number 65002").unwrap();
         assert!(s.has_config_line("peer 10.0.0.2 as-number 65002"));
         assert!(!s.has_config_line("peer 10.0.0.3 as-number 65002"));
+    }
+
+    #[test]
+    fn readback_ignores_trailing_whitespace() {
+        let m = model();
+        let mut s = Session::new(&m);
+        s.exec("bgp 65001").unwrap();
+        s.exec("router-id 1.1.1.1").unwrap();
+        // Queries with stray trailing/leading whitespace still match the
+        // stored (indented) line.
+        assert!(s.has_config_line("router-id 1.1.1.1 "));
+        assert!(s.has_config_line("  router-id 1.1.1.1  "));
+        assert!(!s.has_config_line("router-id 1.1.1.2 "));
     }
 
     #[test]

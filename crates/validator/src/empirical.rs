@@ -16,15 +16,18 @@
 
 use nassim_cgm::{generate, matching::is_cli_match, CliGraph};
 use nassim_corpus::{Vdm, VdmNodeId};
-use nassim_device::{DeviceClient, Response};
+use nassim_device::resilient::{
+    Clock, Navigated, ResilienceError, ResiliencePolicy, ResilientClient, RetryEvent, WallClock,
+};
+use nassim_device::Response;
 use nassim_diag::NassimError;
 use nassim_syntax::parse_template;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use serde::Serialize;
 use std::collections::BTreeMap;
-use std::io;
 use std::net::SocketAddr;
+use std::sync::Arc;
 
 /// Why a config line failed validation (Figure 8's recorded reasons).
 #[derive(Debug, Clone, PartialEq, Eq, Serialize)]
@@ -207,6 +210,17 @@ pub fn validate_config_files<'a>(
     report
 }
 
+/// A node skipped after the resilience layer gave up on it — §5.3's
+/// graceful-degradation bucket: the run still completes and reports,
+/// the skipped nodes carry their cause for expert follow-up.
+#[derive(Debug, Clone)]
+pub struct SkippedNode {
+    pub template: String,
+    pub instance: String,
+    /// Why the node was abandoned (retries exhausted, circuit open, …).
+    pub cause: String,
+}
+
 /// Result of pushing generated instances at a live device.
 #[derive(Debug, Clone, Default)]
 pub struct DeviceValidation {
@@ -218,33 +232,138 @@ pub struct DeviceValidation {
     pub readback_ok: usize,
     /// Failures: (template, instance, what went wrong).
     pub failures: Vec<(String, String, String)>,
+    /// Nodes abandoned after the retry budget / per-op retries ran out.
+    /// A non-empty bucket means the run degraded but still completed.
+    pub degraded: Vec<SkippedNode>,
+    /// Total client-side retries performed while masking faults.
+    pub retries: u64,
+    /// Reconnects (each implies the opener chain was re-navigated).
+    pub reconnects: u64,
+    /// Every retry, in order, for diagnostics.
+    pub retry_events: Vec<RetryEvent>,
+}
+
+impl DeviceValidation {
+    /// Surface the run's recovery history and losses as `empirical`-stage
+    /// diagnostics: every retry a note, every failure/degradation a
+    /// warning.
+    pub fn diagnostics(&self) -> Vec<nassim_diag::Diagnostic> {
+        use nassim_diag::{Diagnostic, Stage};
+        let mut out = Vec::new();
+        for ev in &self.retry_events {
+            out.push(Diagnostic::note(
+                Stage::Empirical,
+                format!(
+                    "device op `{}` retried (attempt {}, backoff {:?}): {}",
+                    ev.op,
+                    ev.attempt + 1,
+                    ev.backoff,
+                    ev.reason
+                ),
+            ));
+        }
+        for (template, instance, why) in &self.failures {
+            out.push(Diagnostic::warning(
+                Stage::Empirical,
+                format!("device validation failed for `{template}` (instance `{instance}`): {why}"),
+            ));
+        }
+        for skipped in &self.degraded {
+            out.push(Diagnostic::warning(
+                Stage::Empirical,
+                format!(
+                    "device validation degraded: `{}` skipped after exhausting retries: {}",
+                    skipped.template, skipped.cause
+                ),
+            ));
+        }
+        out
+    }
+}
+
+/// Configuration of the device-push loop: instance seed plus the
+/// resilience policy and clock the [`ResilientClient`] runs under.
+pub struct DevicePush {
+    /// Seed for instance generation (same seed → same instances).
+    pub seed: u64,
+    /// Retry/backoff/reconnect policy.
+    pub policy: ResiliencePolicy,
+    /// Sleep source for backoff — inject a manual clock in tests so no
+    /// retry ever sleeps wall-clock.
+    pub clock: Arc<dyn Clock>,
+    /// Whole-node redo attempts when a reconnect loses per-session
+    /// device state mid-sequence (a fresh CLI session has an empty
+    /// running configuration, so the push + read-back must restart).
+    pub node_attempts: u32,
+}
+
+impl DevicePush {
+    pub fn new(seed: u64) -> DevicePush {
+        DevicePush {
+            seed,
+            policy: ResiliencePolicy::default(),
+            clock: Arc::new(WallClock),
+            node_attempts: 4,
+        }
+    }
+}
+
+/// What one node's push + read-back sequence concluded.
+enum NodeOutcome {
+    /// Accepted and found in the running configuration.
+    Confirmed,
+    /// Operational (`display`-class) command: executing it *is* the
+    /// check; there is no config line to read back.
+    Operational,
+    /// Accepted but missing from the running configuration.
+    ReadbackMissing,
+    /// The device rejected an opener on the navigation chain.
+    OpenerRejected { opener: String, message: String },
+    /// The device rejected the instance itself.
+    Rejected { message: String },
 }
 
 /// Generate one instance per node in `nodes` and push it to the device at
 /// `addr`, navigating the opener chain first (§5.3's scheme for commands
-/// unused in empirical configurations).
+/// unused in empirical configurations). Default resilience policy and
+/// wall clock; see [`validate_on_device_with`] for the knobs.
 pub fn validate_on_device(
     vdm: &Vdm,
     nodes: &[VdmNodeId],
     addr: SocketAddr,
     seed: u64,
 ) -> Result<DeviceValidation, NassimError> {
-    let dev_err = |context: &str, e: io::Error| NassimError::Device {
-        reason: format!("{context}: {e}"),
-    };
+    validate_on_device_with(vdm, nodes, addr, &DevicePush::new(seed))
+}
+
+/// The resilient device-push loop.
+///
+/// Failures are isolated per node: transient channel faults (resets,
+/// stalls, garbled frames, `busy`) are masked by retry/reconnect inside
+/// [`ResilientClient`]; a node whose retries run out lands in
+/// [`DeviceValidation::degraded`] and the loop moves on. The only hard
+/// error is failing to reach the device at all.
+pub fn validate_on_device_with(
+    vdm: &Vdm,
+    nodes: &[VdmNodeId],
+    addr: SocketAddr,
+    cfg: &DevicePush,
+) -> Result<DeviceValidation, NassimError> {
     let matcher = VdmMatcher::new(vdm);
-    let mut rng = StdRng::seed_from_u64(seed);
-    let mut client =
-        DeviceClient::connect(addr).map_err(|e| dev_err("connect to device", e))?;
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut client = ResilientClient::connect(addr, cfg.policy.clone(), Arc::clone(&cfg.clock))
+        .map_err(|e| NassimError::Device {
+            reason: format!("connect to device: {e}"),
+        })?;
     let mut out = DeviceValidation::default();
 
-    'nodes: for &id in nodes {
+    for &id in nodes {
         let Some(graph) = matcher.graph(id) else { continue };
         out.nodes_tested += 1;
         let instance = generate::sample_instance(graph, &mut rng);
         let template = vdm.node(id).template.clone();
 
-        // Navigate: enter the opener chain of the node's view.
+        // The opener chain of the node's view, root-first.
         let mut chain: Vec<VdmNodeId> = Vec::new();
         let mut cur = vdm.node(id).parent;
         while let Some(c) = cur {
@@ -255,52 +374,117 @@ pub fn validate_on_device(
             cur = vdm.node(c).parent;
         }
         chain.reverse();
-        let _ = client.exec("return");
+        // Sample every opener instance up front: node retries replay the
+        // exact same lines, and the RNG stream consumed per node does not
+        // depend on how many faults were injected.
+        let mut openers: Vec<String> = Vec::with_capacity(chain.len());
+        let mut unparseable = false;
         for &opener in &chain {
-            let Some(og) = matcher.graph(opener) else {
-                out.failures.push((template.clone(), instance.clone(),
-                    "opener template unparseable".into()));
-                continue 'nodes;
-            };
-            let oi = generate::sample_instance(og, &mut rng);
-            match client.exec(&oi).map_err(|e| dev_err("exec opener", e))? {
-                Response::Ok { .. } => {}
-                Response::Err { message } => {
-                    out.failures.push((template.clone(), oi, format!("opener rejected: {message}")));
-                    continue 'nodes;
+            match matcher.graph(opener) {
+                Some(og) => openers.push(generate::sample_instance(og, &mut rng)),
+                None => {
+                    out.failures.push((
+                        template.clone(),
+                        instance.clone(),
+                        "opener template unparseable".into(),
+                    ));
+                    unparseable = true;
+                    break;
                 }
-                Response::Output { .. } => {}
             }
         }
-        // Issue the instance itself.
-        match client.exec(&instance).map_err(|e| dev_err("exec instance", e))? {
-            Response::Ok { .. } => {
-                out.accepted += 1;
-                if client
-                    .has_config_line(&instance)
-                    .map_err(|e| dev_err("read back configuration", e))?
-                {
+        if unparseable {
+            continue;
+        }
+
+        let mut attempt = 0u32;
+        loop {
+            attempt += 1;
+            let generation = client.generation();
+            match push_node(&mut client, &openers, &instance) {
+                Ok(NodeOutcome::Confirmed) | Ok(NodeOutcome::Operational) => {
+                    out.accepted += 1;
                     out.readback_ok += 1;
-                } else {
+                }
+                Ok(NodeOutcome::ReadbackMissing) => {
+                    // A reconnect between push and read-back opens a fresh
+                    // session whose running config is empty — the miss says
+                    // nothing about the device. Redo the whole node.
+                    if client.generation() != generation && attempt < cfg.node_attempts {
+                        continue;
+                    }
+                    out.accepted += 1;
                     out.failures.push((
-                        template,
-                        instance,
+                        template.clone(),
+                        instance.clone(),
                         "accepted but absent from running configuration".into(),
                     ));
                 }
+                Ok(NodeOutcome::OpenerRejected { opener, message }) => {
+                    out.failures.push((
+                        template.clone(),
+                        opener,
+                        format!("opener rejected: {message}"),
+                    ));
+                }
+                Ok(NodeOutcome::Rejected { message }) => {
+                    out.failures.push((
+                        template.clone(),
+                        instance.clone(),
+                        format!("rejected: {message}"),
+                    ));
+                }
+                Err(e) => {
+                    // Graceful degradation: this node is abandoned, the
+                    // run continues. With the circuit open, the remaining
+                    // nodes fall through here without touching the wire.
+                    out.degraded.push(SkippedNode {
+                        template: template.clone(),
+                        instance: instance.clone(),
+                        cause: e.to_string(),
+                    });
+                }
             }
-            Response::Output { .. } => {
-                // Operational (`display`-class) command: executing it *is*
-                // the check; there is no config line to read back.
-                out.accepted += 1;
-                out.readback_ok += 1;
-            }
-            Response::Err { message } => {
-                out.failures.push((template, instance, format!("rejected: {message}")));
-            }
+            break;
         }
     }
+    let stats = client.stats();
+    out.retries = stats.retries;
+    out.reconnects = stats.reconnects;
+    out.retry_events = client.take_events();
     Ok(out)
+}
+
+/// One node's full sequence: navigate the opener chain, push the
+/// instance, read back. All ops go through the resilient client.
+fn push_node(
+    client: &mut ResilientClient,
+    openers: &[String],
+    instance: &str,
+) -> Result<NodeOutcome, ResilienceError> {
+    match client.navigate(openers)? {
+        Navigated::Rejected { opener, message } => {
+            return Ok(NodeOutcome::OpenerRejected { opener, message });
+        }
+        Navigated::Entered => {}
+    }
+    match client.exec(instance)? {
+        Response::Ok { .. } => match client.exec("display current-configuration")? {
+            Response::Output { lines } => {
+                if lines.iter().any(|l| l.trim() == instance.trim()) {
+                    Ok(NodeOutcome::Confirmed)
+                } else {
+                    Ok(NodeOutcome::ReadbackMissing)
+                }
+            }
+            // A non-output answer to `display` means the response stream
+            // desynchronised; treat like a missing read-back (the caller
+            // redoes the node if the session dropped).
+            _ => Ok(NodeOutcome::ReadbackMissing),
+        },
+        Response::Output { .. } => Ok(NodeOutcome::Operational),
+        Response::Err { message } => Ok(NodeOutcome::Rejected { message }),
+    }
 }
 
 #[cfg(test)]
@@ -399,6 +583,111 @@ mod tests {
         assert_eq!(result.accepted, 3, "failures: {:?}", result.failures);
         assert_eq!(result.readback_ok, 3);
         server.stop();
+    }
+
+    /// The firmware mirror of `vdm()` used by the resilience tests.
+    fn device_model() -> nassim_device::DeviceModel {
+        use nassim_device::DeviceModel;
+        let mut m = DeviceModel::new("system view");
+        m.add_view("BGP view", "system view").unwrap();
+        m.add_command("system view", "bgp <as-number>", Some("BGP view")).unwrap();
+        m.add_command("BGP view", "peer <ipv4-address> as-number <as-number>", None).unwrap();
+        m.add_command("system view", "sysname <host-name>", None).unwrap();
+        m
+    }
+
+    #[test]
+    fn transient_faults_are_masked_by_retry() {
+        use nassim_device::faults::FaultPlan;
+        use nassim_device::resilient::{ManualClock, ResiliencePolicy};
+        use nassim_device::DeviceServer;
+        use std::sync::Arc;
+        use std::time::Duration;
+
+        let v = vdm();
+        let plan = Arc::new(FaultPlan::uniform(5, 0.25).with_delay(Duration::from_millis(120)));
+        let mut server =
+            DeviceServer::spawn_with(Arc::new(device_model()), Some(Arc::clone(&plan))).unwrap();
+        let clock = Arc::new(ManualClock::new());
+        let cfg = DevicePush {
+            seed: 7,
+            policy: ResiliencePolicy {
+                op_timeout: Duration::from_millis(60),
+                connect_timeout: Duration::from_secs(2),
+                max_retries: 16,
+                base_backoff: Duration::from_millis(20),
+                max_backoff: Duration::from_millis(500),
+                retry_budget: 10_000,
+            },
+            clock: Arc::clone(&clock) as Arc<dyn nassim_device::resilient::Clock>,
+            node_attempts: 8,
+        };
+        let nodes: Vec<VdmNodeId> = v.walk();
+        let result = validate_on_device_with(&v, &nodes, server.addr(), &cfg).unwrap();
+        server.stop();
+
+        // Same counts as the fault-free run: every transient fault masked.
+        assert_eq!(result.nodes_tested, 3);
+        assert_eq!(result.accepted, 3, "failures: {:?}", result.failures);
+        assert_eq!(result.readback_ok, 3);
+        assert!(result.degraded.is_empty(), "degraded: {:?}", result.degraded);
+        // Faults were really injected and really retried…
+        let injected = plan.take_injections();
+        assert!(!injected.is_empty(), "no faults injected at 25%");
+        assert!(result.retries > 0);
+        // …and every retry surfaced as a diagnostic note.
+        let diags = result.diagnostics();
+        let notes = diags
+            .iter()
+            .filter(|d| d.severity == nassim_diag::Severity::Note)
+            .count();
+        assert_eq!(notes as u64, result.retries);
+        // No retry ever slept wall-clock: backoffs went to the manual clock.
+        assert_eq!(clock.slept().len() as u64, result.retries);
+    }
+
+    #[test]
+    fn dead_device_degrades_gracefully_instead_of_aborting() {
+        use nassim_device::faults::{FaultPlan, FaultRates};
+        use nassim_device::resilient::{ManualClock, ResiliencePolicy};
+        use nassim_device::DeviceServer;
+        use std::sync::Arc;
+        use std::time::Duration;
+
+        let v = vdm();
+        // Every request answers busy, forever: retries can never win.
+        let plan = Arc::new(FaultPlan::new(9, FaultRates { busy: 1.0, ..Default::default() }));
+        let mut server =
+            DeviceServer::spawn_with(Arc::new(device_model()), Some(plan)).unwrap();
+        let cfg = DevicePush {
+            seed: 7,
+            policy: ResiliencePolicy {
+                op_timeout: Duration::from_millis(200),
+                max_retries: 2,
+                retry_budget: 5,
+                base_backoff: Duration::from_millis(1),
+                ..Default::default()
+            },
+            clock: Arc::new(ManualClock::new()),
+            node_attempts: 2,
+        };
+        let nodes: Vec<VdmNodeId> = v.walk();
+        let result = validate_on_device_with(&v, &nodes, server.addr(), &cfg).unwrap();
+        server.stop();
+
+        // The run completed — no whole-run abort — with every node in the
+        // degraded bucket and zero spurious failures.
+        assert_eq!(result.nodes_tested, 3);
+        assert_eq!(result.accepted, 0);
+        assert_eq!(result.degraded.len(), 3, "degraded: {:?}", result.degraded);
+        assert!(result.failures.is_empty());
+        // Degradations surface as warnings.
+        let diags = result.diagnostics();
+        let warnings = diags
+            .iter()
+            .filter(|d| d.severity == nassim_diag::Severity::Warning)
+            .count();
+        assert_eq!(warnings, 3);
     }
 
     #[test]

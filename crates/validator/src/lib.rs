@@ -28,7 +28,10 @@ pub mod report;
 pub mod syntax_stage;
 pub mod vdm_build;
 
-pub use empirical::{validate_config_files, EmpiricalReport};
+pub use empirical::{
+    validate_config_files, validate_on_device, validate_on_device_with, DevicePush,
+    DeviceValidation, EmpiricalReport, SkippedNode,
+};
 pub use hierarchy::{derive_hierarchy, Derivation};
 pub use report::VdmConstructionReport;
 pub use syntax_stage::{audit_corpus, SyntaxAudit};

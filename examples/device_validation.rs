@@ -4,14 +4,22 @@
 //!
 //! ```sh
 //! cargo run --release --example device_validation
+//! NASSIM_FAULTS=7:0.05 cargo run --release --example device_validation
 //! ```
+//!
+//! With `NASSIM_FAULTS=seed:rate` set, the spawned device injects
+//! connection resets, stalled responses, garbled frames and transient
+//! `busy` errors at the given rate — and the resilient client masks them
+//! (watch the retry/reconnect counters), so the validation counts should
+//! not change.
 
 use nassim::datasets::{catalog::Catalog, configgen, manualgen, style};
-use nassim::deviceize::device_model_from_catalog;
+use nassim::deviceize::{spawn_device, DeviceSpawnOptions};
 use nassim::parser::parser_for;
 use nassim::pipeline::assimilate;
-use nassim::validator::empirical::{validate_config_files, validate_on_device};
-use std::sync::Arc;
+use nassim::validator::empirical::{validate_config_files, validate_on_device_with, DevicePush};
+use nassim_device::resilient::ResiliencePolicy;
+use std::time::Duration;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // The validated VDM of a vendor (clean manual for brevity).
@@ -63,17 +71,41 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         unused.len()
     );
 
-    let model = device_model_from_catalog(&catalog, &style)?;
-    let mut server = nassim::device::DeviceServer::spawn(Arc::new(model))?;
+    // `spawn_device` honors NASSIM_FAULTS=seed:rate for chaos testing.
+    let mut server = spawn_device(&catalog, &style, DeviceSpawnOptions::default())?;
     println!("simulated device listening on {}", server.addr());
 
-    let outcome = validate_on_device(vdm, &unused, server.addr(), 9)?;
+    // Loopback device → a snappy deadline (injected stalls cost
+    // milliseconds, not the 10 s real-device default) and generous
+    // retries, so even a heavy NASSIM_FAULTS rate is fully masked.
+    let cfg = DevicePush {
+        policy: ResiliencePolicy {
+            op_timeout: Duration::from_millis(100),
+            base_backoff: Duration::from_millis(5),
+            max_backoff: Duration::from_millis(80),
+            max_retries: 16,
+            retry_budget: 100_000,
+            ..Default::default()
+        },
+        node_attempts: 8,
+        ..DevicePush::new(9)
+    };
+    let outcome = validate_on_device_with(vdm, &unused, server.addr(), &cfg)?;
     println!(
         "device validation: {} tested, {} accepted, {} confirmed by read-back",
         outcome.nodes_tested, outcome.accepted, outcome.readback_ok
     );
+    println!(
+        "resilience: {} retries, {} reconnects, {} nodes degraded",
+        outcome.retries,
+        outcome.reconnects,
+        outcome.degraded.len()
+    );
     for (template, instance, why) in outcome.failures.iter().take(5) {
         println!("  FAILED {template} (instance `{instance}`): {why}");
+    }
+    for skipped in outcome.degraded.iter().take(5) {
+        println!("  DEGRADED {} ({}): {}", skipped.template, skipped.instance, skipped.cause);
     }
     server.stop();
     Ok(())
