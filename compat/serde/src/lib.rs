@@ -116,6 +116,21 @@ macro_rules! impl_serde_float {
 
 impl_serde_float!(f32, f64);
 
+// Identity impls so callers can round-trip untyped JSON trees
+// (`serde_json::from_str::<serde::Value>` — the shape-gate idiom the
+// bench bins use to validate what they just wrote).
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        Ok(v.clone())
+    }
+}
+
 impl Serialize for bool {
     fn to_value(&self) -> Value {
         Value::Bool(*self)

@@ -33,4 +33,4 @@ pub use nassim_parser as parser;
 pub use nassim_syntax as syntax;
 pub use nassim_validator as validator;
 
-pub use pipeline::{assimilate, Assimilation};
+pub use pipeline::{assimilate, assimilate_with, Assimilation};

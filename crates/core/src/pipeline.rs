@@ -1,7 +1,8 @@
 //! The VDM construction pipeline (paper Figure 2, end to end).
 
 use nassim_diag::{DiagReport, NassimError};
-use nassim_parser::{run_parser, ParseRun, VendorParser};
+use nassim_html::IngestBudget;
+use nassim_parser::{run_parser_with, ParseRun, VendorParser};
 use nassim_validator::hierarchy::Derivation;
 use nassim_validator::syntax_stage::SyntaxAudit;
 use nassim_validator::vdm_build::VdmBuild;
@@ -67,14 +68,26 @@ impl Assimilation {
     }
 }
 
-/// Run the full construction phase: parse → audit → derive → build.
+/// Run the full construction phase: parse → audit → derive → build,
+/// under the default (generous) [`IngestBudget`].
 ///
 /// Defective pages never abort the run — each becomes a diagnostic and
-/// the rest of the manual still assimilates. The only hard error is a
-/// manual with no pages at all ([`NassimError::EmptyManual`]).
+/// the rest of the manual still assimilates; pages that blow an
+/// ingestion ceiling or panic a parser worker are quarantined and the
+/// clean subset proceeds. The only hard error is a manual with no pages
+/// at all ([`NassimError::EmptyManual`]).
 pub fn assimilate<'a>(
     parser: &dyn VendorParser,
     pages: impl IntoIterator<Item = (&'a str, &'a str)>,
+) -> Result<Assimilation, NassimError> {
+    assimilate_with(parser, pages, &IngestBudget::default())
+}
+
+/// [`assimilate`] with an explicit per-page [`IngestBudget`].
+pub fn assimilate_with<'a>(
+    parser: &dyn VendorParser,
+    pages: impl IntoIterator<Item = (&'a str, &'a str)>,
+    budget: &IngestBudget,
 ) -> Result<Assimilation, NassimError> {
     let pages: Vec<(&str, &str)> = pages.into_iter().collect();
     if pages.is_empty() {
@@ -82,7 +95,7 @@ pub fn assimilate<'a>(
             vendor: parser.vendor().to_string(),
         });
     }
-    let parse = run_parser(parser, pages);
+    let parse = run_parser_with(parser, pages, budget);
     let syntax = audit_corpus(&parse.pages);
     let derivation = derive_hierarchy(&parse.pages);
     let build = build_vdm(parser.vendor(), &parse.pages, &derivation);

@@ -28,6 +28,7 @@
 
 pub mod catalog;
 pub mod configgen;
+pub mod corrupt;
 pub mod manualgen;
 pub mod style;
 pub mod textcorpus;
@@ -35,5 +36,6 @@ pub mod udmgen;
 pub mod words;
 
 pub use catalog::{Catalog, CatalogCommand, CatalogParam, ViewDef};
+pub use corrupt::{CorruptKind, CorruptRates, CorruptionPlan, InjectedCorruption};
 pub use manualgen::{InjectedDefect, Manual, ManualPage};
 pub use style::{VendorStyle, VENDORS};

@@ -115,7 +115,7 @@ impl Manual {
 }
 
 /// FNV-1a, used to derive per-page RNG streams from the master seed.
-fn fnv1a(s: &str) -> u64 {
+pub(crate) fn fnv1a(s: &str) -> u64 {
     let mut h: u64 = 0xcbf29ce484222325;
     for b in s.as_bytes() {
         h ^= *b as u64;

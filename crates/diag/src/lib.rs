@@ -342,6 +342,22 @@ pub enum NassimError {
     },
     /// An assimilation run was handed zero pages.
     EmptyManual { vendor: String },
+    /// A manual page exceeded an ingestion resource ceiling and was
+    /// quarantined (bytes/tokens/nodes — see `nassim-html`'s budgets).
+    BudgetExhausted {
+        vendor: String,
+        url: String,
+        resource: String,
+        used: usize,
+        cap: usize,
+    },
+    /// A vendor parser panicked on one page; the page was quarantined
+    /// and the panic payload preserved here.
+    PagePanic {
+        vendor: String,
+        url: String,
+        payload: String,
+    },
     /// Hierarchy derivation failed outright.
     Hierarchy { reason: String },
     /// Device-model construction / softdevice failure.
@@ -372,6 +388,7 @@ impl NassimError {
         match self {
             NassimError::UnknownVendor { .. } | NassimError::ParsePage { .. } => Stage::Parse,
             NassimError::EmptyManual { .. } => Stage::Parse,
+            NassimError::BudgetExhausted { .. } | NassimError::PagePanic { .. } => Stage::Parse,
             NassimError::Hierarchy { .. } => Stage::Hierarchy,
             NassimError::Device { .. } => Stage::Device,
             NassimError::Io { .. } => Stage::Internal,
@@ -382,7 +399,10 @@ impl NassimError {
     /// Convert into an error-severity [`Diagnostic`] for the report.
     pub fn to_diagnostic(&self) -> Diagnostic {
         let mut d = Diagnostic::error(self.stage(), self.to_string());
-        if let NassimError::ParsePage { url, vendor, .. } = self {
+        if let NassimError::ParsePage { url, vendor, .. }
+        | NassimError::BudgetExhausted { url, vendor, .. }
+        | NassimError::PagePanic { url, vendor, .. } = self
+        {
             d = d.with_span(SourceSpan::point(url.clone(), 0));
             d = d.with_vendor(vendor.clone());
         }
@@ -411,6 +431,25 @@ impl fmt::Display for NassimError {
             NassimError::EmptyManual { vendor } => {
                 write!(f, "manual for `{vendor}` contains no pages")
             }
+            NassimError::BudgetExhausted {
+                vendor,
+                url,
+                resource,
+                used,
+                cap,
+            } => write!(
+                f,
+                "{vendor} page {url} quarantined: ingestion budget exhausted \
+                 ({used} {resource} used, cap {cap})"
+            ),
+            NassimError::PagePanic {
+                vendor,
+                url,
+                payload,
+            } => write!(
+                f,
+                "{vendor} page {url} quarantined: parser worker panicked: {payload}"
+            ),
             NassimError::Hierarchy { reason } => write!(f, "hierarchy derivation failed: {reason}"),
             NassimError::Device { reason } => write!(f, "device error: {reason}"),
             NassimError::Io { context, reason } => write!(f, "I/O error while {context}: {reason}"),
@@ -499,6 +538,31 @@ mod tests {
         assert_eq!(d.stage, Stage::Parse);
         assert_eq!(d.span.as_ref().map(|s| s.source.as_str()), Some("manual://helix/bad"));
         assert_eq!(d.vendor.as_deref(), Some("helix"));
+    }
+
+    #[test]
+    fn quarantine_errors_are_spanned_parse_diagnostics() {
+        let budget = NassimError::BudgetExhausted {
+            vendor: "helix".into(),
+            url: "manual://helix/bomb".into(),
+            resource: "nodes".into(),
+            used: 150_001,
+            cap: 100_000,
+        };
+        assert_eq!(budget.stage(), Stage::Parse);
+        let d = budget.to_diagnostic();
+        assert_eq!(d.span.as_ref().map(|s| s.source.as_str()), Some("manual://helix/bomb"));
+        assert!(d.message.contains("150001 nodes used, cap 100000"));
+
+        let panic = NassimError::PagePanic {
+            vendor: "norsk".into(),
+            url: "manual://norsk/bad".into(),
+            payload: "index out of bounds".into(),
+        };
+        assert_eq!(panic.stage(), Stage::Parse);
+        let d = panic.to_diagnostic();
+        assert_eq!(d.vendor.as_deref(), Some("norsk"));
+        assert!(d.message.contains("index out of bounds"));
     }
 
     #[test]

@@ -18,11 +18,48 @@
 //! count of 1, run inline on the calling thread with no spawn at all.
 
 use std::cell::Cell;
+use std::fmt;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::OnceLock;
 
 /// Inputs shorter than this run serially: below it, spawn overhead
 /// dominates any possible win.
 pub const MIN_PARALLEL: usize = 4;
+
+/// A worker failure isolated to one input item.
+///
+/// Produced by [`par_map_isolated`] when the closure panicked on an item:
+/// `index` is the item's position in the input slice and `payload` is the
+/// panic payload rendered to text (the panic message for the
+/// overwhelmingly common `String`/`&str` payloads).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ExecError {
+    /// Index of the failing item in the original input slice.
+    pub index: usize,
+    /// The panic payload, rendered to text.
+    pub payload: String,
+}
+
+impl fmt::Display for ExecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "worker panicked at item {}: {}", self.index, self.payload)
+    }
+}
+
+impl std::error::Error for ExecError {}
+
+/// Render a panic payload to text. `panic!`/`assert!` payloads are
+/// `String` or `&str`; anything else (a `panic_any` with a custom type)
+/// degrades to a placeholder rather than being dropped silently.
+fn payload_to_string(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string panic payload>".to_string()
+    }
+}
 
 thread_local! {
     static THREAD_OVERRIDE: Cell<Option<usize>> = const { Cell::new(None) };
@@ -103,18 +140,27 @@ where
                     slice
                         .iter()
                         .enumerate()
-                        .map(|(i, t)| f(ci * chunk + i, t))
+                        .map(|(i, t)| {
+                            let index = ci * chunk + i;
+                            // Catch per item so a panic can be re-raised
+                            // carrying the failing item's index — a bare
+                            // join error only knows the chunk.
+                            match catch_unwind(AssertUnwindSafe(|| f(index, t))) {
+                                Ok(v) => v,
+                                Err(payload) => reraise_with_index(index, payload),
+                            }
+                        })
                         .collect::<Vec<U>>()
                 })
             })
             .collect();
         // Joining in spawn order gives the index-ordered merge. A worker
         // panic is propagated, not swallowed: resuming with a partial
-        // result would silently corrupt the fold.
-        #[allow(clippy::expect_used)]
+        // result would silently corrupt the fold. The payload was already
+        // annotated with the failing item index inside the worker.
         let joined: Vec<Vec<U>> = handles
             .into_iter()
-            .map(|h| h.join().expect("nassim-exec worker panicked"))
+            .map(|h| h.join().unwrap_or_else(|payload| resume_unwind(payload)))
             .collect();
         joined
     });
@@ -123,6 +169,63 @@ where
         out.extend(c);
     }
     out
+}
+
+/// Re-raise a caught panic, annotating string payloads with the failing
+/// item's index. Non-string payloads are resumed untouched — they may
+/// carry typed data a downstream `catch_unwind` wants to downcast.
+fn reraise_with_index(index: usize, payload: Box<dyn std::any::Any + Send>) -> ! {
+    if payload.is::<String>() || payload.is::<&str>() {
+        let msg = payload_to_string(payload.as_ref());
+        std::panic::panic_any(format!("worker panicked at item {index}: {msg}"));
+    }
+    resume_unwind(payload)
+}
+
+/// Map `f` over `items` in parallel with **per-item panic isolation**.
+///
+/// Each call to `f` runs under `catch_unwind`, so one item that panics
+/// yields an `Err(`[`ExecError`]`)` in its slot instead of poisoning the
+/// whole join — the surviving items still return, in deterministic input
+/// order. This is the fan-out primitive for ingesting adversarial input:
+/// one pathological manual page must never abort the other thousand.
+///
+/// `f` should be effectively panic-pure (no shared state left half
+/// mutated when it unwinds); the pipeline's page parsers take `&self` and
+/// build their output from scratch, which satisfies this trivially.
+pub fn par_map_isolated<T, U, F>(items: &[T], f: F) -> Vec<Result<U, ExecError>>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(&T) -> U + Sync,
+{
+    par_map_indexed(items, |index, item| {
+        catch_unwind(AssertUnwindSafe(|| f(item))).map_err(|payload| ExecError {
+            index,
+            payload: payload_to_string(payload.as_ref()),
+        })
+    })
+}
+
+/// Map a fallible `f` over `items` in parallel; first error wins.
+///
+/// All items run to completion (the fan-out is not cancelled mid-flight);
+/// if any returned `Err`, the error of the **lowest-indexed** failing
+/// item is returned — the same error a serial loop with `?` would have
+/// hit first, keeping parallel and serial runs indistinguishable.
+pub fn try_par_map<T, U, E, F>(items: &[T], f: F) -> Result<Vec<U>, E>
+where
+    T: Sync,
+    U: Send,
+    E: Send,
+    F: Fn(&T) -> Result<U, E> + Sync,
+{
+    let results: Vec<Result<U, E>> = par_map(items, f);
+    let mut out = Vec::with_capacity(results.len());
+    for r in results {
+        out.push(r?);
+    }
+    Ok(out)
 }
 
 /// Run two independent tasks concurrently and return both results.
@@ -143,11 +246,21 @@ where
         return (ra, rb);
     }
     std::thread::scope(|scope| {
-        let hb = scope.spawn(b);
+        let hb = scope.spawn(|| match catch_unwind(AssertUnwindSafe(b)) {
+            Ok(v) => v,
+            // Annotate before the unwind crosses the join, so the caller
+            // sees which task died with the original message intact.
+            Err(payload) => {
+                if payload.is::<String>() || payload.is::<&str>() {
+                    let msg = payload_to_string(payload.as_ref());
+                    std::panic::panic_any(format!("join2 second task panicked: {msg}"));
+                }
+                resume_unwind(payload)
+            }
+        });
         let ra = a();
         // Propagate a worker panic rather than fabricate a half-result.
-        #[allow(clippy::expect_used)]
-        let rb = hb.join().expect("nassim-exec worker panicked");
+        let rb = hb.join().unwrap_or_else(|payload| resume_unwind(payload));
         (ra, rb)
     })
 }
@@ -206,5 +319,100 @@ mod tests {
         let items: Vec<usize> = (0..5).collect();
         let got = with_threads(64, || par_map(&items, |x| x + 1));
         assert_eq!(got, vec![1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn isolated_map_survives_panicking_items() {
+        let items: Vec<u32> = (0..20).collect();
+        for n in [1, 4] {
+            let got = with_threads(n, || {
+                par_map_isolated(&items, |&x| {
+                    if x % 7 == 3 {
+                        panic!("boom on {x}");
+                    }
+                    x * 2
+                })
+            });
+            assert_eq!(got.len(), items.len());
+            for (i, r) in got.iter().enumerate() {
+                if i % 7 == 3 {
+                    let e = r.as_ref().expect_err("item should have panicked");
+                    assert_eq!(e.index, i);
+                    assert!(e.payload.contains(&format!("boom on {i}")), "{e}");
+                } else {
+                    assert_eq!(*r, Ok(i as u32 * 2));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn isolated_map_renders_non_string_payloads() {
+        let items = vec![0u8; 8];
+        let got = with_threads(2, || {
+            par_map_isolated(&items, |_| -> u8 { std::panic::panic_any(42u64) })
+        });
+        for r in got {
+            assert_eq!(
+                r.expect_err("all panic").payload,
+                "<non-string panic payload>"
+            );
+        }
+    }
+
+    #[test]
+    fn par_map_panic_carries_item_index() {
+        let items: Vec<u32> = (0..40).collect();
+        let caught = std::panic::catch_unwind(|| {
+            with_threads(4, || {
+                par_map(&items, |&x| {
+                    if x == 17 {
+                        panic!("original message");
+                    }
+                    x
+                })
+            })
+        });
+        let payload = caught.expect_err("must propagate");
+        let msg = payload
+            .downcast_ref::<String>()
+            .expect("string payload")
+            .clone();
+        assert!(msg.contains("item 17"), "missing index: {msg}");
+        assert!(msg.contains("original message"), "payload lost: {msg}");
+    }
+
+    #[test]
+    fn join2_panic_is_annotated() {
+        let caught = std::panic::catch_unwind(|| {
+            with_threads(4, || join2(|| 1u32, || -> u32 { panic!("task b died") }))
+        });
+        let payload = caught.expect_err("must propagate");
+        let msg = payload
+            .downcast_ref::<String>()
+            .expect("string payload")
+            .clone();
+        assert!(msg.contains("join2 second task"), "{msg}");
+        assert!(msg.contains("task b died"), "{msg}");
+    }
+
+    #[test]
+    fn try_par_map_returns_lowest_index_error() {
+        let items: Vec<u32> = (0..50).collect();
+        for n in [1, 8] {
+            let got: Result<Vec<u32>, String> = with_threads(n, || {
+                try_par_map(&items, |&x| {
+                    if x == 31 || x == 9 {
+                        Err(format!("bad {x}"))
+                    } else {
+                        Ok(x)
+                    }
+                })
+            });
+            assert_eq!(got, Err("bad 9".to_string()), "{n} workers");
+        }
+        let ok: Result<Vec<u32>, String> =
+            with_threads(4, || try_par_map(&items, |&x| Ok(x)));
+        assert_eq!(ok.expect("no errors").len(), items.len());
     }
 }

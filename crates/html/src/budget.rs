@@ -1,0 +1,170 @@
+//! Per-page resource budgets for HTML ingestion.
+//!
+//! Crawled manual pages are adversarial in mundane ways: a truncated
+//! download that is 40 MB of binary, a template bug that nests ten
+//! thousand `<div>`s, a page whose markup expands into millions of DOM
+//! nodes. The forgiving tokenizer happily eats all of it — which is
+//! precisely the problem: "never fail" must not mean "never stop".
+//!
+//! An [`IngestBudget`] puts ceilings on what one page may cost: input
+//! bytes, tokens consumed, and arena nodes built. Exceeding a ceiling
+//! aborts that page's DOM build with a typed [`BudgetExhausted`] — the
+//! parser framework quarantines the page and moves on. Nesting depth is
+//! handled differently: past [`IngestBudget::max_depth`] the builder
+//! stops *descending* (children become siblings) and records a
+//! [`crate::MarkupDefectKind::NestingTooDeep`] defect, so a deep-nesting
+//! bomb degrades structurally instead of either failing the page or
+//! growing an unbounded open-element stack.
+//!
+//! Defaults are generous — two orders of magnitude above any real manual
+//! page — so budgets only bite on pathological input. Tests tune them
+//! down to exercise the cut-off paths cheaply.
+
+use std::fmt;
+
+/// Which ceiling a page ran into.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BudgetResource {
+    /// Raw input length in bytes.
+    Bytes,
+    /// Tokens consumed from the tokenizer (the "step" ceiling: bounds
+    /// tree-construction work even when the byte count is modest).
+    Tokens,
+    /// Nodes appended to the DOM arena.
+    Nodes,
+}
+
+impl fmt::Display for BudgetResource {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            BudgetResource::Bytes => "bytes",
+            BudgetResource::Tokens => "tokens",
+            BudgetResource::Nodes => "nodes",
+        })
+    }
+}
+
+/// A page exceeded one of its ingestion ceilings.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BudgetExhausted {
+    pub resource: BudgetResource,
+    /// Usage at the moment the ceiling was hit (≥ `cap`).
+    pub used: usize,
+    pub cap: usize,
+}
+
+impl fmt::Display for BudgetExhausted {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "ingestion budget exhausted: {} {} used, cap {}",
+            self.used, self.resource, self.cap
+        )
+    }
+}
+
+impl std::error::Error for BudgetExhausted {}
+
+/// Per-page ceilings for tokenizing and DOM construction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IngestBudget {
+    /// Maximum input length in bytes.
+    pub max_bytes: usize,
+    /// Maximum tokens consumed while building the DOM.
+    pub max_tokens: usize,
+    /// Maximum nodes in the DOM arena (including the synthetic root).
+    pub max_nodes: usize,
+    /// Maximum element nesting depth; deeper elements are flattened into
+    /// siblings with a recorded defect (degradation, not failure).
+    pub max_depth: usize,
+}
+
+impl IngestBudget {
+    /// No byte/token/node ceilings; only the structural depth guard
+    /// remains (the open-element stack must stay bounded regardless).
+    pub fn unbounded() -> IngestBudget {
+        IngestBudget {
+            max_bytes: usize::MAX,
+            max_tokens: usize::MAX,
+            max_nodes: usize::MAX,
+            max_depth: DEPTH_GUARD,
+        }
+    }
+
+    /// Check one counter against its cap.
+    pub(crate) fn check(
+        &self,
+        resource: BudgetResource,
+        used: usize,
+    ) -> Result<(), BudgetExhausted> {
+        let cap = match resource {
+            BudgetResource::Bytes => self.max_bytes,
+            BudgetResource::Tokens => self.max_tokens,
+            BudgetResource::Nodes => self.max_nodes,
+        };
+        if used > cap {
+            Err(BudgetExhausted {
+                resource,
+                used,
+                cap,
+            })
+        } else {
+            Ok(())
+        }
+    }
+}
+
+/// The depth guard applied even to unbudgeted parses: past this, nesting
+/// carries no document structure worth preserving, and a bounded
+/// open-element stack is what keeps nesting bombs from costing memory
+/// proportional to their depth.
+pub const DEPTH_GUARD: usize = 1024;
+
+impl Default for IngestBudget {
+    /// Generous ceilings: ~100× the largest real manual page this
+    /// workspace generates, so legitimate input never hits them.
+    fn default() -> IngestBudget {
+        IngestBudget {
+            max_bytes: 8 * 1024 * 1024,
+            max_tokens: 400_000,
+            max_nodes: 100_000,
+            max_depth: 128,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_generous_and_ordered() {
+        let b = IngestBudget::default();
+        assert!(b.max_bytes >= 1024 * 1024);
+        assert!(b.max_nodes >= 10_000);
+        assert!(b.max_tokens >= b.max_nodes, "every node costs ≥1 token");
+        assert!(b.max_depth >= 64);
+        assert!(b.max_depth <= DEPTH_GUARD);
+    }
+
+    #[test]
+    fn check_flags_only_exceeding_usage() {
+        let b = IngestBudget {
+            max_bytes: 10,
+            ..IngestBudget::default()
+        };
+        assert!(b.check(BudgetResource::Bytes, 10).is_ok());
+        let err = b.check(BudgetResource::Bytes, 11).expect_err("over cap");
+        assert_eq!(err.resource, BudgetResource::Bytes);
+        assert_eq!(err.used, 11);
+        assert_eq!(err.cap, 10);
+        assert!(err.to_string().contains("11 bytes used, cap 10"));
+    }
+
+    #[test]
+    fn unbounded_keeps_the_depth_guard() {
+        let b = IngestBudget::unbounded();
+        assert_eq!(b.max_depth, DEPTH_GUARD);
+        assert!(b.check(BudgetResource::Nodes, usize::MAX - 1).is_ok());
+    }
+}

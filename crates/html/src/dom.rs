@@ -7,6 +7,7 @@
 //! predecessor, void elements (`<br>`, `<img>`, …) never take children,
 //! and stray end tags are ignored.
 
+use crate::budget::{BudgetExhausted, BudgetResource, IngestBudget};
 use crate::tokenizer::{MarkupDefect, MarkupDefectKind, Token, Tokenizer};
 
 /// Index of a node within its [`Document`] arena.
@@ -109,6 +110,37 @@ impl Document {
     /// same one [`Document::parse`] builds — recovery behaviour is
     /// unchanged, only recorded.
     pub fn parse_with_report(input: &str) -> (Document, Vec<MarkupDefect>) {
+        // Unbounded ceilings make exhaustion unreachable; the fallback
+        // arm exists only to keep this seam infallible for callers.
+        Document::parse_budgeted(input, &IngestBudget::unbounded()).unwrap_or_else(|_| {
+            (
+                Document {
+                    nodes: vec![Node {
+                        kind: NodeKind::Root,
+                        parent: None,
+                        children: Vec::new(),
+                    }],
+                },
+                Vec::new(),
+            )
+        })
+    }
+
+    /// Parse `input` under per-page resource ceilings.
+    ///
+    /// Exceeding the byte, token or node ceiling aborts with a typed
+    /// [`BudgetExhausted`] — nothing hangs, nothing overflows, and the
+    /// caller decides what to do with the page (the parser framework
+    /// quarantines it). Nesting past `budget.max_depth` *degrades*
+    /// instead: the builder stops descending, deeper elements become
+    /// siblings, and one [`MarkupDefectKind::NestingTooDeep`] defect is
+    /// recorded, so depth bombs cannot grow the open-element stack —
+    /// or, later, recurse a consumer off the real stack.
+    pub fn parse_budgeted(
+        input: &str,
+        budget: &IngestBudget,
+    ) -> Result<(Document, Vec<MarkupDefect>), BudgetExhausted> {
+        budget.check(BudgetResource::Bytes, input.len())?;
         let mut doc = Document {
             nodes: vec![Node {
                 kind: NodeKind::Root,
@@ -120,11 +152,16 @@ impl Document {
         // Each open element remembers the offset its start tag began at,
         // so EOF-unclosed elements can be reported with a span.
         let mut stack: Vec<(NodeId, usize)> = vec![(root, 0)];
+        let mut depth_defect_recorded = false;
+        let mut tokens_consumed: usize = 0;
 
         let mut tokens = Tokenizer::new(input);
         loop {
             let at = tokens.pos();
             let Some(token) = tokens.next() else { break };
+            tokens_consumed += 1;
+            budget.check(BudgetResource::Tokens, tokens_consumed)?;
+            budget.check(BudgetResource::Nodes, doc.nodes.len())?;
             match token {
                 Token::StartTag {
                     name,
@@ -152,7 +189,20 @@ impl Document {
                         }),
                         parent,
                     );
-                    if !self_closing && !VOID_ELEMENTS.contains(&name.as_str()) {
+                    // The stack holds the root plus one entry per open
+                    // element, so its length is the would-be depth.
+                    if stack.len() > budget.max_depth {
+                        if !depth_defect_recorded {
+                            depth_defect_recorded = true;
+                            tokens.record_defect(
+                                MarkupDefectKind::NestingTooDeep {
+                                    name: name.clone(),
+                                    depth: stack.len(),
+                                },
+                                at,
+                            );
+                        }
+                    } else if !self_closing && !VOID_ELEMENTS.contains(&name.as_str()) {
                         stack.push((id, at));
                     }
                 }
@@ -197,7 +247,7 @@ impl Document {
         }
         let mut defects = tokens.take_defects();
         defects.sort_by_key(|d| d.offset);
-        (doc, defects)
+        Ok((doc, defects))
     }
 
     fn push(&mut self, kind: NodeKind, parent: NodeId) -> NodeId {
@@ -299,13 +349,19 @@ impl Document {
             .collect()
     }
 
+    // Both text collectors walk with an explicit stack rather than
+    // recursing: document depth is attacker-controlled (the builder's
+    // depth guard bounds it, but these helpers must not be the weak
+    // link if that guard is ever raised).
+
     fn collect_text(&self, id: NodeId, out: &mut String) {
-        match &self.node(id).kind {
-            NodeKind::Text(t) => out.push_str(t),
-            NodeKind::Comment(_) => {}
-            _ => {
-                for child in self.children(id) {
-                    self.collect_text(child, out);
+        let mut stack = vec![id];
+        while let Some(cur) = stack.pop() {
+            match &self.node(cur).kind {
+                NodeKind::Text(t) => out.push_str(t),
+                NodeKind::Comment(_) => {}
+                _ => {
+                    stack.extend(self.node(cur).children.iter().rev().copied());
                 }
             }
         }
@@ -316,25 +372,41 @@ impl Document {
             "p", "div", "li", "tr", "br", "pre", "h1", "h2", "h3", "h4", "h5",
             "table", "ul", "ol", "dt", "dd", "section",
         ];
-        match &self.node(id).kind {
-            NodeKind::Text(t) => out.push_str(t),
-            NodeKind::Comment(_) => {}
-            NodeKind::Element(e) => {
-                let block = BLOCK.contains(&e.name.as_str());
-                if block && !out.ends_with('\n') && !out.is_empty() {
-                    out.push('\n');
+        // Enter frames visit a node; exit frames emit the trailing
+        // newline a block element owes after its subtree is rendered.
+        enum Frame {
+            Enter(NodeId),
+            ExitBlock,
+        }
+        let mut stack = vec![Frame::Enter(id)];
+        while let Some(frame) = stack.pop() {
+            match frame {
+                Frame::ExitBlock => {
+                    if !out.ends_with('\n') {
+                        out.push('\n');
+                    }
                 }
-                for child in self.children(id) {
-                    self.collect_text_blocks(child, out);
-                }
-                if block && !out.ends_with('\n') {
-                    out.push('\n');
-                }
-            }
-            NodeKind::Root => {
-                for child in self.children(id) {
-                    self.collect_text_blocks(child, out);
-                }
+                Frame::Enter(cur) => match &self.node(cur).kind {
+                    NodeKind::Text(t) => out.push_str(t),
+                    NodeKind::Comment(_) => {}
+                    NodeKind::Element(e) => {
+                        let block = BLOCK.contains(&e.name.as_str());
+                        if block && !out.ends_with('\n') && !out.is_empty() {
+                            out.push('\n');
+                        }
+                        if block {
+                            stack.push(Frame::ExitBlock);
+                        }
+                        for &child in self.node(cur).children.iter().rev() {
+                            stack.push(Frame::Enter(child));
+                        }
+                    }
+                    NodeKind::Root => {
+                        for &child in self.node(cur).children.iter().rev() {
+                            stack.push(Frame::Enter(child));
+                        }
+                    }
+                },
             }
         }
     }
@@ -528,5 +600,108 @@ mod tests {
         let mut sorted = offsets.clone();
         sorted.sort_unstable();
         assert_eq!(offsets, sorted);
+    }
+
+    #[test]
+    fn byte_budget_rejects_oversized_input() {
+        let budget = IngestBudget {
+            max_bytes: 8,
+            ..IngestBudget::default()
+        };
+        let err = Document::parse_budgeted("<p>hello world</p>", &budget)
+            .expect_err("over byte cap");
+        assert_eq!(err.resource, BudgetResource::Bytes);
+        assert_eq!(err.cap, 8);
+    }
+
+    #[test]
+    fn node_budget_cuts_off_arena_growth() {
+        let budget = IngestBudget {
+            max_nodes: 4,
+            ..IngestBudget::default()
+        };
+        let err = Document::parse_budgeted("<p>a</p><p>b</p><p>c</p><p>d</p>", &budget)
+            .expect_err("over node cap");
+        assert_eq!(err.resource, BudgetResource::Nodes);
+    }
+
+    #[test]
+    fn token_budget_bounds_construction_steps() {
+        let budget = IngestBudget {
+            max_tokens: 3,
+            ..IngestBudget::default()
+        };
+        let err = Document::parse_budgeted("<p>a</p><p>b</p>", &budget)
+            .expect_err("over token cap");
+        assert_eq!(err.resource, BudgetResource::Tokens);
+    }
+
+    #[test]
+    fn within_budget_matches_unbudgeted_parse() {
+        let input = "<div><p>a</p><p>b</p></div>";
+        let (budgeted, defects) =
+            Document::parse_budgeted(input, &IngestBudget::default()).expect("in budget");
+        assert!(defects.is_empty());
+        let plain = Document::parse(input);
+        assert_eq!(budgeted.len(), plain.len());
+        let b_root: Vec<_> = budgeted.children(budgeted.root()).collect();
+        assert_eq!(budgeted.text_of(b_root[0]), "ab");
+    }
+
+    #[test]
+    fn deep_nesting_flattens_past_depth_guard() {
+        let depth = 40;
+        let mut input = String::new();
+        for _ in 0..depth {
+            input.push_str("<div>");
+        }
+        input.push_str("leaf");
+        let budget = IngestBudget {
+            max_depth: 5,
+            ..IngestBudget::default()
+        };
+        let (doc, defects) = Document::parse_budgeted(&input, &budget).expect("degrades");
+        // Every element made it into the arena (root + divs + text)...
+        assert_eq!(doc.len(), 1 + depth + 1);
+        // ...but no chain is deeper than the guard allows.
+        let max_chain = (0..doc.len())
+            .map(|i| doc.ancestors(NodeId(i)).count())
+            .max()
+            .unwrap();
+        assert!(max_chain <= 5 + 1, "chain of {max_chain} ancestors");
+        assert!(defects.iter().any(|d| matches!(
+            &d.kind,
+            MarkupDefectKind::NestingTooDeep { name, .. } if name == "div"
+        )));
+        // Exactly one defect for the whole bomb, not one per element.
+        let deep = defects
+            .iter()
+            .filter(|d| matches!(d.kind, MarkupDefectKind::NestingTooDeep { .. }))
+            .count();
+        assert_eq!(deep, 1);
+    }
+
+    #[test]
+    fn unbudgeted_parse_survives_nesting_bomb() {
+        // Deeper than any real thread stack would tolerate with
+        // recursive construction or recursive text collection.
+        let depth = 200_000;
+        let mut input = String::with_capacity(depth * 5 + 4);
+        for _ in 0..depth {
+            input.push_str("<i>");
+        }
+        input.push_str("leaf");
+        let (doc, defects) = Document::parse_with_report(&input);
+        assert_eq!(doc.len(), 1 + depth + 1);
+        assert!(defects.iter().any(|d| matches!(
+            d.kind,
+            MarkupDefectKind::NestingTooDeep { .. }
+        )));
+        // Text collection over the flattened tree must not recurse
+        // off the stack either.
+        let text = doc.text_of(doc.root());
+        assert_eq!(text, "leaf");
+        let lines = doc.text_lines(doc.root());
+        assert_eq!(lines, vec!["leaf"]);
     }
 }

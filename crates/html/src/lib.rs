@@ -20,6 +20,12 @@
 //! strictness would be a bug — they are hand-written over years and full of
 //! inconsistencies (§2.2 of the paper).
 //!
+//! Totality is bounded, though: [`Document::parse_budgeted`] enforces an
+//! [`IngestBudget`] of per-page byte/token/node ceilings (returning a typed
+//! [`BudgetExhausted`] when crawled input is pathological rather than merely
+//! messy), and even the infallible entry points flatten nesting past a fixed
+//! depth guard so adversarial pages cannot overflow the stack.
+//!
 //! ```
 //! use nassim_html::Document;
 //!
@@ -29,11 +35,13 @@
 //! assert_eq!(doc.text_of(cmd), "peer <ipv4-address>");
 //! ```
 
+pub mod budget;
 pub mod dom;
 pub mod entities;
 pub mod select;
 pub mod tokenizer;
 
+pub use budget::{BudgetExhausted, BudgetResource, IngestBudget};
 pub use dom::{Document, Element, Node, NodeId};
 pub use select::Selector;
 pub use tokenizer::{MarkupDefect, MarkupDefectKind, Token, Tokenizer};

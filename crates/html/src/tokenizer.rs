@@ -41,6 +41,9 @@ pub enum MarkupDefectKind {
     StrayEndTag { name: String },
     /// An element still open at end of input (closed implicitly).
     UnclosedElement { name: String },
+    /// Nesting exceeded the depth guard; deeper elements were flattened
+    /// into siblings of the element at the cap (recorded once per page).
+    NestingTooDeep { name: String, depth: usize },
 }
 
 impl fmt::Display for MarkupDefectKind {
@@ -57,6 +60,12 @@ impl fmt::Display for MarkupDefectKind {
             }
             MarkupDefectKind::UnclosedElement { name } => {
                 write!(f, "unclosed element `<{name}>` at end of input")
+            }
+            MarkupDefectKind::NestingTooDeep { name, depth } => {
+                write!(
+                    f,
+                    "element `<{name}>` nested {depth} levels deep; deeper structure flattened"
+                )
             }
         }
     }
@@ -149,9 +158,11 @@ impl<'a> Tokenizer<'a> {
     /// Consume raw text up to (not including) `</name`, for raw-text elements.
     fn next_raw_text(&mut self, name: &str) -> Option<Token> {
         let rest = self.rest();
-        let lower = rest.to_ascii_lowercase();
         let close = format!("</{name}");
-        let end = lower.find(&close).unwrap_or(rest.len());
+        // Case-insensitive scan that stops at the first match: lowercasing
+        // the whole remaining input per raw-text element is O(remaining)
+        // allocation each time — quadratic on a page of many `<script>`s.
+        let end = find_ascii_ci(rest, &close).unwrap_or(rest.len());
         self.raw_text_end = None;
         if end == 0 {
             // Immediately at the close tag; fall through to normal tokenizing.
@@ -300,6 +311,23 @@ impl<'a> Tokenizer<'a> {
         self.pos += end;
         Token::Text(entities::decode(text))
     }
+}
+
+/// First byte offset of `needle` in `haystack` under ASCII
+/// case-insensitive comparison, without allocating. `needle` must be
+/// non-empty.
+fn find_ascii_ci(haystack: &str, needle: &str) -> Option<usize> {
+    let h = haystack.as_bytes();
+    let n = needle.as_bytes();
+    if h.len() < n.len() {
+        return None;
+    }
+    (0..=h.len() - n.len()).find(|&i| {
+        h[i..i + n.len()]
+            .iter()
+            .zip(n)
+            .all(|(a, b)| a.eq_ignore_ascii_case(b))
+    })
 }
 
 /// Parse attributes starting at byte offset `start` (just after the tag
@@ -507,6 +535,18 @@ mod tests {
         assert_eq!(t[1], Token::Text("if (a<b && c>d) { x(); }".into()));
         assert_eq!(t[2], Token::EndTag { name: "script".into() });
         assert_eq!(t[3], start("p", &[]));
+    }
+
+    #[test]
+    fn raw_text_close_tag_is_case_insensitive() {
+        let t = toks("<script>x<y</SCRIPT><p>after</p>");
+        assert_eq!(t[1], Token::Text("x<y".into()));
+        assert_eq!(t[2], Token::EndTag { name: "script".into() });
+        // Many raw-text elements on one page stay linear (no per-element
+        // copy of the rest of the input); spot-check correctness.
+        let many: String = (0..50).map(|i| format!("<script>s{i}</script>")).collect();
+        let tokens = toks(&many);
+        assert_eq!(tokens.len(), 150);
     }
 
     #[test]

@@ -11,7 +11,7 @@
 
 use nassim_corpus::{CorpusEntry, CorpusViolation};
 use nassim_diag::{Diagnostic, NassimError, Severity, SourceSpan, Stage};
-use nassim_html::{Document, MarkupDefect};
+use nassim_html::{BudgetExhausted, Document, IngestBudget, MarkupDefect};
 use std::fmt;
 
 /// One successfully parsed manual page.
@@ -75,6 +75,35 @@ pub fn ensure_parsable(vendor: &str, url: &str, doc: &Document) -> Result<(), Na
     }
 }
 
+/// Why a page was pulled out of the run instead of parsed.
+#[derive(Debug, Clone)]
+pub enum QuarantineReason {
+    /// The page exceeded an [`IngestBudget`] ceiling during DOM build.
+    BudgetExhausted(BudgetExhausted),
+    /// The vendor parser panicked on this page; the payload is preserved.
+    Panic { payload: String },
+}
+
+impl fmt::Display for QuarantineReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QuarantineReason::BudgetExhausted(e) => e.fmt(f),
+            QuarantineReason::Panic { payload } => {
+                write!(f, "parser worker panicked: {payload}")
+            }
+        }
+    }
+}
+
+/// One page removed from the run — over budget or parser panic. The
+/// rest of the manual still assimilates; quarantined pages surface as
+/// `Stage::Parse` error diagnostics and fail [`TddReport::passes`].
+#[derive(Debug, Clone)]
+pub struct Quarantined {
+    pub url: String,
+    pub reason: QuarantineReason,
+}
+
 /// One entry of the "summary of key attributes" report part.
 #[derive(Debug, Clone)]
 pub struct KeyAttrProblem {
@@ -98,6 +127,14 @@ pub struct TddReport {
     /// Pages that could not be parsed at all (damaged markup, parser
     /// error); each has a matching diagnostic in [`ParseRun::diagnostics`].
     pub failed: usize,
+    /// Pages removed from the run entirely — over an ingestion budget or
+    /// a parser panic; details in [`ParseRun::quarantined`].
+    pub quarantined: usize,
+    /// URLs counted in `skipped` — pages the parser deliberately
+    /// declined (prefaces, indexes) with clean markup. Recording them
+    /// makes the page partition auditable: every input URL is exactly
+    /// one of parsed / skipped / failed / quarantined.
+    pub skipped_pages: Vec<String>,
     /// Part 1: pages whose `CLIs` field is problematic or empty.
     pub key_attr_problems: Vec<KeyAttrProblem>,
     /// Part 2: all problematic fields of each corpus entry.
@@ -107,7 +144,10 @@ pub struct TddReport {
 impl TddReport {
     /// True when every parsed entry passed every Appendix-B test.
     pub fn passes(&self) -> bool {
-        self.failed == 0 && self.key_attr_problems.is_empty() && self.corpus_status.is_empty()
+        self.failed == 0
+            && self.quarantined == 0
+            && self.key_attr_problems.is_empty()
+            && self.corpus_status.is_empty()
     }
 
     /// Total violation count across both report parts.
@@ -125,11 +165,12 @@ impl fmt::Display for TddReport {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(
             f,
-            "TDD report: {}/{} pages parsed ({} skipped, {} failed), {} violations",
+            "TDD report: {}/{} pages parsed ({} skipped, {} failed, {} quarantined), {} violations",
             self.parsed,
             self.total_pages,
             self.skipped,
             self.failed,
+            self.quarantined,
             self.violation_count()
         )?;
         if !self.key_attr_problems.is_empty() {
@@ -158,15 +199,22 @@ pub struct ParseRun {
     /// Structured findings: markup defects with page-URL + byte-offset
     /// spans, and per-page parse failures. Never aborts the run.
     pub diagnostics: Vec<Diagnostic>,
+    /// Pages removed from the run — over budget or parser panic. Each
+    /// also appears as a `Stage::Parse` error in `diagnostics`.
+    pub quarantined: Vec<Quarantined>,
 }
 
 /// Per-page parse outcome plus its audit records and markup defects.
-type PageOutcome = (
-    Result<Option<ParsedPage>, NassimError>,
-    Vec<MarkupDefect>,
-    Option<KeyAttrProblem>,
-    Option<CorpusStatus>,
-);
+enum PageOutcome {
+    /// The DOM build hit an [`IngestBudget`] ceiling.
+    OverBudget(BudgetExhausted),
+    Done {
+        outcome: Box<Result<Option<ParsedPage>, NassimError>>,
+        defects: Vec<MarkupDefect>,
+        key_attr: Option<KeyAttrProblem>,
+        status: Option<CorpusStatus>,
+    },
+}
 
 fn markup_diag(severity: Severity, vendor: &str, url: &str, defect: &MarkupDefect) -> Diagnostic {
     Diagnostic::new(severity, Stage::Html, defect.kind.to_string())
@@ -174,53 +222,127 @@ fn markup_diag(severity: Severity, vendor: &str, url: &str, defect: &MarkupDefec
         .with_vendor(vendor)
 }
 
-/// Run `parser` over `(url, html)` pages and validate every parsed entry
-/// — the `parsing()` + `validating()` workflow of Figure 2.
-///
-/// Pages are parsed and audited in parallel ([`nassim_exec::par_map`]);
-/// the per-page results are folded back in page order, so the report and
-/// page list are identical to a serial run. A page the parser rejects —
-/// or that skips with damaged markup — degrades to a diagnostic and a
-/// `failed` tick; the rest of the manual still parses.
+/// Run `parser` over `(url, html)` pages with the default (generous)
+/// [`IngestBudget`] — the `parsing()` + `validating()` workflow of
+/// Figure 2. See [`run_parser_with`].
 pub fn run_parser<'a>(
     parser: &dyn VendorParser,
     pages: impl IntoIterator<Item = (&'a str, &'a str)>,
 ) -> ParseRun {
+    run_parser_with(parser, pages, &IngestBudget::default())
+}
+
+/// Run `parser` over `(url, html)` pages under `budget` and validate
+/// every parsed entry.
+///
+/// Pages are parsed and audited in parallel with panic isolation
+/// ([`nassim_exec::par_map_isolated`]); the per-page results are folded
+/// back in page order, so the report and page list are identical to a
+/// serial run. Degradation is per page, never per run:
+///
+/// - parser rejects the page, or it skips with damaged markup → a
+///   diagnostic and a `failed` tick;
+/// - the page blows an ingestion budget ceiling, or the vendor parser
+///   panics on it → the page is *quarantined*: removed from the run,
+///   recorded in [`ParseRun::quarantined`], surfaced as a
+///   `Stage::Parse` error diagnostic;
+///
+/// and the rest of the manual still parses.
+pub fn run_parser_with<'a>(
+    parser: &dyn VendorParser,
+    pages: impl IntoIterator<Item = (&'a str, &'a str)>,
+    budget: &IngestBudget,
+) -> ParseRun {
     let pages: Vec<(&str, &str)> = pages.into_iter().collect();
-    let per_page: Vec<PageOutcome> =
-        nassim_exec::par_map(&pages, |&(url, html)| {
-            let (doc, defects) = Document::parse_with_report(html);
-            let outcome = parser.parse_doc(url, &doc);
-            let (key_attr, status) = match &outcome {
-                Ok(Some(parsed)) => {
-                    // Part 1: key attribute ('CLIs') summary.
-                    let key_attr = (parsed.entry.clis.is_empty()
-                        || parsed.entry.clis.iter().all(|c| c.trim().is_empty()))
-                    .then(|| KeyAttrProblem {
-                        url: parsed.url.clone(),
-                        reason: "empty CLIs field".to_string(),
-                    });
-                    // Part 2: full per-entry status.
-                    let violations = parsed.entry.check();
-                    let status = (!violations.is_empty()).then(|| CorpusStatus {
-                        url: parsed.url.clone(),
-                        violations,
-                    });
-                    (key_attr, status)
-                }
-                _ => (None, None),
-            };
-            (outcome, defects, key_attr, status)
-        });
+    let per_page = nassim_exec::par_map_isolated(&pages, |&(url, html)| {
+        let (doc, defects) = match Document::parse_budgeted(html, budget) {
+            Ok(built) => built,
+            Err(e) => return PageOutcome::OverBudget(e),
+        };
+        let outcome = parser.parse_doc(url, &doc);
+        let (key_attr, status) = match &outcome {
+            Ok(Some(parsed)) => {
+                // Part 1: key attribute ('CLIs') summary.
+                let key_attr = (parsed.entry.clis.is_empty()
+                    || parsed.entry.clis.iter().all(|c| c.trim().is_empty()))
+                .then(|| KeyAttrProblem {
+                    url: parsed.url.clone(),
+                    reason: "empty CLIs field".to_string(),
+                });
+                // Part 2: full per-entry status.
+                let violations = parsed.entry.check();
+                let status = (!violations.is_empty()).then(|| CorpusStatus {
+                    url: parsed.url.clone(),
+                    violations,
+                });
+                (key_attr, status)
+            }
+            _ => (None, None),
+        };
+        PageOutcome::Done {
+            outcome: Box::new(outcome),
+            defects,
+            key_attr,
+            status,
+        }
+    });
 
     let vendor = parser.vendor();
     let mut parsed_pages = Vec::new();
     let mut diagnostics = Vec::new();
+    let mut quarantined = Vec::new();
     let mut report = TddReport {
         total_pages: pages.len(),
         ..TddReport::default()
     };
-    for (&(url, _), (outcome, defects, key_attr, status)) in pages.iter().zip(per_page) {
+    for (&(url, _), page) in pages.iter().zip(per_page) {
+        let (outcome, defects, key_attr, status) = match page {
+            Err(exec_err) => {
+                // The parser panicked inside the fan-out; the panic was
+                // caught per item, so only this page is lost.
+                report.quarantined += 1;
+                let reason = QuarantineReason::Panic {
+                    payload: exec_err.payload.clone(),
+                };
+                diagnostics.push(
+                    NassimError::PagePanic {
+                        vendor: vendor.to_string(),
+                        url: url.to_string(),
+                        payload: exec_err.payload,
+                    }
+                    .to_diagnostic(),
+                );
+                quarantined.push(Quarantined {
+                    url: url.to_string(),
+                    reason,
+                });
+                continue;
+            }
+            Ok(PageOutcome::OverBudget(e)) => {
+                report.quarantined += 1;
+                diagnostics.push(
+                    NassimError::BudgetExhausted {
+                        vendor: vendor.to_string(),
+                        url: url.to_string(),
+                        resource: e.resource.to_string(),
+                        used: e.used,
+                        cap: e.cap,
+                    }
+                    .to_diagnostic(),
+                );
+                quarantined.push(Quarantined {
+                    url: url.to_string(),
+                    reason: QuarantineReason::BudgetExhausted(e),
+                });
+                continue;
+            }
+            Ok(PageOutcome::Done {
+                outcome,
+                defects,
+                key_attr,
+                status,
+            }) => (*outcome, defects, key_attr, status),
+        };
         match outcome {
             Ok(Some(parsed)) => {
                 report.parsed += 1;
@@ -232,7 +354,10 @@ pub fn run_parser<'a>(
                 report.corpus_status.extend(status);
                 parsed_pages.push(parsed);
             }
-            Ok(None) if defects.is_empty() => report.skipped += 1,
+            Ok(None) if defects.is_empty() => {
+                report.skipped += 1;
+                report.skipped_pages.push(url.to_string());
+            }
             Ok(None) => {
                 // No corpus entry *and* damaged markup: the damage most
                 // likely destroyed the sections the parser keys on.
@@ -266,6 +391,7 @@ pub fn run_parser<'a>(
         pages: parsed_pages,
         report,
         diagnostics,
+        quarantined,
     }
 }
 
@@ -384,5 +510,90 @@ mod tests {
             .diagnostics
             .iter()
             .any(|d| d.message.contains("markup damaged")));
+    }
+
+    #[test]
+    fn skipped_pages_are_recorded_by_url() {
+        let run = run_parser(&ToyParser { break_paradef: false }, pages());
+        assert_eq!(run.report.skipped, 1);
+        assert_eq!(run.report.skipped_pages, vec!["manual://toy/preface"]);
+    }
+
+    /// A parser that panics on pages containing a trigger word.
+    struct PanickyParser;
+
+    impl VendorParser for PanickyParser {
+        fn vendor(&self) -> &str {
+            "panicky"
+        }
+        fn parse_doc(&self, url: &str, doc: &Document) -> Result<Option<ParsedPage>, NassimError> {
+            let text = doc.text_of(doc.root());
+            assert!(!text.contains("landmine"), "stepped on a landmine");
+            ToyParser { break_paradef: false }.parse_doc(url, doc)
+        }
+    }
+
+    #[test]
+    fn panicking_page_is_quarantined_not_fatal() {
+        let pages = vec![
+            ("manual://panicky/ok", "<p>page</p>"),
+            ("manual://panicky/boom", "<p>landmine</p>"),
+            ("manual://panicky/ok2", "<p>page</p>"),
+        ];
+        let run = run_parser(&PanickyParser, pages);
+        // The two healthy pages survive; the panicking one is pulled out.
+        assert_eq!(run.report.parsed, 2);
+        assert_eq!(run.report.quarantined, 1);
+        assert!(!run.report.passes());
+        assert_eq!(run.quarantined.len(), 1);
+        assert_eq!(run.quarantined[0].url, "manual://panicky/boom");
+        assert!(matches!(
+            &run.quarantined[0].reason,
+            QuarantineReason::Panic { payload } if payload.contains("landmine")
+        ));
+        // Quarantine surfaces as a Stage::Parse error diagnostic.
+        assert!(run.diagnostics.iter().any(|d| {
+            d.stage == Stage::Parse
+                && d.severity == Severity::Error
+                && d.message.contains("panicked")
+                && d.span.as_ref().map(|s| s.source.as_str())
+                    == Some("manual://panicky/boom")
+        }));
+    }
+
+    #[test]
+    fn over_budget_page_is_quarantined() {
+        let budget = IngestBudget {
+            max_nodes: 3,
+            ..IngestBudget::default()
+        };
+        let pages = vec![
+            ("manual://toy/small", "<p>page</p>"),
+            ("manual://toy/big", "<p>a</p><p>b</p><p>c</p><p>page</p>"),
+        ];
+        let run = run_parser_with(&ToyParser { break_paradef: false }, pages, &budget);
+        assert_eq!(run.report.parsed, 1);
+        assert_eq!(run.report.quarantined, 1);
+        assert_eq!(run.quarantined[0].url, "manual://toy/big");
+        assert!(matches!(
+            &run.quarantined[0].reason,
+            QuarantineReason::BudgetExhausted(e) if e.cap == 3
+        ));
+        assert!(run
+            .diagnostics
+            .iter()
+            .any(|d| d.message.contains("budget exhausted")));
+    }
+
+    #[test]
+    fn report_display_includes_quarantine_tally() {
+        let report = TddReport {
+            total_pages: 5,
+            parsed: 3,
+            quarantined: 2,
+            ..TddReport::default()
+        };
+        assert!(report.to_string().contains("2 quarantined"));
+        assert!(!report.passes());
     }
 }

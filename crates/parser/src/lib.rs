@@ -41,7 +41,10 @@ pub mod h4c;
 pub mod helix;
 pub mod norsk;
 
-pub use framework::{ensure_parsable, run_parser, ParseRun, ParsedPage, TddReport, VendorParser};
+pub use framework::{
+    ensure_parsable, run_parser, run_parser_with, ParseRun, ParsedPage, Quarantined,
+    QuarantineReason, TddReport, VendorParser,
+};
 
 /// Vendor names a parser is registered for.
 pub const KNOWN_VENDORS: [&str; 4] = ["cirrus", "helix", "norsk", "h4c"];

@@ -4,11 +4,34 @@
 //!
 //! ```sh
 //! cargo run --release --example onboard_vendor
+//! # …or demonstrate graceful degradation on a corrupted crawl:
+//! cargo run --release --example onboard_vendor -- --corrupt 17:0.2
 //! ```
+//!
+//! `--corrupt seed:rate` (or the `NASSIM_CORRUPT` env var) runs the same
+//! manual through a seeded [`CorruptionPlan`] first: corrupted pages
+//! degrade to diagnostics or quarantine entries and the pipeline carries
+//! on with the clean subset.
 
+use nassim::datasets::corrupt::CorruptionPlan;
 use nassim::datasets::{catalog::Catalog, manualgen, style};
 use nassim::parser::{cirrus::ParserCirrus, run_parser};
 use nassim::pipeline::assimilate;
+
+/// Parse `--corrupt seed:rate` from argv, falling back to the
+/// `NASSIM_CORRUPT` environment knob.
+fn corruption_from_args() -> Result<Option<CorruptionPlan>, String> {
+    let args: Vec<String> = std::env::args().collect();
+    if let Some(pos) = args.iter().position(|a| a == "--corrupt") {
+        let spec = args
+            .get(pos + 1)
+            .ok_or("--corrupt requires a seed:rate argument (e.g. --corrupt 17:0.2)")?;
+        let (seed, rate) = CorruptionPlan::parse_env_value(spec)
+            .ok_or_else(|| format!("bad --corrupt spec `{spec}` (expected seed:rate)"))?;
+        return Ok(Some(CorruptionPlan::uniform(seed, rate)));
+    }
+    Ok(CorruptionPlan::from_env())
+}
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // The "new device" whose manual just landed on the NetOps desk.
@@ -24,7 +47,22 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             ..Default::default()
         },
     );
-    let pages = || manual.pages.iter().map(|p| (p.url.as_str(), p.html.as_str()));
+
+    // Optionally run the crawl through the chaos layer first.
+    let plan = corruption_from_args()?;
+    let mut manual_pages = manual.pages.clone();
+    let corrupted = match &plan {
+        Some(plan) => {
+            let hit = plan.corrupt_pages(&mut manual_pages);
+            println!(
+                "corruption armed: {hit}/{} pages corrupted\n",
+                manual_pages.len()
+            );
+            hit
+        }
+        None => 0,
+    };
+    let pages = || manual_pages.iter().map(|p| (p.url.as_str(), p.html.as_str()));
 
     // ── Step 1: TDD parser development (§4). ──────────────────────────
     // Iteration 1: the naive parser a developer writes after sampling a
@@ -38,10 +76,24 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let full = run_parser(&ParserCirrus::new(), pages());
     println!("iteration 2 (full class table):");
     println!("{}", full.report);
-    assert!(full.report.passes(), "iteration 2 must pass all tests");
+    if corrupted == 0 {
+        assert!(full.report.passes(), "iteration 2 must pass all tests");
+    }
 
     // ── Steps 2-3: Validator + VDM assembly. ──────────────────────────
+    // With corruption armed this demonstrates graceful degradation:
+    // damaged pages quarantine or fail with diagnostics, and the clean
+    // subset still assimilates.
     let a = assimilate(&ParserCirrus::new(), pages())?;
+    if corrupted > 0 {
+        println!(
+            "degradation: {} pages quarantined, {} failed — continuing with {} parsed",
+            a.parse.report.quarantined, a.parse.report.failed, a.parse.report.parsed
+        );
+        for q in &a.parse.quarantined {
+            println!("  quarantined {}: {}", q.url, q.reason);
+        }
+    }
     println!("syntax audit:\n{}", a.syntax.render());
     println!(
         "hierarchy: {} views derived, {} ambiguous (reported for expert review)",
