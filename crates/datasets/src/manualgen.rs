@@ -125,6 +125,11 @@ pub(crate) fn fnv1a(s: &str) -> u64 {
 }
 
 /// Generate the manual of `style`'s vendor over `catalog`.
+/// Commands per worker chunk when rendering pages: each render is
+/// cheap enough that per-item fan-out barely broke even (0.92× in
+/// BENCH_parallel.json).
+const RENDER_MIN_CHUNK: usize = 16;
+
 pub fn generate(style: &VendorStyle, catalog: &Catalog, opts: &GenOptions) -> Manual {
     let mut defects = Vec::new();
     let mut master = StdRng::seed_from_u64(opts.seed);
@@ -163,7 +168,7 @@ pub fn generate(style: &VendorStyle, catalog: &Catalog, opts: &GenOptions) -> Ma
     // URL, so rendering is embarrassingly parallel and byte-identical to a
     // serial pass regardless of worker count.
     let rendered: Vec<(ManualPage, Option<InjectedDefect>)> =
-        nassim_exec::par_map_indexed(&catalog.commands, |i, cmd| {
+        nassim_exec::par_map_indexed_chunked(&catalog.commands, RENDER_MIN_CHUNK, |i, cmd| {
             let url = format!("manual://{}/{}/{}", style.name, cmd.group, cmd.key);
             let mut rng = StdRng::seed_from_u64(opts.seed ^ fnv1a(&url));
 

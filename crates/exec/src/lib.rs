@@ -125,18 +125,87 @@ where
     U: Send,
     F: Fn(usize, &T) -> U + Sync,
 {
-    let workers = threads();
-    if workers <= 1 || items.len() < MIN_PARALLEL {
-        return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+    par_map_with(items, 1, || (), move |(), i, t| f(i, t))
+}
+
+/// [`par_map`] with a minimum per-worker batch: each spawned worker is
+/// guaranteed at least `min_chunk` items, so cheap items amortize the
+/// thread-spawn cost instead of losing to it.
+///
+/// The worker count resolves to `min(threads(), len / min_chunk)` (at
+/// least 1); with `min_chunk` chosen so that one chunk represents a few
+/// milliseconds of work, small inputs degrade gracefully to fewer workers
+/// — or straight to the inline serial path — instead of paying full
+/// fan-out overhead for microseconds of per-item work. The merge is the
+/// same index-ordered splice, so results are byte-identical to
+/// [`par_map`] and to a serial loop.
+pub fn par_map_chunked<T, U, F>(items: &[T], min_chunk: usize, f: F) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(&T) -> U + Sync,
+{
+    par_map_with(items, min_chunk, || (), move |(), _, t| f(t))
+}
+
+/// [`par_map_indexed`] with the [`par_map_chunked`] min-batch heuristic.
+pub fn par_map_indexed_chunked<T, U, F>(items: &[T], min_chunk: usize, f: F) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(usize, &T) -> U + Sync,
+{
+    par_map_with(items, min_chunk, || (), move |(), i, t| f(i, t))
+}
+
+/// Resolve how many workers `len` items justify given a `min_chunk`
+/// amortisation floor.
+fn resolve_workers(len: usize, min_chunk: usize) -> usize {
+    if len < MIN_PARALLEL {
+        return 1;
+    }
+    threads().min((len / min_chunk.max(1)).max(1))
+}
+
+/// The most general fan-out: map `f(state, index, item)` over `items`
+/// with **per-worker mutable state**, preserving input order.
+///
+/// `init` runs once per worker (and once total on the serial path) to
+/// build that worker's state — a scratch arena, a reusable buffer, a
+/// memo — which `f` then threads through every item the worker owns.
+/// This is how callers reuse allocations across items without sharing
+/// (and locking) them across threads. `f` must not let results depend on
+/// *which* items share a state beyond reuse of scratch space: outputs
+/// must be a pure function of `(index, item)` for the determinism
+/// contract to hold.
+///
+/// `min_chunk` applies the [`par_map_chunked`] min-batch heuristic.
+pub fn par_map_with<T, S, U, I, F>(items: &[T], min_chunk: usize, init: I, f: F) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    I: Fn() -> S + Sync,
+    F: Fn(&mut S, usize, &T) -> U + Sync,
+{
+    let workers = resolve_workers(items.len(), min_chunk);
+    if workers <= 1 {
+        let mut state = init();
+        return items
+            .iter()
+            .enumerate()
+            .map(|(i, t)| f(&mut state, i, t))
+            .collect();
     }
     let chunk = items.len().div_ceil(workers);
     let chunks: Vec<Vec<U>> = std::thread::scope(|scope| {
         let f = &f;
+        let init = &init;
         let handles: Vec<_> = items
             .chunks(chunk)
             .enumerate()
             .map(|(ci, slice)| {
                 scope.spawn(move || {
+                    let mut state = init();
                     slice
                         .iter()
                         .enumerate()
@@ -145,7 +214,7 @@ where
                             // Catch per item so a panic can be re-raised
                             // carrying the failing item's index — a bare
                             // join error only knows the chunk.
-                            match catch_unwind(AssertUnwindSafe(|| f(index, t))) {
+                            match catch_unwind(AssertUnwindSafe(|| f(&mut state, index, t))) {
                                 Ok(v) => v,
                                 Err(payload) => reraise_with_index(index, payload),
                             }
@@ -199,7 +268,21 @@ where
     U: Send,
     F: Fn(&T) -> U + Sync,
 {
-    par_map_indexed(items, |index, item| {
+    par_map_isolated_chunked(items, 1, f)
+}
+
+/// [`par_map_isolated`] with the [`par_map_chunked`] min-batch heuristic.
+pub fn par_map_isolated_chunked<T, U, F>(
+    items: &[T],
+    min_chunk: usize,
+    f: F,
+) -> Vec<Result<U, ExecError>>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(&T) -> U + Sync,
+{
+    par_map_indexed_chunked(items, min_chunk, |index, item| {
         catch_unwind(AssertUnwindSafe(|| f(item))).map_err(|payload| ExecError {
             index,
             payload: payload_to_string(payload.as_ref()),
@@ -312,6 +395,69 @@ mod tests {
             assert_eq!(a, 42);
             assert_eq!(b, "ok");
         }
+    }
+
+    #[test]
+    fn chunked_variants_match_serial_map() {
+        let items: Vec<u64> = (0..257).collect();
+        let serial: Vec<u64> = items.iter().map(|x| x * 3 + 1).collect();
+        for min_chunk in [1, 7, 64, 1000] {
+            for n in [1, 4, 16] {
+                let got =
+                    with_threads(n, || par_map_chunked(&items, min_chunk, |x| x * 3 + 1));
+                assert_eq!(got, serial, "min_chunk {min_chunk}, {n} workers");
+            }
+        }
+    }
+
+    #[test]
+    fn min_chunk_caps_worker_count() {
+        // 100 items at min_chunk 64 justify only one worker.
+        assert_eq!(resolve_workers(100, 64), 1);
+        // 10 items below MIN_PARALLEL stay serial regardless.
+        assert_eq!(resolve_workers(3, 1), 1);
+        // Large inputs still fan all the way out.
+        with_threads(8, || {
+            assert_eq!(resolve_workers(1024, 64), 8);
+            assert_eq!(resolve_workers(130, 64), 2);
+        });
+    }
+
+    #[test]
+    fn par_map_with_reuses_per_worker_state() {
+        let items: Vec<u32> = (0..64).collect();
+        for n in [1, 4] {
+            // State is a scratch buffer; results must not depend on reuse.
+            let got = with_threads(n, || {
+                par_map_with(
+                    &items,
+                    1,
+                    Vec::<u32>::new,
+                    |scratch, i, &x| {
+                        scratch.push(x); // grows per worker, never reset
+                        x * 2 + i as u32
+                    },
+                )
+            });
+            let want: Vec<u32> = items.iter().enumerate().map(|(i, &x)| x * 2 + i as u32).collect();
+            assert_eq!(got, want, "{n} workers");
+        }
+    }
+
+    #[test]
+    fn isolated_chunked_still_isolates_panics() {
+        let items: Vec<u32> = (0..40).collect();
+        let got = with_threads(4, || {
+            par_map_isolated_chunked(&items, 8, |&x| {
+                if x == 11 {
+                    panic!("boom");
+                }
+                x
+            })
+        });
+        assert_eq!(got.len(), items.len());
+        assert!(got[11].is_err());
+        assert_eq!(got.iter().filter(|r| r.is_ok()).count(), 39);
     }
 
     #[test]

@@ -4,8 +4,8 @@
 
 use crate::context::{vdm_param_context, Context, VdmParamRef};
 use crate::models::Mapper;
-use nassim_corpus::{Udm, UdmNodeId, Vdm};
-use std::collections::BTreeMap;
+use nassim_corpus::{Udm, UdmNodeId, Vdm, VdmNodeId};
+use std::collections::{BTreeMap, HashMap};
 
 /// One evaluation case: a VDM-parameter context and its true UDM leaf.
 #[derive(Debug, Clone)]
@@ -37,14 +37,17 @@ impl EvalReport {
 /// Evaluate `mapper` on `cases` at the given `ks` (max k bounds the
 /// recommendation depth).
 ///
-/// Cases are independent, so ranking fans out across workers; the
-/// per-case ranks fold back in case order into the same tallies a
-/// serial sweep produces.
+/// All case contexts are pre-encoded in **one** embedding batch up front
+/// (shared parameter prep, deduplicated repeats), then ranking fans out
+/// across workers; the per-case ranks fold back in case order into the
+/// same tallies a serial sweep produces.
 pub fn evaluate(mapper: &Mapper<'_>, cases: &[EvalCase], ks: &[usize]) -> EvalReport {
     let max_k = ks.iter().copied().max().unwrap_or(10);
-    let ranks: Vec<Option<usize>> = nassim_exec::par_map(cases, |case| {
-        let recs = mapper.recommend(&case.context, max_k);
-        recs.iter().position(|&(leaf, _)| leaf == case.truth)
+    let ctx_refs: Vec<&Context> = cases.iter().map(|c| &c.context).collect();
+    let prepared = mapper.prepare_queries(&ctx_refs);
+    let ranks: Vec<Option<usize>> = nassim_exec::par_map_indexed_chunked(&prepared, 4, |i, q| {
+        let recs = mapper.recommend_prepared(q, max_k);
+        recs.iter().position(|&(leaf, _)| leaf == cases[i].truth)
     });
     let mut hits: BTreeMap<usize, usize> = ks.iter().map(|&k| (k, 0)).collect();
     let mut rr_sum = 0.0;
@@ -78,22 +81,46 @@ pub fn resolve_cases(
     udm: &Udm,
     annotations: &[(String, String, String)],
 ) -> Vec<EvalCase> {
+    // One pass over the VDM: last path segment of each node's corpus
+    // source → node ids, in iteration order. Turns the per-annotation
+    // full scan (quadratic in practice — annotations ≈ nodes) into an
+    // O(1) lookup while preserving the output order: annotations outer,
+    // node order inner.
+    let mut by_page: HashMap<&str, Vec<VdmNodeId>> = HashMap::new();
+    for (id, _) in vdm.iter() {
+        if let Some(entry) = vdm.corpus_of(id) {
+            if let Some((_, last)) = entry.source.rsplit_once('/') {
+                by_page.entry(last).or_default().push(id);
+            }
+        }
+    }
     let mut out = Vec::new();
     for (command_key, token, udm_path) in annotations {
         let Some(truth) = udm.lookup(udm_path) else {
             continue;
         };
-        let suffix = format!("/{command_key}");
-        for (id, node) in vdm.iter() {
-            let from_page = vdm
-                .corpus_of(id)
-                .map(|e| e.source.ends_with(&suffix))
-                .unwrap_or(false);
-            if !from_page {
-                continue;
-            }
+        let ids: Vec<VdmNodeId> = if command_key.contains('/') {
+            // A key spanning path segments can't use the last-segment
+            // index; fall back to the suffix scan for this annotation.
+            let suffix = format!("/{command_key}");
+            vdm.iter()
+                .filter(|&(id, _)| {
+                    vdm.corpus_of(id)
+                        .map(|e| e.source.ends_with(&suffix))
+                        .unwrap_or(false)
+                })
+                .map(|(id, _)| id)
+                .collect()
+        } else {
+            by_page
+                .get(command_key.as_str())
+                .cloned()
+                .unwrap_or_default()
+        };
+        let placeholder = format!("<{token}>");
+        for id in ids {
             // Skip undo/no forms: annotations target the configuring form.
-            if !node.template.contains(&format!("<{token}>")) {
+            if !vdm.node(id).template.contains(&placeholder) {
                 continue;
             }
             let pref = VdmParamRef {

@@ -24,4 +24,5 @@ pub mod models;
 
 pub use context::{udm_leaf_context, vdm_param_context, Context};
 pub use eval::{evaluate, EvalCase, EvalReport};
-pub use models::{Embedder, EncoderEmbedder, Mapper};
+pub use finetune::{finetune, finetune_with_validation, FinetuneOptions, FinetuneReport};
+pub use models::{Embedder, EncoderEmbedder, Mapper, PreparedQuery};

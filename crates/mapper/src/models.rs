@@ -18,8 +18,13 @@
 use crate::context::{udm_leaf_context, Context};
 use nassim_corpus::{Udm, UdmNodeId};
 use nassim_nlp::tensor::cosine;
-use nassim_nlp::{Encoder, TfIdf, Vocab};
+use nassim_nlp::topk::TopK;
+use nassim_nlp::{BatchEncoder, Encoder, TfIdf, Vocab};
 use std::collections::HashMap;
+
+/// Texts per worker chunk when the default [`Embedder::embed_batch`] fans
+/// out: one embed is sub-millisecond, so chunks amortise spawn overhead.
+const EMBED_MIN_CHUNK: usize = 8;
 
 /// Anything that turns one text into one vector.
 ///
@@ -28,6 +33,15 @@ use std::collections::HashMap;
 /// read-only model weights, so this costs implementations nothing.
 pub trait Embedder: Sync {
     fn embed(&self, text: &str) -> Vec<f32>;
+
+    /// Embed many texts in one call, position-aligned with `texts`.
+    ///
+    /// The default chunks [`Embedder::embed`] across workers;
+    /// [`BatchEncoder`] overrides it with shared parameter preparation,
+    /// in-batch deduplication and the LRU embedding memo.
+    fn embed_batch(&self, texts: &[&str]) -> Vec<Vec<f32>> {
+        nassim_exec::par_map_chunked(texts, EMBED_MIN_CHUNK, |t| self.embed(t))
+    }
 }
 
 /// The transformer encoder + vocabulary as an [`Embedder`].
@@ -39,6 +53,19 @@ pub struct EncoderEmbedder<'a> {
 impl Embedder for EncoderEmbedder<'_> {
     fn embed(&self, text: &str) -> Vec<f32> {
         self.encoder.embed_text(self.vocab, text)
+    }
+}
+
+/// The tape-free batched encoder as an [`Embedder`]: batch calls hit the
+/// real batching path (single prepared weight layout, per-worker scratch,
+/// memoised repeats) instead of the per-text fan-out.
+impl Embedder for BatchEncoder {
+    fn embed(&self, text: &str) -> Vec<f32> {
+        self.embed_text(text)
+    }
+
+    fn embed_batch(&self, texts: &[&str]) -> Vec<Vec<f32>> {
+        BatchEncoder::embed_batch(self, texts)
     }
 }
 
@@ -55,6 +82,25 @@ pub fn embed_context(embedder: &dyn Embedder, ctx: &Context) -> ContextEmbedding
     }
 }
 
+/// Embed many contexts through **one** [`Embedder::embed_batch`] call:
+/// all sequences of all contexts are concatenated, batch-embedded, then
+/// split back per context and normalized. This is how the mapper encodes
+/// every UDM leaf at construction and every query in
+/// [`Mapper::prepare_queries`].
+pub fn embed_contexts(embedder: &dyn Embedder, ctxs: &[&Context]) -> Vec<NormalizedEmbedding> {
+    let texts: Vec<&str> = ctxs
+        .iter()
+        .flat_map(|c| c.sequences.iter().map(String::as_str))
+        .collect();
+    let mut rows = embedder.embed_batch(&texts).into_iter();
+    ctxs.iter()
+        .map(|c| {
+            let rows: Vec<Vec<f32>> = rows.by_ref().take(c.sequences.len()).collect();
+            NormalizedEmbedding::new(ContextEmbedding { rows })
+        })
+        .collect()
+}
+
 /// A context embedding with its per-row inverse L2 norms precomputed.
 ///
 /// Eq. 2 evaluates a k_V × k_U grid of row-wise cosines per candidate
@@ -67,11 +113,18 @@ pub struct NormalizedEmbedding {
     /// `1/‖row‖` per row; `0.0` for all-zero rows so their cosine
     /// contribution is 0, matching [`cosine`]'s zero-vector convention.
     pub inv_norms: Vec<f32>,
+    /// Rows pre-multiplied by their inverse norm, flattened into one
+    /// contiguous buffer (zero rows stay zero): each Eq. 2 cosine in the
+    /// hot loop is a plain dot product of two unit vectors.
+    scaled: Vec<f32>,
+    /// Row stride of `scaled` (max row length; short rows are zero-padded,
+    /// which contributes nothing to a dot product).
+    dim: usize,
 }
 
 impl NormalizedEmbedding {
     pub fn new(e: ContextEmbedding) -> NormalizedEmbedding {
-        let inv_norms = e
+        let inv_norms: Vec<f32> = e
             .rows
             .iter()
             .map(|r| {
@@ -83,16 +136,55 @@ impl NormalizedEmbedding {
                 }
             })
             .collect();
+        let dim = e.rows.iter().map(Vec::len).max().unwrap_or(0);
+        let mut scaled = vec![0.0f32; e.rows.len() * dim];
+        for (i, (row, &inv)) in e.rows.iter().zip(&inv_norms).enumerate() {
+            for (o, &v) in scaled[i * dim..i * dim + row.len()].iter_mut().zip(row) {
+                *o = v * inv;
+            }
+        }
         NormalizedEmbedding {
             rows: e.rows,
             inv_norms,
+            scaled,
+            dim,
         }
     }
+
+    #[inline]
+    fn scaled_row(&self, i: usize) -> &[f32] {
+        &self.scaled[i * self.dim..(i + 1) * self.dim]
+    }
+}
+
+/// Dot product with four independent accumulators: breaks the sequential
+/// floating-point dependence chain of a naive fold, deterministic for a
+/// given pair of slices.
+#[inline]
+fn dot_unrolled(a: &[f32], b: &[f32]) -> f32 {
+    let n = a.len().min(b.len());
+    let (a, b) = (&a[..n], &b[..n]);
+    let mut ca = a.chunks_exact(4);
+    let mut cb = b.chunks_exact(4);
+    let mut acc = [0.0f32; 4];
+    for (x, y) in ca.by_ref().zip(cb.by_ref()) {
+        acc[0] += x[0] * y[0];
+        acc[1] += x[1] * y[1];
+        acc[2] += x[2] * y[2];
+        acc[3] += x[3] * y[3];
+    }
+    let mut sum = (acc[0] + acc[1]) + (acc[2] + acc[3]);
+    for (x, y) in ca.remainder().iter().zip(cb.remainder()) {
+        sum += x * y;
+    }
+    sum
 }
 
 /// Eq. 2 over pre-normalized embeddings: same result as
 /// [`context_similarity`] up to float rounding, with both norm passes
-/// hoisted out of the pair loop.
+/// hoisted out of the pair loop and each cosine collapsed to one
+/// unrolled dot over the pre-scaled rows. Zero rows (inverse norm 0)
+/// contribute exactly 0 and are skipped.
 pub fn context_similarity_normalized(
     ev: &NormalizedEmbedding,
     eu: &NormalizedEmbedding,
@@ -105,14 +197,66 @@ pub fn context_similarity_normalized(
     }
     let uniform = 1.0 / (kv * ku) as f32;
     let mut sim = 0.0;
-    for (i, (vrow, &vinv)) in ev.rows.iter().zip(&ev.inv_norms).enumerate() {
-        for (j, (urow, &uinv)) in eu.rows.iter().zip(&eu.inv_norms).enumerate() {
+    for i in 0..kv {
+        if ev.inv_norms[i] == 0.0 {
+            continue;
+        }
+        let vrow = ev.scaled_row(i);
+        for j in 0..ku {
+            if eu.inv_norms[j] == 0.0 {
+                continue;
+            }
             let w = weights.map(|w| w[i * ku + j]).unwrap_or(uniform);
-            let dot: f32 = vrow.iter().zip(urow).map(|(x, y)| x * y).sum();
-            sim += w * (dot * vinv * uinv);
+            sim += w * dot_unrolled(vrow, eu.scaled_row(j));
         }
     }
     sim
+}
+
+/// Safety margin on the prune bound: the running remaining-weight sum
+/// accumulates float rounding, and a bound that under-estimates by even
+/// one ulp could prune a candidate that ties the current top-k threshold
+/// — which would break the heap path's exact equivalence with full sort.
+const PRUNE_MARGIN: f32 = 1e-4;
+
+/// Eq. 2 with norm-bound early exit: returns `None` as soon as the
+/// partial score plus the remaining pairs' maximum possible contribution
+/// (each cosine lies in `[-1, 1]`, so a pair is bounded by `|w|`) falls
+/// strictly below `threshold` minus nothing — i.e. the candidate provably
+/// cannot reach `threshold`. A completed score (`Some`) is computed by
+/// the exact arithmetic of [`context_similarity_normalized`].
+pub fn context_similarity_pruned(
+    ev: &NormalizedEmbedding,
+    eu: &NormalizedEmbedding,
+    weights: Option<&[f32]>,
+    threshold: f32,
+) -> Option<f32> {
+    let kv = ev.rows.len();
+    let ku = eu.rows.len();
+    if kv == 0 || ku == 0 {
+        return if PRUNE_MARGIN < threshold { None } else { Some(0.0) };
+    }
+    let uniform = 1.0 / (kv * ku) as f32;
+    let mut remaining: f32 = match weights {
+        None => 1.0,
+        Some(w) => w[..kv * ku].iter().map(|x| x.abs()).sum(),
+    };
+    let mut sim = 0.0;
+    for i in 0..kv {
+        let vzero = ev.inv_norms[i] == 0.0;
+        let vrow = ev.scaled_row(i);
+        for j in 0..ku {
+            let w = weights.map(|w| w[i * ku + j]).unwrap_or(uniform);
+            remaining -= w.abs();
+            if !vzero && eu.inv_norms[j] != 0.0 {
+                sim += w * dot_unrolled(vrow, eu.scaled_row(j));
+            }
+        }
+        if sim + remaining + PRUNE_MARGIN < threshold {
+            return None;
+        }
+    }
+    Some(sim)
 }
 
 /// Eq. 2: weighted sum of the k_V × k_U row-wise cosine similarities.
@@ -185,12 +329,12 @@ impl<'a> Mapper<'a> {
         let leaf_embeddings = match &strategy {
             Strategy::Ir => Vec::new(),
             // Embedding every leaf context is the expensive part of
-            // construction — fan it out across workers.
+            // construction — hand the whole corpus to the embedder as one
+            // batch (shared parameter prep, memoised repeats, chunked
+            // fan-out for plain embedders).
             Strategy::Dl { embedder } | Strategy::IrDl { embedder, .. } => {
-                let embedder: &dyn Embedder = *embedder;
-                nassim_exec::par_map(&leaf_contexts, |c| {
-                    NormalizedEmbedding::new(embed_context(embedder, c))
-                })
+                let ctx_refs: Vec<&Context> = leaf_contexts.iter().collect();
+                embed_contexts(*embedder, &ctx_refs)
             }
         };
         Mapper {
@@ -235,61 +379,135 @@ impl<'a> Mapper<'a> {
         self.leaf_index.get(&leaf).map(|&i| &self.leaf_contexts[i])
     }
 
+    /// The embedder behind DL-backed strategies, `None` for pure IR.
+    fn embedder(&self) -> Option<&'a dyn Embedder> {
+        match &self.strategy {
+            Strategy::Ir => None,
+            Strategy::Dl { embedder } => Some(*embedder),
+            Strategy::IrDl { embedder, .. } => Some(*embedder),
+        }
+    }
+
     /// Rank UDM leaves for one VDM-parameter context; returns the top `k`
     /// `(leaf, score)` pairs, best first — the Mapper's human-editable
     /// recommendation list.
+    ///
+    /// For many queries, [`Mapper::prepare_queries`] +
+    /// [`Mapper::recommend_prepared`] encodes all contexts in one batch
+    /// instead of one embedder call per query.
     pub fn recommend(&self, ctx: &Context, k: usize) -> Vec<(UdmNodeId, f32)> {
         // Joined context text is needed by both IR-backed strategies;
         // build it once per query instead of once per use site.
         let joined = ctx.joined();
-        let mut scored: Vec<(usize, f32)> = match &self.strategy {
-            Strategy::Ir => self
-                .ir
-                .top_k(&joined, self.leaves.len())
+        let ev = self
+            .embedder()
+            .map(|e| NormalizedEmbedding::new(embed_context(e, ctx)));
+        self.recommend_inner(&joined, ev.as_ref(), k)
+    }
+
+    /// Pre-encode many query contexts in **one** embedding batch; the
+    /// returned queries replay through [`Mapper::recommend_prepared`]
+    /// without touching the embedder again.
+    pub fn prepare_queries(&self, ctxs: &[&Context]) -> Vec<PreparedQuery> {
+        let joined: Vec<String> = ctxs.iter().map(|c| c.joined()).collect();
+        match self.embedder() {
+            None => joined
                 .into_iter()
+                .map(|joined| PreparedQuery {
+                    joined,
+                    embedding: None,
+                })
                 .collect(),
-            Strategy::Dl { embedder } => {
-                let ev = NormalizedEmbedding::new(embed_context(*embedder, ctx));
-                (0..self.leaves.len())
-                    .map(|i| {
-                        (
-                            i,
-                            context_similarity_normalized(
-                                &ev,
-                                &self.leaf_embeddings[i],
-                                self.weights.as_deref(),
-                            ),
-                        )
-                    })
-                    .collect()
-            }
-            Strategy::IrDl { embedder, shortlist } => {
-                let shortlist = self.ir.top_k(&joined, *shortlist);
-                let ev = NormalizedEmbedding::new(embed_context(*embedder, ctx));
-                shortlist
-                    .into_iter()
-                    .map(|(i, ir_score)| {
-                        let dl = context_similarity_normalized(
-                            &ev,
-                            &self.leaf_embeddings[i],
-                            self.weights.as_deref(),
-                        );
-                        (i, dl + IR_BLEND * ir_score)
-                    })
-                    .collect()
+            Some(e) => embed_contexts(e, ctxs)
+                .into_iter()
+                .zip(joined)
+                .map(|(emb, joined)| PreparedQuery {
+                    joined,
+                    embedding: Some(emb),
+                })
+                .collect(),
+        }
+    }
+
+    /// [`Mapper::recommend`] against a query prepared by **this**
+    /// mapper's [`Mapper::prepare_queries`]. (A query prepared by an IR
+    /// mapper carries no embedding; fed to a DL mapper it scores 0 on the
+    /// DL term rather than panicking.)
+    pub fn recommend_prepared(&self, query: &PreparedQuery, k: usize) -> Vec<(UdmNodeId, f32)> {
+        self.recommend_inner(&query.joined, query.embedding.as_ref(), k)
+    }
+
+    /// Shared ranking core: bounded-heap partial top-k with norm-bound
+    /// early exit on the DL scan — exactly the order full sort produced
+    /// (descending score, ties to the lower candidate index).
+    fn recommend_inner(
+        &self,
+        joined: &str,
+        ev: Option<&NormalizedEmbedding>,
+        k: usize,
+    ) -> Vec<(UdmNodeId, f32)> {
+        let fallback;
+        let ev = match ev {
+            Some(ev) => ev,
+            None => {
+                fallback = NormalizedEmbedding::new(ContextEmbedding { rows: Vec::new() });
+                &fallback
             }
         };
-        scored.sort_by(|a, b| {
-            b.1.partial_cmp(&a.1)
-                .unwrap_or(std::cmp::Ordering::Equal)
-                .then(a.0.cmp(&b.0))
-        });
+        let scored: Vec<(usize, f32)> = match &self.strategy {
+            Strategy::Ir => self.ir.top_k(joined, k),
+            Strategy::Dl { .. } => {
+                let mut top = TopK::new(k);
+                for i in 0..self.leaves.len() {
+                    let score = match top.prune_below() {
+                        // Heap is full: a candidate provably below the
+                        // current k-th score can be skipped unscored.
+                        Some(threshold) => match context_similarity_pruned(
+                            ev,
+                            &self.leaf_embeddings[i],
+                            self.weights.as_deref(),
+                            threshold,
+                        ) {
+                            Some(s) => s,
+                            None => continue,
+                        },
+                        None => context_similarity_normalized(
+                            ev,
+                            &self.leaf_embeddings[i],
+                            self.weights.as_deref(),
+                        ),
+                    };
+                    top.offer(i, score);
+                }
+                top.into_sorted_vec()
+            }
+            Strategy::IrDl { shortlist, .. } => {
+                let mut top = TopK::new(k);
+                for (i, ir_score) in self.ir.top_k(joined, *shortlist) {
+                    let dl = context_similarity_normalized(
+                        ev,
+                        &self.leaf_embeddings[i],
+                        self.weights.as_deref(),
+                    );
+                    top.offer(i, dl + IR_BLEND * ir_score);
+                }
+                top.into_sorted_vec()
+            }
+        };
         scored
             .into_iter()
-            .take(k)
             .map(|(i, s)| (self.leaves[i], s))
             .collect()
     }
+}
+
+/// A query context pre-processed for repeated
+/// [`Mapper::recommend_prepared`] calls: the joined text for the IR
+/// stages plus — for DL strategies — the normalized context embedding,
+/// produced in one batch by [`Mapper::prepare_queries`].
+pub struct PreparedQuery {
+    joined: String,
+    embedding: Option<NormalizedEmbedding>,
 }
 
 /// Grid-search a non-uniform Eq. 2 weight vector on a labelled validation
@@ -328,20 +546,17 @@ pub fn grid_search_weights(
     best
 }
 
-/// Embed every validation query once (in parallel). Returns an empty vec
-/// for IR mappers — weights are a DL concept.
+/// Embed every validation query once, as a single batch. Returns an
+/// empty vec for IR mappers — weights are a DL concept.
 fn embed_validation(
     mapper: &Mapper<'_>,
     validation: &[(Context, UdmNodeId)],
 ) -> Vec<NormalizedEmbedding> {
-    let embedder: &dyn Embedder = match &mapper.strategy {
-        Strategy::Dl { embedder } => *embedder,
-        Strategy::IrDl { embedder, .. } => *embedder,
-        Strategy::Ir => return Vec::new(),
+    let Some(embedder) = mapper.embedder() else {
+        return Vec::new();
     };
-    nassim_exec::par_map(validation, |(ctx, _)| {
-        NormalizedEmbedding::new(embed_context(embedder, ctx))
-    })
+    let ctx_refs: Vec<&Context> = validation.iter().map(|(ctx, _)| ctx).collect();
+    embed_contexts(embedder, &ctx_refs)
 }
 
 /// Reference scorer that re-embeds the queries on every call; production
@@ -360,23 +575,31 @@ fn weight_score_embedded(
     if queries.is_empty() {
         return 0.0; // IR mapper: weights are a DL concept.
     }
-    // Rank with the candidate weights, one case per worker.
-    let case_hits = nassim_exec::par_map_indexed(validation, |qi, (_, truth)| {
+    // Rank with the candidate weights — a pruned argmax scan per case
+    // (top-1 of the same ordering the old full sort produced), chunked
+    // across workers.
+    let case_hits = nassim_exec::par_map_indexed_chunked(validation, 4, |qi, (_, truth)| {
         let ev = &queries[qi];
-        let mut scored: Vec<(usize, f32)> = (0..mapper.leaves.len())
-            .map(|i| {
-                (
+        let mut top = TopK::new(1);
+        for i in 0..mapper.leaves.len() {
+            match top.prune_below() {
+                Some(threshold) => {
+                    if let Some(s) = context_similarity_pruned(
+                        ev,
+                        &mapper.leaf_embeddings[i],
+                        Some(w),
+                        threshold,
+                    ) {
+                        top.offer(i, s);
+                    }
+                }
+                None => top.offer(
                     i,
                     context_similarity_normalized(ev, &mapper.leaf_embeddings[i], Some(w)),
-                )
-            })
-            .collect();
-        scored.sort_by(|a, b| {
-            b.1.partial_cmp(&a.1)
-                .unwrap_or(std::cmp::Ordering::Equal)
-                .then(a.0.cmp(&b.0))
-        });
-        scored.first().map(|&(i, _)| mapper.leaves[i]) == Some(*truth)
+                ),
+            }
+        }
+        top.into_sorted_vec().first().map(|&(i, _)| mapper.leaves[i]) == Some(*truth)
     });
     let hits = case_hits.into_iter().filter(|&h| h).count();
     hits as f32 / validation.len().max(1) as f32
@@ -545,6 +768,153 @@ mod tests {
             rows: vec![vec![0.0, 0.0]],
         });
         assert_eq!(context_similarity_normalized(&zero, &zero, None), 0.0);
+    }
+
+    /// Full-sort reference ranking over the mapper's own leaf embeddings
+    /// — what `recommend` computed before the bounded-heap rewrite.
+    fn full_sort_reference(
+        m: &Mapper<'_>,
+        ctx: &Context,
+        e: &dyn Embedder,
+        k: usize,
+    ) -> Vec<(UdmNodeId, f32)> {
+        let ev = NormalizedEmbedding::new(embed_context(e, ctx));
+        let mut scored: Vec<(usize, f32)> = (0..m.leaves.len())
+            .map(|i| {
+                (
+                    i,
+                    context_similarity_normalized(&ev, &m.leaf_embeddings[i], m.weights.as_deref()),
+                )
+            })
+            .collect();
+        scored.sort_by(|a, b| {
+            b.1.partial_cmp(&a.1)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.0.cmp(&b.0))
+        });
+        scored
+            .into_iter()
+            .take(k)
+            .map(|(i, s)| (m.leaves[i], s))
+            .collect()
+    }
+
+    fn wide_udm() -> Udm {
+        let mut udm = Udm::new("u");
+        let c = udm.ensure_path(&["sys", "cfg"]);
+        for i in 0..12 {
+            udm.add(
+                c,
+                format!("leaf-{i}"),
+                format!("attribute number {} of group {}", i, i % 3),
+                "uint32",
+            );
+        }
+        udm
+    }
+
+    #[test]
+    fn recommend_heap_matches_full_sort_reference() {
+        let udm = wide_udm();
+        let e = HashEmbedder;
+        let m = Mapper::dl(&udm, &e);
+        for qtext in [
+            "attribute number 7 of group 1",
+            "attribute of group",
+            "zzz unrelated words",
+        ] {
+            let q = query(qtext);
+            for k in [1, 3, 12, 50] {
+                let heap = m.recommend(&q, k);
+                let reference = full_sort_reference(&m, &q, &e, k);
+                assert_eq!(heap.len(), reference.len(), "q={qtext} k={k}");
+                for (h, r) in heap.iter().zip(&reference) {
+                    assert_eq!(h.0, r.0, "q={qtext} k={k}");
+                    assert_eq!(h.1.to_bits(), r.1.to_bits(), "q={qtext} k={k}");
+                }
+            }
+        }
+    }
+
+    /// Every text embeds identically → every candidate ties → the heap
+    /// must reproduce full sort's deterministic index-order tie-break.
+    struct ConstEmbedder;
+    impl Embedder for ConstEmbedder {
+        fn embed(&self, _text: &str) -> Vec<f32> {
+            vec![1.0, 2.0, 3.0, 4.0]
+        }
+    }
+
+    #[test]
+    fn recommend_breaks_ties_by_leaf_index_like_full_sort() {
+        let udm = wide_udm();
+        let e = ConstEmbedder;
+        let m = Mapper::dl(&udm, &e);
+        let top = m.recommend(&query("anything"), 5);
+        let reference = full_sort_reference(&m, &query("anything"), &e, 5);
+        assert_eq!(
+            top.iter().map(|r| r.0).collect::<Vec<_>>(),
+            reference.iter().map(|r| r.0).collect::<Vec<_>>()
+        );
+        // All scores tie, so the winners are the first leaves in order.
+        assert_eq!(
+            top.iter().map(|r| r.0).collect::<Vec<_>>(),
+            m.leaves[..5].to_vec()
+        );
+    }
+
+    #[test]
+    fn prepared_queries_match_direct_recommend() {
+        let udm = wide_udm();
+        let e = HashEmbedder;
+        for m in [Mapper::ir(&udm), Mapper::dl(&udm, &e), Mapper::ir_dl(&udm, &e, 5)] {
+            let queries: Vec<Context> = ["attribute number 2", "group 0", ""]
+                .iter()
+                .map(|t| query(t))
+                .collect();
+            let refs: Vec<&Context> = queries.iter().collect();
+            let prepared = m.prepare_queries(&refs);
+            for (ctx, p) in queries.iter().zip(&prepared) {
+                assert_eq!(m.recommend(ctx, 4), m.recommend_prepared(p, 4));
+            }
+        }
+    }
+
+    #[test]
+    fn batch_encoder_mapper_matches_per_text_encoder_mapper() {
+        let udm = sample_udm();
+        let texts: Vec<String> = udm
+            .leaves()
+            .into_iter()
+            .map(|l| udm_leaf_context(&udm, l).joined())
+            .collect();
+        let vocab = Vocab::build(texts.iter().map(String::as_str), 1);
+        let enc = Encoder::new(
+            nassim_nlp::EncoderConfig {
+                vocab_size: vocab.len(),
+                dim: 16,
+                heads: 2,
+                layers: 1,
+                ff_dim: 24,
+                max_len: 16,
+            },
+            3,
+        );
+        let per_text = EncoderEmbedder {
+            encoder: &enc,
+            vocab: &vocab,
+        };
+        let m_per_text = Mapper::dl(&udm, &per_text);
+        let batched = BatchEncoder::new(enc.clone(), vocab.clone());
+        let m_batched = Mapper::dl(&udm, &batched);
+        let q = query("ipv4 address of the bgp neighbor");
+        let a = m_per_text.recommend(&q, 3);
+        let b = m_batched.recommend(&q, 3);
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.0, y.0);
+            assert_eq!(x.1.to_bits(), y.1.to_bits(), "batched path diverged");
+        }
     }
 
     #[test]

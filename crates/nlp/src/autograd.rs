@@ -44,7 +44,7 @@ struct Node {
 }
 
 /// Numerical-stability epsilon of layer norm.
-const LN_EPS: f32 = 1e-5;
+pub(crate) const LN_EPS: f32 = 1e-5;
 
 /// A forward tape. Build a computation with the op methods, then call
 /// [`Tape::backward`] on a scalar (1×1) loss node.

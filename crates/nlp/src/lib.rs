@@ -17,6 +17,11 @@
 //! * [`transformer`] — a small transformer sentence encoder (token +
 //!   position embeddings, multi-head self-attention, FFN, layer norm,
 //!   mean pooling);
+//! * [`infer`] — the tape-free batched inference engine: scratch-buffer
+//!   kernels that replay the tape's op sequence bitwise, plus
+//!   [`BatchEncoder`] with an LRU embedding memo;
+//! * [`topk`] — bounded partial top-k selection shared by TF-IDF
+//!   retrieval and the mapper's ranking;
 //! * [`training`] — Adam, the SBERT-style siamese cosine regression
 //!   objective, the SimCSE-style in-batch contrastive objective, and
 //!   training loops.
@@ -28,12 +33,15 @@
 //! Table 5.
 
 pub mod autograd;
+pub mod infer;
 pub mod tensor;
 pub mod tfidf;
 pub mod tokenizer;
+pub mod topk;
 pub mod training;
 pub mod transformer;
 
+pub use infer::{BatchEncoder, MemoStats};
 pub use tensor::Matrix;
 pub use tfidf::TfIdf;
 pub use tokenizer::{tokenize, Vocab};

@@ -8,8 +8,9 @@
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 
-/// A dense row-major matrix.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+/// A dense row-major matrix. `Default` is the empty 0×0 matrix (used as
+/// the initial state of reusable inference scratch buffers).
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct Matrix {
     pub rows: usize,
     pub cols: usize,

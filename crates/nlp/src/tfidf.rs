@@ -89,15 +89,13 @@ impl TfIdf {
     }
 
     /// Indices of the `k` most similar fitted documents, best first.
+    ///
+    /// Partial selection through [`crate::topk`] — O(n log k) instead of
+    /// scoring-then-full-sort, with the identical ordering contract
+    /// (descending score, ties to the lower document index).
     pub fn top_k(&self, text: &str, k: usize) -> Vec<(usize, f32)> {
         let q = self.vectorize(text);
-        let mut scored: Vec<(usize, f32)> = (0..self.n_docs)
-            .map(|d| (d, self.similarity(&q, d)))
-            .collect();
-        scored.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal)
-            .then(a.0.cmp(&b.0)));
-        scored.truncate(k);
-        scored
+        crate::topk::top_k_scored((0..self.n_docs).map(|d| (d, self.similarity(&q, d))), k)
     }
 }
 

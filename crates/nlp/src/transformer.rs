@@ -45,31 +45,34 @@ impl EncoderConfig {
 }
 
 /// Parameters of one transformer block.
+///
+/// Fields are `pub(crate)` so the tape-free [`crate::infer`] engine can
+/// replay the forward pass against the same weights.
 #[derive(Debug, Clone, Serialize, Deserialize)]
-struct Block {
+pub(crate) struct Block {
     /// Per-head projections, each dim×(dim/heads).
-    wq: Vec<Matrix>,
-    wk: Vec<Matrix>,
-    wv: Vec<Matrix>,
+    pub(crate) wq: Vec<Matrix>,
+    pub(crate) wk: Vec<Matrix>,
+    pub(crate) wv: Vec<Matrix>,
     /// Output projection dim×dim.
-    wo: Matrix,
-    ln1_gain: Matrix,
-    ln1_bias: Matrix,
-    ff1: Matrix,
-    ff1_bias: Matrix,
-    ff2: Matrix,
-    ff2_bias: Matrix,
-    ln2_gain: Matrix,
-    ln2_bias: Matrix,
+    pub(crate) wo: Matrix,
+    pub(crate) ln1_gain: Matrix,
+    pub(crate) ln1_bias: Matrix,
+    pub(crate) ff1: Matrix,
+    pub(crate) ff1_bias: Matrix,
+    pub(crate) ff2: Matrix,
+    pub(crate) ff2_bias: Matrix,
+    pub(crate) ln2_gain: Matrix,
+    pub(crate) ln2_bias: Matrix,
 }
 
 /// The encoder: config plus all learned parameters.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct Encoder {
     pub config: EncoderConfig,
-    tok_emb: Matrix,
-    pos_emb: Matrix,
-    blocks: Vec<Block>,
+    pub(crate) tok_emb: Matrix,
+    pub(crate) pos_emb: Matrix,
+    pub(crate) blocks: Vec<Block>,
 }
 
 /// Tape handles for every parameter, in the same order as
@@ -225,7 +228,24 @@ impl Encoder {
     }
 
     /// Inference: embed token ids to a plain vector.
+    ///
+    /// Runs the tape-free engine in [`crate::infer`], which replays the
+    /// exact op sequence of [`Encoder::embed_on_tape`] with the same f32
+    /// arithmetic — the result is bitwise identical to
+    /// [`Encoder::embed_ids_tape`] (enforced by a differential proptest)
+    /// without cloning every parameter onto a gradient tape per call.
     pub fn embed_ids(&self, ids: &[usize]) -> Vec<f32> {
+        crate::infer::embed_ids_oneshot(self, ids)
+    }
+
+    /// Reference inference path through the autograd tape.
+    ///
+    /// This is the original (slow) implementation kept as the ground
+    /// truth for the tape-free engine's parity gate: it pushes every
+    /// parameter onto a fresh [`Tape`] and runs
+    /// [`Encoder::embed_on_tape`]. Use [`Encoder::embed_ids`] everywhere
+    /// else.
+    pub fn embed_ids_tape(&self, ids: &[usize]) -> Vec<f32> {
         let mut tape = Tape::new();
         let pv = self.push_params(&mut tape);
         let out = self.embed_on_tape(&mut tape, &pv, ids);

@@ -225,6 +225,12 @@ fn markup_diag(severity: Severity, vendor: &str, url: &str, defect: &MarkupDefec
 /// Run `parser` over `(url, html)` pages with the default (generous)
 /// [`IngestBudget`] — the `parsing()` + `validating()` workflow of
 /// Figure 2. See [`run_parser_with`].
+/// Pages per worker chunk: parsing one synthetic page is tens of
+/// microseconds, far below thread spawn cost, so workers take pages in
+/// batches (BENCH_parallel.json showed per-item fan-out losing to
+/// serial at 0.56×).
+const PARSE_MIN_CHUNK: usize = 32;
+
 pub fn run_parser<'a>(
     parser: &dyn VendorParser,
     pages: impl IntoIterator<Item = (&'a str, &'a str)>,
@@ -254,7 +260,7 @@ pub fn run_parser_with<'a>(
     budget: &IngestBudget,
 ) -> ParseRun {
     let pages: Vec<(&str, &str)> = pages.into_iter().collect();
-    let per_page = nassim_exec::par_map_isolated(&pages, |&(url, html)| {
+    let per_page = nassim_exec::par_map_isolated_chunked(&pages, PARSE_MIN_CHUNK, |&(url, html)| {
         let (doc, defects) = match Document::parse_budgeted(html, budget) {
             Ok(built) => built,
             Err(e) => return PageOutcome::OverBudget(e),

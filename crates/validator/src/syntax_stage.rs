@@ -77,8 +77,13 @@ impl SyntaxAudit {
 ///
 /// Pages are audited in parallel; per-page results are folded back in
 /// page order, so the failure list is identical to a serial sweep.
+/// Pages per worker chunk: template validation is microseconds per
+/// page, so per-item fan-out loses to serial (0.68× in
+/// BENCH_parallel.json); chunks amortise the spawn cost.
+const AUDIT_MIN_CHUNK: usize = 64;
+
 pub fn audit_corpus(pages: &[ParsedPage]) -> SyntaxAudit {
-    let per_page: Vec<(usize, Vec<SyntaxFailure>)> = nassim_exec::par_map(pages, |page| {
+    let per_page: Vec<(usize, Vec<SyntaxFailure>)> = nassim_exec::par_map_chunked(pages, AUDIT_MIN_CHUNK, |page| {
         let mut failures = Vec::new();
         for (i, cli) in page.entry.clis.iter().enumerate() {
             if let Err(diagnosis) = validate_template(cli) {
