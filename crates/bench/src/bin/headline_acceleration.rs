@@ -1,5 +1,5 @@
 //! §7.3 headline — the assimilation acceleration factor — plus the
-//! parallel-engine speedup record.
+//! parallel-engine speedup record at Table-1 corpus scale.
 //!
 //! "If Mapper is allowed to provide 10 suggestions for parameter-pair
 //! matching, NetOps engineers only need to refer to the manual 11% of
@@ -7,11 +7,35 @@
 //! mapping phase by 9.1×." The factor is 1/(1 − recall@10) of the best
 //! model on the rich-annotation setting.
 //!
-//! Before the headline experiment, every parallelized pipeline stage is
-//! timed twice — pinned to 1 worker, then to the fan-out worker count —
-//! and the serial/parallel wall-clock pairs are written to
-//! `BENCH_parallel.json` (identical outputs are guaranteed by the
-//! deterministic index-ordered merges in `nassim-exec`).
+//! Before the headline experiment, the parallel engine is measured four
+//! ways and the results written to `BENCH_parallel.json`:
+//!
+//! 1. **Stages** — every parallelized pipeline stage timed at 1 worker
+//!    and at the fan-out count, on a 10k+-CLI corpus (the paper's
+//!    Table-1 vendors ship 12–14k CLIs). Each side is warmed once and
+//!    takes the min of `repetitions` runs.
+//! 2. **Sharding sweep** — mapper `recommend` latency as the leaf
+//!    corpus is partitioned into 1..32 shards.
+//! 3. **Engine overhead** — the same repeated fan-out workload through
+//!    the persistent pool and through the retired spawn-per-call engine
+//!    (`nassim_exec::legacy`), isolating the per-call spawn cost the
+//!    pool eliminates.
+//! 4. **Hierarchy fix** — the `hierarchy_derivation` speedup before the
+//!    min-chunk fix (0.64×, from the PR-5 baseline JSON) next to the
+//!    measured value after it.
+//!
+//! Identical outputs across worker counts are guaranteed by the
+//! deterministic index-ordered merges in `nassim-exec` and covered by
+//! `tests/parallel_determinism.rs`.
+//!
+//! **Gates.** `mapper_evaluation` parallel speedup ≥ 2.0× and every
+//! stage ≥ 1.0× are *hardware-conditional*: wall-clock parallel wins
+//! require real cores, so the thresholds are enforced (non-zero exit)
+//! only when the machine reports at least 4 hardware threads — e.g. the
+//! CI `parallel-speedup` job — and reported-only below that. The JSON
+//! records the hardware thread count and whether enforcement was on.
+//! `--smoke` (or `NASSIM_SMOKE=1`) shrinks the corpus for quick CI runs
+//! and never enforces.
 
 use nassim_bench::fixtures::{mapping_experiment, HashEmbedder, MODEL_ORDER};
 use nassim_datasets::{catalog::Catalog, manualgen, style, udmgen};
@@ -22,6 +46,38 @@ use nassim_parser::{parser_for, run_parser};
 use nassim_validator::{audit_corpus, derive_hierarchy};
 use std::time::Instant;
 
+/// Table-1 magnitude: extra procedural commands on top of the base
+/// catalog (the paper's large vendors ship 12–14k CLIs / manual pages).
+const FULL_SCALE: usize = 10_000;
+/// Distractor UDM leaves: brings the mapper's candidate corpus to the
+/// few-thousand-leaf regime a production UDM has.
+const FULL_DISTRACTORS: usize = 3_000;
+/// Mapper evaluation cases are capped (deterministic stride sample) so
+/// the stage measures per-query scan cost, not an O(n²) blow-up.
+const FULL_EVAL_CASES: usize = 512;
+/// Queries timed per shard count in the sharding sweep.
+const FULL_SWEEP_QUERIES: usize = 64;
+/// Timed repetitions per side; the min is recorded (noise rejection).
+const FULL_REPS: usize = 2;
+
+const SMOKE_SCALE: usize = 400;
+const SMOKE_DISTRACTORS: usize = 300;
+const SMOKE_EVAL_CASES: usize = 256;
+const SMOKE_SWEEP_QUERIES: usize = 24;
+const SMOKE_REPS: usize = 1;
+
+/// `mapper_evaluation` parallel-vs-serial wall-clock floor.
+const MAPPER_EVAL_MIN_SPEEDUP: f64 = 2.0;
+/// No stage may lose to its serial run.
+const MIN_STAGE_SPEEDUP: f64 = 1.0;
+/// Hardware threads required before the wall-clock floors enforce.
+const GATE_MIN_HW_THREADS: usize = 4;
+
+/// `hierarchy_derivation` parallel speedup recorded by the PR-5
+/// baseline `BENCH_parallel.json`, before the min-chunk fix — kept here
+/// so the before/after pair lives in one artifact.
+const HIERARCHY_SPEEDUP_BEFORE_FIX: f64 = 0.6449;
+
 #[derive(serde::Serialize)]
 struct StageTiming {
     stage: String,
@@ -31,10 +87,50 @@ struct StageTiming {
 }
 
 #[derive(serde::Serialize)]
+struct ShardTiming {
+    shards: usize,
+    queries_ms: f64,
+    speedup_vs_one_shard: f64,
+}
+
+#[derive(serde::Serialize)]
+struct EngineOverhead {
+    workload: String,
+    legacy_spawn_ms: f64,
+    pool_ms: f64,
+    pool_speedup_vs_spawn: f64,
+}
+
+#[derive(serde::Serialize)]
+struct HierarchyFix {
+    speedup_before_fix: f64,
+    speedup_after_fix: f64,
+}
+
+#[derive(serde::Serialize)]
+struct SpeedupGates {
+    hardware_threads: usize,
+    /// True when the wall-clock floors below abort on failure.
+    enforced: bool,
+    mapper_evaluation_min_speedup: f64,
+    min_stage_speedup: f64,
+    failures: Vec<String>,
+}
+
+#[derive(serde::Serialize)]
 struct ParallelBench {
+    smoke: bool,
     serial_threads: usize,
     parallel_threads: usize,
+    manual_pages: usize,
+    udm_leaves: usize,
+    eval_cases: usize,
+    repetitions: usize,
     stages: Vec<StageTiming>,
+    sharding_sweep: Vec<ShardTiming>,
+    engine_overhead: Vec<EngineOverhead>,
+    hierarchy_fix: HierarchyFix,
+    gates: SpeedupGates,
 }
 
 fn time_ms<R>(f: impl FnOnce() -> R) -> (R, f64) {
@@ -43,10 +139,29 @@ fn time_ms<R>(f: impl FnOnce() -> R) -> (R, f64) {
     (r, t.elapsed().as_secs_f64() * 1e3)
 }
 
+/// Physical thread count — deliberately ignores `NASSIM_THREADS`, which
+/// says how many workers to *use*, not how many cores exist to win
+/// wall-clock on.
+fn hardware_threads() -> usize {
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+}
+
+/// Min-of-`reps` wall clock for `f` under `threads` workers, after one
+/// untimed warmup (the first run pays cold caches and, for the parallel
+/// side, lazy pool spawn — neither is the steady state being measured).
+fn timed_min<R>(threads: usize, reps: usize, f: impl Fn() -> R) -> f64 {
+    nassim_exec::with_threads(threads, || {
+        let _ = f();
+        (0..reps.max(1))
+            .map(|_| time_ms(&f).1)
+            .fold(f64::INFINITY, f64::min)
+    })
+}
+
 /// Time `f` at 1 worker and at `workers`, returning the record.
-fn stage<R>(name: &str, workers: usize, f: impl Fn() -> R) -> StageTiming {
-    let (_, serial_ms) = nassim_exec::with_threads(1, || time_ms(&f));
-    let (_, parallel_ms) = nassim_exec::with_threads(workers, || time_ms(&f));
+fn stage<R>(name: &str, workers: usize, reps: usize, f: impl Fn() -> R) -> StageTiming {
+    let serial_ms = timed_min(1, reps, &f);
+    let parallel_ms = timed_min(workers, reps, &f);
     let t = StageTiming {
         stage: name.to_string(),
         serial_ms,
@@ -60,27 +175,37 @@ fn stage<R>(name: &str, workers: usize, f: impl Fn() -> R) -> StageTiming {
     t
 }
 
-fn parallel_bench() -> Result<ParallelBench, Box<dyn std::error::Error>> {
+fn parallel_bench(smoke: bool) -> Result<ParallelBench, Box<dyn std::error::Error>> {
     let workers = nassim_exec::threads().max(4);
-    println!("Parallel engine: 1 vs {workers} workers (NASSIM_THREADS overrides)");
+    let (scale, distractors, max_cases, sweep_queries, reps) = if smoke {
+        (SMOKE_SCALE, SMOKE_DISTRACTORS, SMOKE_EVAL_CASES, SMOKE_SWEEP_QUERIES, SMOKE_REPS)
+    } else {
+        (FULL_SCALE, FULL_DISTRACTORS, FULL_EVAL_CASES, FULL_SWEEP_QUERIES, FULL_REPS)
+    };
+    println!(
+        "Parallel engine: 1 vs {workers} workers, {scale} extra CLIs, min of {reps} rep(s){}",
+        if smoke { " [smoke]" } else { "" }
+    );
 
-    let catalog = Catalog::with_scale(400);
+    let catalog = Catalog::with_scale(scale);
     let st = style::vendor("helix")?;
     let gen_opts = manualgen::GenOptions {
         seed: 1,
-        scale_extra: 400,
+        scale_extra: scale,
         syntax_error_rate: 0.0,
         ambiguity_rate: 0.0,
         ..Default::default()
     };
     let parser = parser_for("helix")?;
 
+    // ── Pipeline stages at Table-1 page counts. ───────────────────────
     let mut stages = Vec::new();
-    stages.push(stage("manual_generation", workers, || {
+    stages.push(stage("manual_generation", workers, reps, || {
         manualgen::generate(&st, &catalog, &gen_opts)
     }));
     let manual = manualgen::generate(&st, &catalog, &gen_opts);
-    stages.push(stage("parsing", workers, || {
+    println!("    ({} manual pages)", manual.pages.len());
+    stages.push(stage("parsing", workers, reps, || {
         run_parser(
             parser.as_ref(),
             manual.pages.iter().map(|p| (p.url.as_str(), p.html.as_str())),
@@ -91,46 +216,183 @@ fn parallel_bench() -> Result<ParallelBench, Box<dyn std::error::Error>> {
         manual.pages.iter().map(|p| (p.url.as_str(), p.html.as_str())),
     )
     .pages;
-    stages.push(stage("syntax_audit", workers, || audit_corpus(&pages)));
-    stages.push(stage("hierarchy_derivation", workers, || derive_hierarchy(&pages)));
+    stages.push(stage("syntax_audit", workers, reps, || audit_corpus(&pages)));
+    stages.push(stage("hierarchy_derivation", workers, reps, || derive_hierarchy(&pages)));
 
+    // ── Mapper at a production-size leaf corpus. ──────────────────────
     let data = udmgen::generate(
         &catalog,
         &udmgen::UdmGenOptions {
             seed: 1,
             paraphrase_strength: 0.6,
-            distractors: 300,
+            distractors,
         },
     );
     let udm = &data.udm;
     let embedder = HashEmbedder(64);
-    stages.push(stage("mapper_construction", workers, || Mapper::dl(udm, &embedder)));
+    stages.push(stage("mapper_construction", workers, reps, || Mapper::dl(udm, &embedder)));
     let mapper = Mapper::dl(udm, &embedder);
-    let cases: Vec<EvalCase> = udm
-        .leaves()
-        .into_iter()
-        .map(|l| EvalCase {
+    let leaves = udm.leaves();
+    // Deterministic stride sample: evaluation cost scales with
+    // cases × leaves, and the stage's subject is the per-query scan.
+    let stride = (leaves.len() / max_cases).max(1);
+    let cases: Vec<EvalCase> = leaves
+        .iter()
+        .step_by(stride)
+        .take(max_cases)
+        .map(|&l| EvalCase {
             context: udm_leaf_context(udm, l),
             truth: l,
             label: String::new(),
         })
         .collect();
-    stages.push(stage("mapper_evaluation", workers, || {
+    println!("    ({} UDM leaves, {} eval cases)", leaves.len(), cases.len());
+    stages.push(stage("mapper_evaluation", workers, reps, || {
         evaluate(&mapper, &cases, &[1, 10])
     }));
 
+    // ── Sharding sweep: per-query scan vs shard count. ────────────────
+    println!("  sharding sweep ({} queries, {} leaves):", sweep_queries, leaves.len());
+    let queries: Vec<_> = cases.iter().take(sweep_queries).map(|c| &c.context).collect();
+    let prepared = mapper.prepare_queries(&queries);
+    let mut sweep = Vec::new();
+    let mut one_shard_ms = f64::NAN;
+    for &shards in &[1usize, 2, 4, 8, 16, 32] {
+        let mut m = Mapper::dl(udm, &embedder);
+        m.set_shard_count(shards);
+        let ms = timed_min(workers, reps, || {
+            prepared
+                .iter()
+                .map(|q| m.recommend_prepared(q, 10))
+                .collect::<Vec<_>>()
+        });
+        if shards == 1 {
+            one_shard_ms = ms;
+        }
+        let t = ShardTiming {
+            shards: m.shard_count(),
+            queries_ms: ms,
+            speedup_vs_one_shard: if ms > 0.0 { one_shard_ms / ms } else { 0.0 },
+        };
+        println!(
+            "    {:>2} shard(s)   {:>8.1} ms   {:.2}x vs 1 shard",
+            t.shards, t.queries_ms, t.speedup_vs_one_shard
+        );
+        sweep.push(t);
+    }
+
+    // ── Pool vs spawn-per-call: the overhead the pool removes. ────────
+    // Many small fan-outs over cheap items — the pattern that made
+    // stages *slower* in parallel under the old engine.
+    let micro_items: Vec<u64> = (0..4096).collect();
+    let pool_run = || {
+        let mut acc = 0u64;
+        for _ in 0..100 {
+            acc ^= nassim_exec::par_map_chunked(&micro_items, 64, |&x| x.wrapping_mul(2654435761))
+                .iter()
+                .fold(0u64, |a, &b| a ^ b);
+        }
+        acc
+    };
+    let legacy_run = || {
+        let mut acc = 0u64;
+        for _ in 0..100 {
+            acc ^= nassim_exec::legacy::par_map_indexed_chunked(&micro_items, 64, |_, &x| {
+                x.wrapping_mul(2654435761)
+            })
+            .iter()
+            .fold(0u64, |a, &b| a ^ b);
+        }
+        acc
+    };
+    let pool_ms = timed_min(workers, reps, pool_run);
+    let legacy_ms = timed_min(workers, reps, legacy_run);
+    let overhead = EngineOverhead {
+        workload: "100 fan-outs x 4096 cheap items".to_string(),
+        legacy_spawn_ms: legacy_ms,
+        pool_ms,
+        pool_speedup_vs_spawn: if pool_ms > 0.0 { legacy_ms / pool_ms } else { 0.0 },
+    };
+    println!(
+        "  engine overhead: legacy spawn {:.1} ms vs pool {:.1} ms => {:.2}x",
+        overhead.legacy_spawn_ms, overhead.pool_ms, overhead.pool_speedup_vs_spawn
+    );
+
+    // ── Gate evaluation (hardware-conditional). ───────────────────────
+    let hw = hardware_threads();
+    let enforced = !smoke && hw >= GATE_MIN_HW_THREADS;
+    let mut failures = Vec::new();
+    for t in &stages {
+        if t.stage == "mapper_evaluation" && t.speedup < MAPPER_EVAL_MIN_SPEEDUP {
+            failures.push(format!(
+                "mapper_evaluation speedup {:.2}x under the {MAPPER_EVAL_MIN_SPEEDUP}x floor",
+                t.speedup
+            ));
+        }
+        if t.speedup < MIN_STAGE_SPEEDUP {
+            failures.push(format!(
+                "{} speedup {:.2}x under the {MIN_STAGE_SPEEDUP}x floor",
+                t.stage, t.speedup
+            ));
+        }
+    }
+    let hierarchy_after = stages
+        .iter()
+        .find(|t| t.stage == "hierarchy_derivation")
+        .map(|t| t.speedup)
+        .unwrap_or(0.0);
+
     Ok(ParallelBench {
+        smoke,
         serial_threads: 1,
         parallel_threads: workers,
+        manual_pages: manual.pages.len(),
+        udm_leaves: leaves.len(),
+        eval_cases: cases.len(),
+        repetitions: reps,
         stages,
+        sharding_sweep: sweep,
+        engine_overhead: vec![overhead],
+        hierarchy_fix: HierarchyFix {
+            speedup_before_fix: HIERARCHY_SPEEDUP_BEFORE_FIX,
+            speedup_after_fix: hierarchy_after,
+        },
+        gates: SpeedupGates {
+            hardware_threads: hw,
+            enforced,
+            mapper_evaluation_min_speedup: MAPPER_EVAL_MIN_SPEEDUP,
+            min_stage_speedup: MIN_STAGE_SPEEDUP,
+            failures,
+        },
     })
 }
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let bench = parallel_bench()?;
+    let smoke = std::env::args().any(|a| a == "--smoke")
+        || std::env::var("NASSIM_SMOKE").map(|v| v != "0").unwrap_or(false);
+
+    let bench = parallel_bench(smoke)?;
     let json = serde_json::to_string_pretty(&bench)?;
     std::fs::write("BENCH_parallel.json", &json)?;
     println!("  wrote BENCH_parallel.json");
+
+    if !bench.gates.failures.is_empty() {
+        if bench.gates.enforced {
+            for f in &bench.gates.failures {
+                eprintln!("FAIL: {f}");
+            }
+            std::process::exit(1);
+        }
+        for f in &bench.gates.failures {
+            println!(
+                "  note: {f} — not enforced ({} hardware thread(s){})",
+                bench.gates.hardware_threads,
+                if smoke { ", smoke" } else { "" }
+            );
+        }
+    } else if bench.gates.enforced {
+        println!("  gates: all wall-clock floors PASS (enforced)");
+    }
     println!();
 
     let outcome = mapping_experiment(&[10])?;

@@ -1,0 +1,139 @@
+//! The pre-pool spawn-per-call engine, kept verbatim as a benchmarking
+//! baseline.
+//!
+//! Until the persistent pool landed, every parallel call built its
+//! workers from scratch with `std::thread::scope` — correct and simple,
+//! but the spawn/teardown cost is paid on **every** invocation, which is
+//! exactly what made cheap stages slower in parallel than serial
+//! (hierarchy derivation ran at 0.64× serial with 4 workers). The bench
+//! suite runs the same workloads through this module and through the
+//! pool to measure that fixed overhead directly; nothing in the pipeline
+//! should call it.
+//!
+//! Semantics are identical to the pool engine: same worker resolution,
+//! same index-ordered merge, same per-item panic annotation. Only the
+//! thread lifetime differs.
+
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+
+use crate::{reraise_with_index, resolve_workers, threads};
+
+/// Spawn-per-call [`crate::par_map`].
+pub fn par_map<T, U, F>(items: &[T], f: F) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(&T) -> U + Sync,
+{
+    par_map_with(items, 1, || (), move |(), _, t| f(t))
+}
+
+/// Spawn-per-call [`crate::par_map_indexed_chunked`].
+pub fn par_map_indexed_chunked<T, U, F>(items: &[T], min_chunk: usize, f: F) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(usize, &T) -> U + Sync,
+{
+    par_map_with(items, min_chunk, || (), move |(), i, t| f(i, t))
+}
+
+/// Spawn-per-call [`crate::par_map_with`]: one scoped thread per chunk,
+/// created and joined inside the call.
+pub fn par_map_with<T, S, U, I, F>(items: &[T], min_chunk: usize, init: I, f: F) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    I: Fn() -> S + Sync,
+    F: Fn(&mut S, usize, &T) -> U + Sync,
+{
+    let workers = resolve_workers(items.len(), min_chunk);
+    if workers <= 1 {
+        let mut state = init();
+        return items
+            .iter()
+            .enumerate()
+            .map(|(i, t)| f(&mut state, i, t))
+            .collect();
+    }
+    let chunk = items.len().div_ceil(workers);
+    let chunks: Vec<Vec<U>> = std::thread::scope(|scope| {
+        let f = &f;
+        let init = &init;
+        let handles: Vec<_> = items
+            .chunks(chunk)
+            .enumerate()
+            .map(|(ci, slice)| {
+                scope.spawn(move || {
+                    let mut state = init();
+                    slice
+                        .iter()
+                        .enumerate()
+                        .map(|(i, t)| {
+                            let index = ci * chunk + i;
+                            match catch_unwind(AssertUnwindSafe(|| f(&mut state, index, t))) {
+                                Ok(v) => v,
+                                Err(payload) => reraise_with_index(index, payload),
+                            }
+                        })
+                        .collect::<Vec<U>>()
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().unwrap_or_else(|payload| resume_unwind(payload)))
+            .collect()
+    });
+    let mut out = Vec::with_capacity(items.len());
+    for c in chunks {
+        out.extend(c);
+    }
+    out
+}
+
+/// Spawn-per-call [`crate::join2`]: `b` on a fresh scoped thread.
+pub fn join2<A, B>(a: impl FnOnce() -> A + Send, b: impl FnOnce() -> B + Send) -> (A, B)
+where
+    A: Send,
+    B: Send,
+{
+    if threads() <= 1 {
+        let ra = a();
+        let rb = b();
+        return (ra, rb);
+    }
+    std::thread::scope(|scope| {
+        let hb = scope.spawn(|| match catch_unwind(AssertUnwindSafe(b)) {
+            Ok(v) => v,
+            Err(payload) => {
+                if payload.is::<String>() || payload.is::<&str>() {
+                    let msg = crate::payload_to_string(payload.as_ref());
+                    std::panic::panic_any(format!("join2 second task panicked: {msg}"));
+                }
+                resume_unwind(payload)
+            }
+        });
+        let ra = a();
+        let rb = hb.join().unwrap_or_else(|payload| resume_unwind(payload));
+        (ra, rb)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::with_threads;
+
+    #[test]
+    fn legacy_engine_matches_pool_engine() {
+        let items: Vec<u64> = (0..311).collect();
+        let want: Vec<u64> = items.iter().map(|x| x * 7 + 3).collect();
+        for n in [1, 4, 8] {
+            let legacy = with_threads(n, || par_map(&items, |x| x * 7 + 3));
+            let pooled = with_threads(n, || crate::par_map(&items, |x| x * 7 + 3));
+            assert_eq!(legacy, want, "{n} workers");
+            assert_eq!(pooled, want, "{n} workers");
+        }
+    }
+}

@@ -1,26 +1,44 @@
 //! Parallel execution layer for the assimilation pipeline.
 //!
-//! A deliberately small, dependency-free fan-out primitive built on
-//! `std::thread::scope`: [`par_map`] / [`par_map_indexed`] split the
-//! input into contiguous chunks, run one worker per chunk, and splice
-//! the per-chunk outputs back **in input order**. Because the merge is
-//! index-ordered, a parallel map is byte-identical to its serial
-//! equivalent — the determinism contract every pipeline stage (parser,
-//! syntax audit, hierarchy vote, mapper evaluation) relies on.
+//! A deliberately small, dependency-free fan-out primitive backed by a
+//! **persistent worker pool** (see [`pool`](crate::pool_stats)):
+//! [`par_map`] / [`par_map_indexed`] split the input into contiguous
+//! chunks, push them onto a process-global injector where parked worker
+//! threads (plus the calling thread itself) claim and run them, and
+//! splice the per-chunk outputs back **in input order**. Because the
+//! merge is index-ordered and chunk geometry is a pure function of the
+//! input length and resolved worker count, a parallel map is
+//! byte-identical to its serial equivalent — the determinism contract
+//! every pipeline stage (parser, syntax audit, hierarchy vote, mapper
+//! evaluation) relies on — no matter which pool thread ran which chunk.
+//!
+//! Worker threads are created **once**, lazily, on the first call that
+//! wants them; subsequent calls reuse the parked threads with no spawn
+//! or teardown cost. The previous spawn-per-call engine survives in
+//! [`legacy`] as a benchmarking baseline for exactly that overhead.
 //!
 //! Worker count resolution, in priority order:
 //! 1. a thread-local override installed by [`with_threads`] (used by
-//!    tests and benches so runs don't race on process-global state),
+//!    tests and benches so runs don't race on process-global state) —
+//!    propagated onto pool workers for the duration of each chunk, so
+//!    nested parallelism under an override resolves consistently,
 //! 2. the `NASSIM_THREADS` environment variable,
 //! 3. `std::thread::available_parallelism()`.
 //!
 //! Inputs smaller than [`MIN_PARALLEL`] items, or a resolved worker
-//! count of 1, run inline on the calling thread with no spawn at all.
+//! count of 1, run inline on the calling thread with no pool traffic at
+//! all.
 
 use std::cell::Cell;
 use std::fmt;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
-use std::sync::OnceLock;
+use std::sync::{Mutex, OnceLock};
+
+mod pool;
+
+pub mod legacy;
+
+pub use pool::{debug_poison_workers, in_parallel_region, pool_stats, PoolStats};
 
 /// Inputs shorter than this run serially: below it, spawn overhead
 /// dominates any possible win.
@@ -63,6 +81,12 @@ fn payload_to_string(payload: &(dyn std::any::Any + Send)) -> String {
 
 thread_local! {
     static THREAD_OVERRIDE: Cell<Option<usize>> = const { Cell::new(None) };
+}
+
+/// The raw [`with_threads`] override on this thread, if any — captured
+/// at job submission so pool workers can mirror it around each chunk.
+pub(crate) fn thread_override() -> Option<usize> {
+    THREAD_OVERRIDE.with(Cell::get)
 }
 
 fn env_threads() -> Option<usize> {
@@ -167,14 +191,38 @@ fn resolve_workers(len: usize, min_chunk: usize) -> usize {
     threads().min((len / min_chunk.max(1)).max(1))
 }
 
+/// Chunk oversplit factor: each resolved worker's share is split this
+/// many ways so fast workers steal from slow ones instead of idling at
+/// the tail. Geometry stays a pure function of `(len, min_chunk,
+/// resolved workers)`, so determinism is unaffected.
+const CHUNKS_PER_WORKER: usize = 4;
+
+/// Output slot array shared with pool workers: each chunk index writes
+/// exactly one disjoint `Option` cell, exactly once, so plain raw-pointer
+/// writes are race-free; the pool's completion latch (a mutex) publishes
+/// them to the caller.
+struct Slots<U>(*mut Option<Vec<U>>);
+// SAFETY: only `U: Send` values cross threads through the slots, and the
+// disjoint-single-write discipline above rules out aliasing.
+unsafe impl<U: Send> Send for Slots<U> {}
+unsafe impl<U: Send> Sync for Slots<U> {}
+
+impl<U> Slots<U> {
+    /// SAFETY: caller must guarantee `ci` is in bounds of the slot array
+    /// and written at most once across all threads.
+    unsafe fn write(&self, ci: usize, value: Vec<U>) {
+        unsafe { *self.0.add(ci) = Some(value) };
+    }
+}
+
 /// The most general fan-out: map `f(state, index, item)` over `items`
-/// with **per-worker mutable state**, preserving input order.
+/// with **per-chunk mutable state**, preserving input order.
 ///
-/// `init` runs once per worker (and once total on the serial path) to
-/// build that worker's state — a scratch arena, a reusable buffer, a
-/// memo — which `f` then threads through every item the worker owns.
-/// This is how callers reuse allocations across items without sharing
-/// (and locking) them across threads. `f` must not let results depend on
+/// `init` runs once per chunk (and once total on the serial path) to
+/// build that chunk's state — a scratch arena, a reusable buffer, a
+/// memo — which `f` then threads through every item in the chunk. This
+/// is how callers reuse allocations across items without sharing (and
+/// locking) them across threads. `f` must not let results depend on
 /// *which* items share a state beyond reuse of scratch space: outputs
 /// must be a pure function of `(index, item)` for the determinism
 /// contract to hold.
@@ -187,7 +235,8 @@ where
     I: Fn() -> S + Sync,
     F: Fn(&mut S, usize, &T) -> U + Sync,
 {
-    let workers = resolve_workers(items.len(), min_chunk);
+    let len = items.len();
+    let workers = resolve_workers(len, min_chunk);
     if workers <= 1 {
         let mut state = init();
         return items
@@ -196,46 +245,54 @@ where
             .map(|(i, t)| f(&mut state, i, t))
             .collect();
     }
-    let chunk = items.len().div_ceil(workers);
-    let chunks: Vec<Vec<U>> = std::thread::scope(|scope| {
-        let f = &f;
-        let init = &init;
-        let handles: Vec<_> = items
-            .chunks(chunk)
+    // Oversplit for stealing granularity, but never below the min_chunk
+    // amortisation floor and never beyond one item per chunk. Geometry
+    // depends only on (len, min_chunk, workers) — not on which threads
+    // exist or how they race — so output layout is deterministic.
+    let chunk_count = (workers * CHUNKS_PER_WORKER)
+        .min((len / min_chunk.max(1)).max(1))
+        .min(len);
+    let chunk_size = len.div_ceil(chunk_count);
+    let chunk_count = len.div_ceil(chunk_size);
+    let mut slots: Vec<Option<Vec<U>>> = (0..chunk_count).map(|_| None).collect();
+    let out_slots = Slots(slots.as_mut_ptr());
+    let init = &init;
+    let f = &f;
+    let task = move |ci: usize| {
+        let start = ci * chunk_size;
+        let end = (start + chunk_size).min(len);
+        let mut state = init();
+        let produced: Vec<U> = items[start..end]
+            .iter()
             .enumerate()
-            .map(|(ci, slice)| {
-                scope.spawn(move || {
-                    let mut state = init();
-                    slice
-                        .iter()
-                        .enumerate()
-                        .map(|(i, t)| {
-                            let index = ci * chunk + i;
-                            // Catch per item so a panic can be re-raised
-                            // carrying the failing item's index — a bare
-                            // join error only knows the chunk.
-                            match catch_unwind(AssertUnwindSafe(|| f(&mut state, index, t))) {
-                                Ok(v) => v,
-                                Err(payload) => reraise_with_index(index, payload),
-                            }
-                        })
-                        .collect::<Vec<U>>()
-                })
+            .map(|(j, t)| {
+                let index = start + j;
+                // Catch per item so a panic can be re-raised carrying
+                // the failing item's index — the chunk-level record the
+                // pool keeps only knows the chunk.
+                match catch_unwind(AssertUnwindSafe(|| f(&mut state, index, t))) {
+                    Ok(v) => v,
+                    Err(payload) => reraise_with_index(index, payload),
+                }
             })
             .collect();
-        // Joining in spawn order gives the index-ordered merge. A worker
-        // panic is propagated, not swallowed: resuming with a partial
-        // result would silently corrupt the fold. The payload was already
-        // annotated with the failing item index inside the worker.
-        let joined: Vec<Vec<U>> = handles
-            .into_iter()
-            .map(|h| h.join().unwrap_or_else(|payload| resume_unwind(payload)))
-            .collect();
-        joined
-    });
-    let mut out = Vec::with_capacity(items.len());
-    for c in chunks {
-        out.extend(c);
+        // SAFETY: `ci < chunk_count` (the pool never claims past the
+        // submitted chunk count) and each `ci` is claimed exactly once,
+        // so this is a unique write to a live, disjoint cell.
+        unsafe { out_slots.write(ci, produced) };
+    };
+    let panics = pool::run_job(chunk_count, workers - 1, &task);
+    // Propagate the lowest-chunk panic — the one a serial loop would
+    // have hit first; its payload already carries the item index.
+    // Resuming with a partial result would silently corrupt the fold.
+    if let Some((_, payload)) = panics.into_iter().next() {
+        resume_unwind(payload);
+    }
+    let mut out = Vec::with_capacity(len);
+    for slot in &mut slots {
+        if let Some(produced) = slot.take() {
+            out.extend(produced);
+        }
     }
     out
 }
@@ -262,14 +319,25 @@ fn reraise_with_index(index: usize, payload: Box<dyn std::any::Any + Send>) -> !
 /// `f` should be effectively panic-pure (no shared state left half
 /// mutated when it unwinds); the pipeline's page parsers take `&self` and
 /// build their output from scratch, which satisfies this trivially.
+///
+/// Uses a default min-chunk of [`ISOLATED_MIN_CHUNK`] items per chunk:
+/// tiny inputs take the inline serial path (per-item `catch_unwind`
+/// still applies — it is the semantic contract — but with zero fan-out
+/// machinery around it). Callers with unusually heavy items can use
+/// [`par_map_isolated_chunked`] with `min_chunk = 1` to fan out fully.
 pub fn par_map_isolated<T, U, F>(items: &[T], f: F) -> Vec<Result<U, ExecError>>
 where
     T: Sync,
     U: Send,
     F: Fn(&T) -> U + Sync,
 {
-    par_map_isolated_chunked(items, 1, f)
+    par_map_isolated_chunked(items, ISOLATED_MIN_CHUNK, f)
 }
+
+/// Default per-chunk amortisation floor for [`par_map_isolated`]: below
+/// this many items per would-be worker, the isolation wrapper runs
+/// inline instead of paying fan-out overhead.
+pub const ISOLATED_MIN_CHUNK: usize = 8;
 
 /// [`par_map_isolated`] with the [`par_map_chunked`] min-batch heuristic.
 pub fn par_map_isolated_chunked<T, U, F>(
@@ -314,10 +382,13 @@ where
 /// Run two independent tasks concurrently and return both results.
 ///
 /// With one resolved worker this runs `a` then `b` inline; otherwise `b`
-/// runs on a scoped thread while `a` runs on the caller. Useful for
-/// coarse two-way splits — e.g. the defective and corrected assimilation
-/// pipelines in the bench fixtures — that `par_map`'s slice API does not
-/// fit.
+/// is submitted to the pool as a one-chunk job while `a` runs on the
+/// caller — and if no pool worker picked `b` up by the time `a`
+/// finishes, the caller runs `b` itself (so `join2` never deadlocks,
+/// even when invoked from inside a pool worker that is the pool's only
+/// thread). Useful for coarse two-way splits — e.g. the defective and
+/// corrected assimilation pipelines in the bench fixtures — that
+/// `par_map`'s slice API does not fit.
 pub fn join2<A, B>(a: impl FnOnce() -> A + Send, b: impl FnOnce() -> B + Send) -> (A, B)
 where
     A: Send,
@@ -328,24 +399,37 @@ where
         let rb = b();
         return (ra, rb);
     }
-    std::thread::scope(|scope| {
-        let hb = scope.spawn(|| match catch_unwind(AssertUnwindSafe(b)) {
-            Ok(v) => v,
-            // Annotate before the unwind crosses the join, so the caller
-            // sees which task died with the original message intact.
-            Err(payload) => {
-                if payload.is::<String>() || payload.is::<&str>() {
-                    let msg = payload_to_string(payload.as_ref());
-                    std::panic::panic_any(format!("join2 second task panicked: {msg}"));
-                }
-                resume_unwind(payload)
-            }
-        });
-        let ra = a();
-        // Propagate a worker panic rather than fabricate a half-result.
-        let rb = hb.join().unwrap_or_else(|payload| resume_unwind(payload));
-        (ra, rb)
-    })
+    // FnOnce moved in through an Option so whichever thread claims the
+    // single chunk takes it exactly once; the result travels back the
+    // same way.
+    let b_cell = Mutex::new(Some(b));
+    let rb_cell: Mutex<Option<B>> = Mutex::new(None);
+    let task = |_ci: usize| {
+        if let Some(bf) = pool::lock(&b_cell).take() {
+            let rb = bf();
+            *pool::lock(&rb_cell) = Some(rb);
+        }
+    };
+    let job = pool::submit(1, 1, &task);
+    // Catch `a` rather than unwinding past `finish_job`: the job borrows
+    // this stack frame, which must stay pinned until `b` completed.
+    let ra = catch_unwind(AssertUnwindSafe(a));
+    let panics = pool::finish_job(&job);
+    if let Some((_, payload)) = panics.into_iter().next() {
+        // Annotate so the caller sees which task died with the original
+        // message intact.
+        if payload.is::<String>() || payload.is::<&str>() {
+            let msg = payload_to_string(payload.as_ref());
+            std::panic::panic_any(format!("join2 second task panicked: {msg}"));
+        }
+        resume_unwind(payload);
+    }
+    let ra = ra.unwrap_or_else(|payload| resume_unwind(payload));
+    match rb_cell.into_inner().unwrap_or_else(std::sync::PoisonError::into_inner) {
+        Some(rb) => (ra, rb),
+        // The chunk completed without panicking, so the result was stored.
+        None => unreachable!("join2 task finished without a result or panic"),
+    }
 }
 
 #[cfg(test)]

@@ -21,10 +21,33 @@ use nassim_nlp::tensor::cosine;
 use nassim_nlp::topk::TopK;
 use nassim_nlp::{BatchEncoder, Encoder, TfIdf, Vocab};
 use std::collections::HashMap;
+use std::ops::Range;
 
 /// Texts per worker chunk when the default [`Embedder::embed_batch`] fans
 /// out: one embed is sub-millisecond, so chunks amortise spawn overhead.
 const EMBED_MIN_CHUNK: usize = 8;
+
+/// Minimum leaves per DL-scan shard: below this, per-query fan-out
+/// overhead beats the scan itself and the shard is folded into its
+/// neighbour. One leaf similarity is a handful of microseconds, so a
+/// shard represents a few hundred microseconds of work.
+const SHARD_MIN_LEAVES: usize = 192;
+
+/// Upper bound on DL-scan shards — beyond the widest realistic worker
+/// count, more shards only add merge work.
+const MAX_SHARDS: usize = 32;
+
+/// Contiguous equal-width shards over `n` leaf indices. Pure function of
+/// `n` alone — never of thread count — so a mapper's shard layout (and
+/// therefore its output) is identical on every machine.
+fn leaf_shards(n: usize) -> Vec<Range<usize>> {
+    let count = (n / SHARD_MIN_LEAVES).clamp(1, MAX_SHARDS);
+    let size = n.div_ceil(count).max(1);
+    (0..count)
+        .map(|s| s * size..((s + 1) * size).min(n))
+        .filter(|r| !r.is_empty())
+        .collect()
+}
 
 /// Anything that turns one text into one vector.
 ///
@@ -313,6 +336,9 @@ pub struct Mapper<'a> {
     /// Pre-computed, pre-normalized leaf context embeddings (DL
     /// strategies): the norms are paid once here, never per query.
     leaf_embeddings: Vec<NormalizedEmbedding>,
+    /// Contiguous leaf-index partitions for the parallel DL scan,
+    /// computed once at construction from the corpus size alone.
+    shards: Vec<Range<usize>>,
     strategy: Strategy<'a>,
     /// Optional Eq. 2 weight vector (length k_V × k_U).
     pub weights: Option<Vec<f32>>,
@@ -337,6 +363,7 @@ impl<'a> Mapper<'a> {
                 embed_contexts(*embedder, &ctx_refs)
             }
         };
+        let shards = leaf_shards(leaves.len());
         Mapper {
             udm,
             leaves,
@@ -344,9 +371,31 @@ impl<'a> Mapper<'a> {
             leaf_index,
             ir,
             leaf_embeddings,
+            shards,
             strategy,
             weights: None,
         }
+    }
+
+    /// How many shards the DL scan is partitioned into (1 = serial scan).
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Re-partition the DL scan into exactly `count` shards (clamped to
+    /// `[1, leaf count]`). The default layout from construction is right
+    /// for production; this exists so benches can sweep shard widths and
+    /// tests can force the sharded path on small corpora. Results are
+    /// identical for every `count` — only the scan's parallel grain
+    /// changes.
+    pub fn set_shard_count(&mut self, count: usize) {
+        let n = self.leaves.len();
+        let count = count.clamp(1, n.max(1));
+        let size = n.div_ceil(count).max(1);
+        self.shards = (0..count)
+            .map(|s| s * size..((s + 1) * size).min(n))
+            .filter(|r| !r.is_empty())
+            .collect();
     }
 
     /// Pure information-retrieval mapper (TF-IDF).
@@ -456,31 +505,7 @@ impl<'a> Mapper<'a> {
         };
         let scored: Vec<(usize, f32)> = match &self.strategy {
             Strategy::Ir => self.ir.top_k(joined, k),
-            Strategy::Dl { .. } => {
-                let mut top = TopK::new(k);
-                for i in 0..self.leaves.len() {
-                    let score = match top.prune_below() {
-                        // Heap is full: a candidate provably below the
-                        // current k-th score can be skipped unscored.
-                        Some(threshold) => match context_similarity_pruned(
-                            ev,
-                            &self.leaf_embeddings[i],
-                            self.weights.as_deref(),
-                            threshold,
-                        ) {
-                            Some(s) => s,
-                            None => continue,
-                        },
-                        None => context_similarity_normalized(
-                            ev,
-                            &self.leaf_embeddings[i],
-                            self.weights.as_deref(),
-                        ),
-                    };
-                    top.offer(i, score);
-                }
-                top.into_sorted_vec()
-            }
+            Strategy::Dl { .. } => self.dl_scan(ev, k),
             Strategy::IrDl { shortlist, .. } => {
                 let mut top = TopK::new(k);
                 for (i, ir_score) in self.ir.top_k(joined, *shortlist) {
@@ -498,6 +523,68 @@ impl<'a> Mapper<'a> {
             .into_iter()
             .map(|(i, s)| (self.leaves[i], s))
             .collect()
+    }
+
+    /// Full-corpus DL scan: per-shard bounded-heap partial top-k with
+    /// norm-bound early exit, merged into one global top-k.
+    ///
+    /// The sharded and serial paths return **identical** results: shard
+    /// prune thresholds are local (each shard's heap fills independently,
+    /// so its threshold is at most as aggressive as the global scan's at
+    /// the same point), pruning is sound per shard, surviving scores are
+    /// computed by the same arithmetic in the same per-leaf order, and
+    /// the final merge re-ranks under the same total order (descending
+    /// score, ties to the lower leaf index). Sharding therefore changes
+    /// wall-clock only, never output.
+    fn dl_scan(&self, ev: &NormalizedEmbedding, k: usize) -> Vec<(usize, f32)> {
+        // Fan out only when it can pay: multiple shards, multiple
+        // workers, and no enclosing parallel region already saturating
+        // the pool (mapper evaluation fans out per *case*; its inner
+        // scans run serial so cases don't fight over workers).
+        let fan_out = self.shards.len() > 1
+            && nassim_exec::threads() > 1
+            && !nassim_exec::in_parallel_region();
+        if !fan_out {
+            let all = 0..self.leaves.len();
+            return self.dl_scan_shard(ev, k, all).into_sorted_vec();
+        }
+        let partials = nassim_exec::par_map(&self.shards, |range| {
+            self.dl_scan_shard(ev, k, range.clone()).into_sorted_vec()
+        });
+        let mut top = TopK::new(k);
+        for shard in partials {
+            for (i, s) in shard {
+                top.offer(i, s);
+            }
+        }
+        top.into_sorted_vec()
+    }
+
+    /// Scan one contiguous leaf range into a bounded top-k heap.
+    fn dl_scan_shard(&self, ev: &NormalizedEmbedding, k: usize, range: Range<usize>) -> TopK {
+        let mut top = TopK::new(k);
+        for i in range {
+            let score = match top.prune_below() {
+                // Heap is full: a candidate provably below the current
+                // k-th score can be skipped unscored.
+                Some(threshold) => match context_similarity_pruned(
+                    ev,
+                    &self.leaf_embeddings[i],
+                    self.weights.as_deref(),
+                    threshold,
+                ) {
+                    Some(s) => s,
+                    None => continue,
+                },
+                None => context_similarity_normalized(
+                    ev,
+                    &self.leaf_embeddings[i],
+                    self.weights.as_deref(),
+                ),
+            };
+            top.offer(i, score);
+        }
+        top
     }
 }
 

@@ -1,0 +1,110 @@
+//! Property test for the sharded DL scan: partitioning the leaf corpus
+//! into per-worker shards (each with its own bounded heap and local
+//! prune threshold) and merging the shard heaps must reproduce the
+//! unsharded scan **exactly** — same leaves, same scores, bit for bit —
+//! for any corpus size, any `k` and any shard count, at any worker
+//! count.
+// Property-test bodies and helpers sit outside #[test] fns; panics are
+// the assertion mechanism here.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
+use nassim_corpus::Udm;
+use nassim_mapper::context::Context;
+use nassim_mapper::models::{Embedder, Mapper};
+use proptest::prelude::*;
+
+/// Deterministic bag-of-words embedder: cheap enough for hundreds of
+/// proptest cases, discriminative enough that top-k ordering is
+/// non-trivial (shared words → similar vectors → real score ties).
+struct HashEmbedder;
+impl Embedder for HashEmbedder {
+    fn embed(&self, text: &str) -> Vec<f32> {
+        let mut v = vec![0.0f32; 24];
+        for word in text.to_ascii_lowercase().split_whitespace() {
+            let mut h: u32 = 2166136261;
+            for b in word.bytes() {
+                h ^= b as u32;
+                h = h.wrapping_mul(16777619);
+            }
+            v[(h % 24) as usize] += 1.0;
+        }
+        v
+    }
+}
+
+/// A synthetic UDM with `n` leaves whose descriptions overlap heavily
+/// (many near-ties), spread over a few subtrees.
+fn udm_with_leaves(n: usize) -> Udm {
+    let mut udm = Udm::new("u");
+    let words = ["address", "peer", "vlan", "timer", "policy", "mtu", "asn"];
+    for i in 0..n {
+        let sub = format!("s{}", i % 5);
+        let group = udm.ensure_path(&["g", sub.as_str()]);
+        udm.add(
+            group,
+            format!("leaf-{i}"),
+            format!(
+                "the {} of the {} unit {}",
+                words[i % words.len()],
+                words[(i / 3) % words.len()],
+                i % 11
+            ),
+            "uint32",
+        );
+    }
+    udm
+}
+
+fn query(text: &str) -> Context {
+    Context {
+        sequences: vec![text.to_string()],
+    }
+}
+
+proptest! {
+    #[test]
+    fn sharded_topk_equals_unsharded_exactly(
+        leaves in 1usize..300,
+        k in 0usize..24,
+        shard_count in 2usize..16,
+        workers in 2usize..9,
+        qword in 0usize..7,
+    ) {
+        let udm = udm_with_leaves(leaves);
+        let e = HashEmbedder;
+        let q = query(&format!(
+            "the {} of the peer unit 3",
+            ["address", "peer", "vlan", "timer", "policy", "mtu", "asn"][qword]
+        ));
+
+        // Reference: unsharded serial scan (1 shard, 1 worker).
+        let mut reference = Mapper::dl(&udm, &e);
+        reference.set_shard_count(1);
+        let want = nassim_exec::with_threads(1, || reference.recommend(&q, k));
+
+        // Candidate: forced sharding, parallel workers.
+        let mut sharded = Mapper::dl(&udm, &e);
+        sharded.set_shard_count(shard_count);
+        let got = nassim_exec::with_threads(workers, || sharded.recommend(&q, k));
+
+        // Exact equivalence: identical leaves, identical f32 scores.
+        prop_assert_eq!(got, want);
+    }
+
+    #[test]
+    fn default_shard_layout_is_deterministic_and_exact(
+        leaves in 1usize..300,
+        k in 1usize..12,
+    ) {
+        let udm = udm_with_leaves(leaves);
+        let e = HashEmbedder;
+        let q = query("the address of the peer unit 3");
+        let mapper = Mapper::dl(&udm, &e);
+        // Construction-time layout is a pure function of corpus size.
+        let again = Mapper::dl(&udm, &e);
+        prop_assert_eq!(mapper.shard_count(), again.shard_count());
+        let serial = nassim_exec::with_threads(1, || mapper.recommend(&q, k));
+        let parallel = nassim_exec::with_threads(8, || mapper.recommend(&q, k));
+        prop_assert_eq!(serial, parallel);
+    }
+}

@@ -6,6 +6,7 @@
 
 use nassim::pipeline::{assimilate, Assimilation};
 use nassim_datasets::{catalog::Catalog, manualgen, style};
+use nassim_exec::with_threads;
 use nassim_parser::parser_for;
 
 /// Defect injection on: the determinism contract must hold on the
@@ -96,4 +97,158 @@ fn assimilation_is_identical_at_1_and_8_threads() {
     ra.construction_time = std::time::Duration::ZERO;
     rb.construction_time = std::time::Duration::ZERO;
     assert_eq!(ra, rb);
+}
+
+// ---------------------------------------------------------------------
+// Pool-level determinism: every combinator must be byte-identical at 1
+// and 8 workers, across reuse of the persistent pool, after worker
+// panics, and under nested `with_threads` overrides.
+// ---------------------------------------------------------------------
+
+#[test]
+fn every_combinator_is_identical_at_1_and_8_threads() {
+    let items: Vec<u64> = (0..523).collect();
+
+    let serial_map = with_threads(1, || nassim_exec::par_map(&items, |x| x * x + 7));
+    let parallel_map = with_threads(8, || nassim_exec::par_map(&items, |x| x * x + 7));
+    assert_eq!(serial_map, parallel_map);
+
+    let serial_idx =
+        with_threads(1, || nassim_exec::par_map_indexed(&items, |i, x| (i as u64) * 1000 + x));
+    let parallel_idx =
+        with_threads(8, || nassim_exec::par_map_indexed(&items, |i, x| (i as u64) * 1000 + x));
+    assert_eq!(serial_idx, parallel_idx);
+
+    for min_chunk in [1, 16, 100] {
+        let s = with_threads(1, || nassim_exec::par_map_chunked(&items, min_chunk, |x| x ^ 0xABCD));
+        let p = with_threads(8, || nassim_exec::par_map_chunked(&items, min_chunk, |x| x ^ 0xABCD));
+        assert_eq!(s, p, "min_chunk {min_chunk}");
+    }
+
+    let s = with_threads(1, || {
+        nassim_exec::par_map_with(&items, 4, Vec::<u64>::new, |scratch, i, &x| {
+            scratch.push(x);
+            x.rotate_left((i % 13) as u32)
+        })
+    });
+    let p = with_threads(8, || {
+        nassim_exec::par_map_with(&items, 4, Vec::<u64>::new, |scratch, i, &x| {
+            scratch.push(x);
+            x.rotate_left((i % 13) as u32)
+        })
+    });
+    assert_eq!(s, p);
+
+    let s = with_threads(1, || {
+        nassim_exec::par_map_isolated(&items, |&x| if x % 97 == 13 { panic!("boom {x}") } else { x })
+    });
+    let p = with_threads(8, || {
+        nassim_exec::par_map_isolated(&items, |&x| if x % 97 == 13 { panic!("boom {x}") } else { x })
+    });
+    assert_eq!(s, p);
+
+    let s: Result<Vec<u64>, String> = with_threads(1, || {
+        nassim_exec::try_par_map(&items, |&x| if x == 301 { Err(format!("bad {x}")) } else { Ok(x) })
+    });
+    let p: Result<Vec<u64>, String> = with_threads(8, || {
+        nassim_exec::try_par_map(&items, |&x| if x == 301 { Err(format!("bad {x}")) } else { Ok(x) })
+    });
+    assert_eq!(s, p);
+
+    let s = with_threads(1, || nassim_exec::join2(|| 6 * 7, || "pool".to_string()));
+    let p = with_threads(8, || nassim_exec::join2(|| 6 * 7, || "pool".to_string()));
+    assert_eq!(s, p);
+}
+
+#[test]
+fn pool_is_reused_across_sequential_calls() {
+    let items: Vec<u32> = (0..256).collect();
+    let want: Vec<u32> = items.iter().map(|x| x + 1).collect();
+    // Warm the pool to this binary's widest worker count (tests share
+    // the process-global pool and run concurrently, so the snapshot must
+    // be taken at the high-water mark), then run many more fan-outs: the
+    // worker count must not grow — the same parked threads serve every
+    // call.
+    with_threads(8, || nassim_exec::par_map(&items, |x| x + 1));
+    let warm = nassim_exec::pool_stats();
+    assert!(warm.workers >= 7, "pool should have spawned helpers: {warm:?}");
+    for _ in 0..50 {
+        let got = with_threads(4, || nassim_exec::par_map(&items, |x| x + 1));
+        assert_eq!(got, want);
+    }
+    let after = nassim_exec::pool_stats();
+    assert_eq!(after.workers, warm.workers, "pool spawned new threads per call");
+    assert!(after.jobs >= warm.jobs + 50, "calls should route through the pool");
+}
+
+#[test]
+fn pool_survives_task_panics_and_worker_deaths() {
+    let items: Vec<u32> = (0..64).collect();
+    let want: Vec<u32> = items.iter().map(|x| x * 2).collect();
+    // Warm to the binary's high-water mark so concurrent tests cannot
+    // grow the pool between the snapshots below.
+    with_threads(8, || nassim_exec::par_map(&items, |x| x * 2));
+
+    // A panicking task must not take the pool down for later calls.
+    let caught = std::panic::catch_unwind(|| {
+        with_threads(8, || {
+            nassim_exec::par_map(&items, |&x| {
+                if x == 33 {
+                    panic!("task panic");
+                }
+                x
+            })
+        })
+    });
+    assert!(caught.is_err());
+    let got = with_threads(8, || nassim_exec::par_map(&items, |x| x * 2));
+    assert_eq!(got, want, "pool broken after a task panic");
+
+    // Kill actual worker threads; the sentinel must respawn them and the
+    // pool must keep producing correct results.
+    let before = nassim_exec::pool_stats();
+    nassim_exec::debug_poison_workers(2);
+    let after = nassim_exec::pool_stats();
+    assert!(
+        after.respawns >= before.respawns + 2,
+        "workers were not respawned: {before:?} -> {after:?}"
+    );
+    assert_eq!(after.workers, before.workers, "pool lost capacity");
+    let got = with_threads(8, || nassim_exec::par_map(&items, |x| x * 2));
+    assert_eq!(got, want, "pool broken after worker deaths");
+}
+
+#[test]
+fn with_threads_nesting_propagates_through_the_pool() {
+    // An inner override must win over the outer one, on the calling
+    // thread and inside pool chunks alike; the outer override must be
+    // restored afterwards.
+    let outer: Vec<usize> = with_threads(8, || {
+        assert_eq!(nassim_exec::threads(), 8);
+        let inner = with_threads(2, || {
+            assert_eq!(nassim_exec::threads(), 2);
+            // Chunks run under the submitter's override even when they
+            // execute on pool workers that have no override of their own.
+            nassim_exec::par_map(&(0..97u32).collect::<Vec<_>>(), |_| nassim_exec::threads())
+        });
+        assert_eq!(nassim_exec::threads(), 8, "outer override not restored");
+        inner
+    });
+    assert!(
+        outer.iter().all(|&t| t == 2),
+        "chunk saw wrong thread count: {outer:?}"
+    );
+
+    // Nested par_map inside a pool chunk stays deterministic.
+    let items: Vec<u32> = (0..48).collect();
+    let nested = |threads: usize| {
+        with_threads(threads, || {
+            nassim_exec::par_map(&items, |&x| {
+                let inner: Vec<u32> =
+                    nassim_exec::par_map(&(0..17u32).collect::<Vec<_>>(), |&y| x * 100 + y);
+                inner.iter().sum::<u32>()
+            })
+        })
+    };
+    assert_eq!(nested(1), nested(8));
 }
