@@ -21,7 +21,8 @@ fn bench_retrieval(c: &mut Criterion) {
         },
     );
     let udm = &data.udm;
-    let embedder = HashEmbedder(64);
+    let embedder: std::sync::Arc<dyn nassim_mapper::Embedder> =
+        std::sync::Arc::new(HashEmbedder(64));
     let query = Context {
         sequences: vec![
             "peer-address".into(),
@@ -35,10 +36,10 @@ fn bench_retrieval(c: &mut Criterion) {
     let ir = Mapper::ir(udm);
     c.bench_function("recommend_ir_top10", |b| b.iter(|| ir.recommend(&query, 10)));
 
-    let dl = Mapper::dl(udm, &embedder);
+    let dl = Mapper::dl(udm, embedder.clone());
     c.bench_function("recommend_dl_top10", |b| b.iter(|| dl.recommend(&query, 10)));
 
-    let irdl = Mapper::ir_dl(udm, &embedder, 50);
+    let irdl = Mapper::ir_dl(udm, embedder.clone(), 50);
     c.bench_function("recommend_irdl50_top10", |b| b.iter(|| irdl.recommend(&query, 10)));
 
     // Mapper construction embeds + L2-normalizes every leaf context; the
@@ -49,7 +50,7 @@ fn bench_retrieval(c: &mut Criterion) {
         ("mapper_dl_construction_parallel", parallel_workers),
     ] {
         c.bench_function(name, |b| {
-            b.iter(|| nassim_exec::with_threads(workers, || Mapper::dl(udm, &embedder)))
+            b.iter(|| nassim_exec::with_threads(workers, || Mapper::dl(udm, embedder.clone())))
         });
     }
 }

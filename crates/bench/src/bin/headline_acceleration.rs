@@ -229,9 +229,12 @@ fn parallel_bench(smoke: bool) -> Result<ParallelBench, Box<dyn std::error::Erro
         },
     );
     let udm = &data.udm;
-    let embedder = HashEmbedder(64);
-    stages.push(stage("mapper_construction", workers, reps, || Mapper::dl(udm, &embedder)));
-    let mapper = Mapper::dl(udm, &embedder);
+    let embedder: std::sync::Arc<dyn nassim_mapper::Embedder> =
+        std::sync::Arc::new(HashEmbedder(64));
+    stages.push(stage("mapper_construction", workers, reps, || {
+        Mapper::dl(udm, embedder.clone())
+    }));
+    let mapper = Mapper::dl(udm, embedder.clone());
     let leaves = udm.leaves();
     // Deterministic stride sample: evaluation cost scales with
     // cases × leaves, and the stage's subject is the per-query scan.
@@ -258,7 +261,7 @@ fn parallel_bench(smoke: bool) -> Result<ParallelBench, Box<dyn std::error::Erro
     let mut sweep = Vec::new();
     let mut one_shard_ms = f64::NAN;
     for &shards in &[1usize, 2, 4, 8, 16, 32] {
-        let mut m = Mapper::dl(udm, &embedder);
+        let mut m = Mapper::dl(udm, embedder.clone());
         m.set_shard_count(shards);
         let ms = timed_min(workers, reps, || {
             prepared

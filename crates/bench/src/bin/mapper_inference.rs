@@ -58,12 +58,12 @@ fn hardware_threads() -> usize {
 
 /// `Embedder` over the autograd tape — the pre-PR query path, kept as
 /// the ground truth both gates compare against.
-struct TapeEmbedder<'a> {
-    encoder: &'a Encoder,
-    vocab: &'a Vocab,
+struct TapeEmbedder {
+    encoder: Encoder,
+    vocab: Vocab,
 }
 
-impl Embedder for TapeEmbedder<'_> {
+impl Embedder for TapeEmbedder {
     fn embed(&self, text: &str) -> Vec<f32> {
         self.encoder
             .embed_ids_tape(&self.vocab.encode(text, self.encoder.config.max_len))
@@ -302,19 +302,23 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // one `BatchEncoder`, so the IR+DL pass is almost entirely memo hits.
     let ks = [1usize, 10];
     let shortlist = 50; // paper's IR top-50 shortlist
-    let tape_e = TapeEmbedder { encoder: &encoder, vocab: &vocab };
+    let tape_e: std::sync::Arc<dyn Embedder> = std::sync::Arc::new(TapeEmbedder {
+        encoder: encoder.clone(),
+        vocab: vocab.clone(),
+    });
     let ((tape_dl, tape_irdl), eval_tape_ms) = nassim_exec::with_threads(1, || {
         time_ms(|| {
-            let dl = evaluate(&Mapper::dl(udm, &tape_e), &cases, &ks);
-            let irdl = evaluate(&Mapper::ir_dl(udm, &tape_e, shortlist), &cases, &ks);
+            let dl = evaluate(&Mapper::dl(udm, tape_e.clone()), &cases, &ks);
+            let irdl = evaluate(&Mapper::ir_dl(udm, tape_e.clone(), shortlist), &cases, &ks);
             (dl, irdl)
         })
     });
-    let batched_e = BatchEncoder::new(encoder.clone(), vocab.clone());
+    let batched_e: std::sync::Arc<dyn Embedder> =
+        std::sync::Arc::new(BatchEncoder::new(encoder.clone(), vocab.clone()));
     let ((batched_dl, batched_irdl), eval_batched_ms) = nassim_exec::with_threads(1, || {
         time_ms(|| {
-            let dl = evaluate(&Mapper::dl(udm, &batched_e), &cases, &ks);
-            let irdl = evaluate(&Mapper::ir_dl(udm, &batched_e, shortlist), &cases, &ks);
+            let dl = evaluate(&Mapper::dl(udm, batched_e.clone()), &cases, &ks);
+            let irdl = evaluate(&Mapper::ir_dl(udm, batched_e.clone(), shortlist), &cases, &ks);
             (dl, irdl)
         })
     });

@@ -15,6 +15,7 @@ use nassim_mapper::finetune::FinetuneOptions;
 use nassim_mapper::models::{Embedder, EncoderEmbedder, Mapper};
 use nassim_parser::parser_for;
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
 /// Master seed all fixtures derive from; fixed so tables reproduce.
 pub const SEED: u64 = 20220822; // SIGCOMM'22 opening day
@@ -278,17 +279,26 @@ pub fn mapping_experiment(ks: &[usize]) -> Result<MappingOutcome, NassimError> {
         ("norsk-UDM", &norsk_cases, &netbert_for_norsk),
     ] {
         case_counts.insert(setting.to_string(), cases.len());
-        let sbert_e = EncoderEmbedder { encoder: &zoo.sbert, vocab: &zoo.vocab };
-        let simcse_e = EncoderEmbedder { encoder: &zoo.simcse, vocab: &zoo.vocab };
-        let netbert_e = EncoderEmbedder { encoder: netbert, vocab: &zoo.vocab };
+        let sbert_e: Arc<dyn Embedder> = Arc::new(EncoderEmbedder {
+            encoder: zoo.sbert.clone(),
+            vocab: zoo.vocab.clone(),
+        });
+        let simcse_e: Arc<dyn Embedder> = Arc::new(EncoderEmbedder {
+            encoder: zoo.simcse.clone(),
+            vocab: zoo.vocab.clone(),
+        });
+        let netbert_e: Arc<dyn Embedder> = Arc::new(EncoderEmbedder {
+            encoder: netbert.clone(),
+            vocab: zoo.vocab.clone(),
+        });
         let entry = reports.entry(setting.to_string()).or_default();
         run_model(entry, "IR", Mapper::ir(udm), cases, ks);
-        run_model(entry, "SimCSE", Mapper::dl(udm, &simcse_e), cases, ks);
-        run_model(entry, "SBERT", Mapper::dl(udm, &sbert_e), cases, ks);
-        run_model(entry, "IR+SimCSE", Mapper::ir_dl(udm, &simcse_e, 50), cases, ks);
-        run_model(entry, "IR+SBERT", Mapper::ir_dl(udm, &sbert_e, 50), cases, ks);
-        run_model(entry, "NetBERT", Mapper::dl(udm, &netbert_e), cases, ks);
-        run_model(entry, "IR+NetBERT", Mapper::ir_dl(udm, &netbert_e, 50), cases, ks);
+        run_model(entry, "SimCSE", Mapper::dl(udm, simcse_e.clone()), cases, ks);
+        run_model(entry, "SBERT", Mapper::dl(udm, sbert_e.clone()), cases, ks);
+        run_model(entry, "IR+SimCSE", Mapper::ir_dl(udm, simcse_e, 50), cases, ks);
+        run_model(entry, "IR+SBERT", Mapper::ir_dl(udm, sbert_e, 50), cases, ks);
+        run_model(entry, "NetBERT", Mapper::dl(udm, netbert_e.clone()), cases, ks);
+        run_model(entry, "IR+NetBERT", Mapper::ir_dl(udm, netbert_e, 50), cases, ks);
     }
     Ok(MappingOutcome {
         reports,
@@ -299,7 +309,7 @@ pub fn mapping_experiment(ks: &[usize]) -> Result<MappingOutcome, NassimError> {
 fn run_model(
     entry: &mut BTreeMap<String, EvalReport>,
     name: &str,
-    mapper: Mapper<'_>,
+    mapper: Mapper,
     cases: &[EvalCase],
     ks: &[usize],
 ) {

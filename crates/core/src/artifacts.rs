@@ -1,0 +1,485 @@
+//! Content-addressed stage artifacts and incremental re-assimilation.
+//!
+//! Every stage of the construction pipeline produces an immutable
+//! artifact that is a pure function of its inputs:
+//!
+//! | stage artifact                    | content key                         |
+//! |-----------------------------------|-------------------------------------|
+//! | [`PageRecord`] (parse, per page)  | [`nassim_parser::page_key`]         |
+//! | [`PageSyntax`] (audit, per page)  | [`nassim_validator::syntax_key`]    |
+//! | compiled CGM graphs (per page)    | [`nassim_validator::graph_key`]     |
+//! | hierarchy evidence (per page)     | corpus template fingerprint + page fields |
+//! | derivation + VDM build (corpus)   | FNV over the ordered page keys      |
+//! | leaf embeddings (per UDM leaf)    | [`nassim_mapper::leaf_embedding_key`] |
+//!
+//! The [`ArtifactStore`] keeps them behind `Arc`s so re-assimilating an
+//! edited manual shares every clean page's artifacts with the previous
+//! run, and [`assimilate_incremental`] re-parses only dirty pages,
+//! re-audits only changed pages, recompiles only changed CGM graphs and
+//! — through [`EmbeddingCache`] — re-embeds only unseen leaf contexts.
+//! The differential guarantee: the incremental result is **bit-for-bit
+//! identical** to a cold [`crate::assimilate_with`] run on the same
+//! pages (VDM, diagnostics, mapper rankings; wall-clock stats are the
+//! only exception). `tests/incremental_differential.rs` enforces this
+//! property-style.
+//!
+//! Stores persist as versioned JSON ([`ArtifactStore::save`] /
+//! [`ArtifactStore::load`]): a magic + schema-version header guards
+//! against foreign files, and any corruption surfaces as the typed
+//! [`NassimError::ArtifactCorrupt`] rather than a panic or a silently
+//! empty store. Parse and syntax artifacts and the embedding cache are
+//! persisted; compiled CGM graphs and the derived stage are cheap
+//! relative to their serialized size and stay in-memory only.
+
+use crate::pipeline::{finish_assimilation, keyed_pages, Assimilation};
+use nassim_corpus::Fnv1a;
+use nassim_diag::NassimError;
+use nassim_html::IngestBudget;
+use nassim_mapper::{EmbeddingCache, Mapper};
+use nassim_parser::{fold_page_records, page_records, PageRecord, VendorParser};
+use nassim_validator::hierarchy::Derivation;
+use nassim_validator::syntax_stage::PageSyntax;
+use nassim_validator::vdm_build::VdmBuild;
+use nassim_validator::{
+    audit_page, build_vdm, derive_hierarchy_cached, fold_page_syntax, syntax_key, EvidenceCache,
+    GraphCache,
+};
+use serde::{DeError, Deserialize, Serialize, Value};
+use std::collections::HashMap;
+use std::path::Path;
+use std::sync::Arc;
+
+/// First line of defence against foreign files: a store that does not
+/// open with this magic is rejected before any field is interpreted.
+const MAGIC: &str = "NASSIM-ARTIFACTS";
+
+/// Bumped on any change to the persisted layout; a mismatch is a typed
+/// corruption error, never a best-effort partial load.
+const SCHEMA_VERSION: i64 = 1;
+
+/// Cache traffic counters for the store-level artifact maps. The graph
+/// and embedding caches carry their own counters ([`GraphCache`],
+/// [`EmbeddingCache`]); together these let benches and differential
+/// tests assert that clean artifacts were actually reused rather than
+/// silently recomputed.
+#[derive(Debug, Clone, Default)]
+pub struct StoreStats {
+    pub page_hits: usize,
+    pub page_misses: usize,
+    pub syntax_hits: usize,
+    pub syntax_misses: usize,
+    pub derived_hits: usize,
+    pub derived_misses: usize,
+}
+
+/// The corpus-level derived stage (hierarchy derivation + VDM build),
+/// cached as one unit because both are functions of the full ordered
+/// page set.
+struct DerivedStage {
+    derivation: Derivation,
+    build: VdmBuild,
+}
+
+/// Content-addressed store of pipeline stage artifacts for one vendor.
+///
+/// All artifacts are `Arc`-shared: a lookup hit costs a reference-count
+/// bump, and artifacts stay alive for as long as any assimilation result
+/// or mapper references them, independent of the store's own lifetime.
+#[derive(Default)]
+pub struct ArtifactStore {
+    /// Per-page parse artifacts, keyed by [`nassim_parser::page_key`].
+    pages: HashMap<u64, Arc<PageRecord>>,
+    /// Per-page syntax audits, keyed by [`nassim_validator::syntax_key`].
+    syntax: HashMap<u64, Arc<PageSyntax>>,
+    /// Per-page compiled CGM graphs (in-memory only).
+    pub graphs: GraphCache,
+    /// Per-page hierarchy evidence, keyed against the whole-corpus
+    /// template fingerprint (in-memory only).
+    pub evidence: EvidenceCache,
+    /// Normalized leaf-context embeddings for mapper construction.
+    pub embeddings: EmbeddingCache,
+    /// The corpus-level derived stage, keyed by the FNV of the ordered
+    /// page keys (in-memory only).
+    derived: Option<(u64, Arc<DerivedStage>)>,
+    pub stats: StoreStats,
+}
+
+impl ArtifactStore {
+    pub fn new() -> ArtifactStore {
+        ArtifactStore::default()
+    }
+
+    /// Number of cached parse artifacts.
+    pub fn page_count(&self) -> usize {
+        self.pages.len()
+    }
+
+    /// Number of cached per-page syntax audits.
+    pub fn syntax_count(&self) -> usize {
+        self.syntax.len()
+    }
+
+    /// Persist the store as versioned JSON. Only content-addressed
+    /// artifacts are written — never hit/miss statistics — so saving and
+    /// reloading cannot change any future assimilation result.
+    pub fn save(&self, path: &Path) -> Result<(), NassimError> {
+        let value = Value::Obj(vec![
+            ("magic".to_string(), Value::Str(MAGIC.to_string())),
+            ("schema_version".to_string(), Value::Num(SCHEMA_VERSION as f64)),
+            ("pages".to_string(), keyed_map_to_value(&self.pages)),
+            ("syntax".to_string(), keyed_map_to_value(&self.syntax)),
+            ("embeddings".to_string(), self.embeddings.to_value()),
+        ]);
+        let text = serde_json::to_string(&value).map_err(|e| NassimError::Internal {
+            context: format!("serializing artifact store: {e:?}"),
+        })?;
+        std::fs::write(path, text).map_err(|e| NassimError::Io {
+            context: format!("writing artifact store to `{}`", path.display()),
+            reason: e.to_string(),
+        })
+    }
+
+    /// Load a store saved by [`ArtifactStore::save`]. I/O failures are
+    /// [`NassimError::Io`]; anything structurally wrong with the file —
+    /// bad JSON, missing or wrong magic, unknown schema version, a field
+    /// that does not deserialize — is [`NassimError::ArtifactCorrupt`].
+    pub fn load(path: &Path) -> Result<ArtifactStore, NassimError> {
+        let text = std::fs::read_to_string(path).map_err(|e| NassimError::Io {
+            context: format!("reading artifact store from `{}`", path.display()),
+            reason: e.to_string(),
+        })?;
+        let corrupt = |reason: String| NassimError::ArtifactCorrupt {
+            path: path.display().to_string(),
+            reason,
+        };
+        let value: Value =
+            serde_json::from_str(&text).map_err(|e| corrupt(format!("invalid JSON: {e:?}")))?;
+        match value.get("magic") {
+            Some(Value::Str(m)) if m == MAGIC => {}
+            Some(Value::Str(m)) => {
+                return Err(corrupt(format!("bad magic `{m}` (expected `{MAGIC}`)")))
+            }
+            _ => return Err(corrupt("missing magic header".to_string())),
+        }
+        match value.get("schema_version") {
+            Some(Value::Num(v)) if *v == SCHEMA_VERSION as f64 => {}
+            Some(Value::Num(v)) => {
+                return Err(corrupt(format!(
+                    "unsupported schema version {v} (expected {SCHEMA_VERSION})"
+                )))
+            }
+            _ => return Err(corrupt("missing schema version".to_string())),
+        }
+        let pages = keyed_map_from_value(value.get("pages"), "pages").map_err(|e| corrupt(e.0))?;
+        let syntax =
+            keyed_map_from_value(value.get("syntax"), "syntax").map_err(|e| corrupt(e.0))?;
+        let embeddings = match value.get("embeddings") {
+            Some(v) => EmbeddingCache::from_value(v).map_err(|e| corrupt(e.0))?,
+            None => return Err(corrupt("missing `embeddings` section".to_string())),
+        };
+        Ok(ArtifactStore {
+            pages,
+            syntax,
+            graphs: GraphCache::new(),
+            evidence: EvidenceCache::new(),
+            embeddings,
+            derived: None,
+            stats: StoreStats::default(),
+        })
+    }
+
+    /// [`Mapper::dl`] through this store's embedding cache: only leaf
+    /// contexts the store has never embedded (under `embedder_id`) touch
+    /// the embedder, and the resulting mapper is bit-for-bit identical
+    /// to an uncached build.
+    pub fn mapper_dl(
+        &mut self,
+        udm: &nassim_corpus::Udm,
+        embedder: Arc<dyn nassim_mapper::Embedder>,
+        embedder_id: &str,
+    ) -> Mapper {
+        Mapper::dl_cached(udm, embedder, embedder_id, &mut self.embeddings)
+    }
+}
+
+/// u64-keyed artifact map → JSON object with fixed-width hex keys (the
+/// vendored JSON value model has string keys only), sorted for stable
+/// output.
+fn keyed_map_to_value<T: Serialize>(map: &HashMap<u64, Arc<T>>) -> Value {
+    let mut entries: Vec<(String, Value)> = map
+        .iter()
+        .map(|(k, v)| (format!("{k:016x}"), v.to_value()))
+        .collect();
+    entries.sort_by(|a, b| a.0.cmp(&b.0));
+    Value::Obj(entries)
+}
+
+fn keyed_map_from_value<T: Deserialize>(
+    v: Option<&Value>,
+    what: &str,
+) -> Result<HashMap<u64, Arc<T>>, DeError> {
+    let Some(Value::Obj(entries)) = v else {
+        return Err(DeError::new(format!("missing `{what}` object")));
+    };
+    let mut map = HashMap::with_capacity(entries.len());
+    for (key, val) in entries {
+        let k = u64::from_str_radix(key, 16)
+            .map_err(|e| DeError::new(format!("`{what}` key `{key}` is not hex: {e}")))?;
+        map.insert(k, Arc::new(T::from_value(val)?));
+    }
+    Ok(map)
+}
+
+/// Content key of the corpus-level derived stage: FNV over the ordered
+/// per-page keys. Any page edit, insertion, removal or reorder changes
+/// it, so a stale derivation can never be replayed.
+fn corpus_key(page_keys: &[u64]) -> u64 {
+    let mut h = Fnv1a::new();
+    h.write_usize(page_keys.len());
+    for &k in page_keys {
+        h.write_u64(k);
+    }
+    h.finish()
+}
+
+/// [`crate::assimilate_with`] against an [`ArtifactStore`]: stage
+/// outputs whose content keys are already present are reused (an `Arc`
+/// bump each); only dirty pages are re-parsed, re-audited and
+/// re-compiled, in the same parallel fan-outs the cold path uses. The
+/// result is bit-for-bit identical to the cold path on the same pages —
+/// per-page artifacts are pure functions of their keys, and the folds
+/// run in the same page order either way.
+///
+/// The store is updated in place, so a long-lived store keyed by manual
+/// revisions converges to the working set of the manuals it has seen.
+pub fn assimilate_incremental<'a>(
+    parser: &dyn VendorParser,
+    pages: impl IntoIterator<Item = (&'a str, &'a str)>,
+    budget: &IngestBudget,
+    store: &mut ArtifactStore,
+) -> Result<Assimilation, NassimError> {
+    let keyed = keyed_pages(parser.vendor(), pages, budget)?;
+
+    // Parse stage: hits resolve to the stored record; misses are parsed
+    // in one chunked, panic-isolated fan-out (the cold path's own
+    // mechanism) and inserted.
+    let mut records: Vec<Option<Arc<PageRecord>>> = vec![None; keyed.len()];
+    let mut missing: Vec<usize> = Vec::new();
+    for (i, kp) in keyed.iter().enumerate() {
+        match store.pages.get(&kp.key) {
+            Some(rec) => {
+                store.stats.page_hits += 1;
+                records[i] = Some(rec.clone());
+            }
+            None => {
+                store.stats.page_misses += 1;
+                missing.push(i);
+            }
+        }
+    }
+    if !missing.is_empty() {
+        let dirty: Vec<(&str, &str)> = missing
+            .iter()
+            .map(|&i| (keyed[i].url, keyed[i].html))
+            .collect();
+        let fresh = page_records(parser, &dirty, budget);
+        for (&i, rec) in missing.iter().zip(fresh) {
+            let rec = Arc::new(rec);
+            store.pages.insert(keyed[i].key, rec.clone());
+            records[i] = Some(rec);
+        }
+    }
+    let records: Vec<Arc<PageRecord>> = records
+        .into_iter()
+        .enumerate()
+        .map(|(i, r)| {
+            r.unwrap_or_else(|| {
+                // Unreachable: every index was a hit or in `missing`;
+                // keep a sound fallback instead of panicking.
+                Arc::new(nassim_parser::page_record(
+                    parser,
+                    keyed[i].url,
+                    keyed[i].html,
+                    budget,
+                ))
+            })
+        })
+        .collect();
+    let parse = fold_page_records(parser.vendor(), records.iter().map(|r| r.as_ref()));
+
+    // Syntax stage: per successfully parsed page, keyed by URL + CLIs.
+    let mut per_page: Vec<Arc<PageSyntax>> = Vec::with_capacity(parse.pages.len());
+    for page in &parse.pages {
+        let k = syntax_key(page);
+        match store.syntax.get(&k) {
+            Some(audit) => {
+                store.stats.syntax_hits += 1;
+                per_page.push(audit.clone());
+            }
+            None => {
+                store.stats.syntax_misses += 1;
+                let audit = Arc::new(audit_page(page));
+                store.syntax.insert(k, audit.clone());
+                per_page.push(audit);
+            }
+        }
+    }
+    let syntax = fold_page_syntax(per_page.iter().map(|a| a.as_ref()));
+
+    // Derived stage: one corpus-level unit. Same ordered page keys →
+    // replay the cached derivation + build; otherwise derive through
+    // the per-page graph cache (clean pages reuse compiled CGM graphs).
+    let page_keys: Vec<u64> = keyed.iter().map(|kp| kp.key).collect();
+    let ckey = corpus_key(&page_keys);
+    let (derivation, build) = match &store.derived {
+        Some((k, stage)) if *k == ckey => {
+            store.stats.derived_hits += 1;
+            (stage.derivation.clone(), stage.build.clone())
+        }
+        _ => {
+            store.stats.derived_misses += 1;
+            let derivation =
+                derive_hierarchy_cached(&parse.pages, &mut store.graphs, &mut store.evidence);
+            let build = build_vdm(parser.vendor(), &parse.pages, &derivation);
+            store.derived = Some((
+                ckey,
+                Arc::new(DerivedStage {
+                    derivation: derivation.clone(),
+                    build: build.clone(),
+                }),
+            ));
+            (derivation, build)
+        }
+    };
+
+    Ok(finish_assimilation(parse, syntax, derivation, build))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::assimilate_with;
+    use nassim_datasets::{catalog::Catalog, manualgen, style};
+    use nassim_parser::parser_for;
+
+    fn manual(seed: u64) -> manualgen::Manual {
+        manualgen::generate(
+            &style::vendor("helix").unwrap(),
+            &Catalog::base(),
+            &manualgen::GenOptions {
+                seed,
+                ..Default::default()
+            },
+        )
+    }
+
+    fn assimilations_match(a: &Assimilation, b: &Assimilation) {
+        assert_eq!(a.build.vdm, b.build.vdm);
+        assert_eq!(a.build.unplaced_pages, b.build.unplaced_pages);
+        assert_eq!(a.syntax, b.syntax);
+        assert_eq!(a.diagnostics, b.diagnostics);
+        assert_eq!(a.parse.pages, b.parse.pages);
+    }
+
+    #[test]
+    fn incremental_cold_run_matches_full() {
+        let m = manual(11);
+        let parser = parser_for("helix").unwrap();
+        let pages: Vec<(&str, &str)> = m
+            .pages
+            .iter()
+            .map(|p| (p.url.as_str(), p.html.as_str()))
+            .collect();
+        let budget = IngestBudget::default();
+        let full = assimilate_with(parser.as_ref(), pages.clone(), &budget).unwrap();
+        let mut store = ArtifactStore::new();
+        let inc = assimilate_incremental(parser.as_ref(), pages, &budget, &mut store).unwrap();
+        assimilations_match(&full, &inc);
+        assert_eq!(store.stats.page_hits, 0);
+        assert_eq!(store.stats.derived_misses, 1);
+    }
+
+    #[test]
+    fn warm_rerun_is_all_hits() {
+        let m = manual(12);
+        let parser = parser_for("helix").unwrap();
+        let pages: Vec<(&str, &str)> = m
+            .pages
+            .iter()
+            .map(|p| (p.url.as_str(), p.html.as_str()))
+            .collect();
+        let budget = IngestBudget::default();
+        let mut store = ArtifactStore::new();
+        let first =
+            assimilate_incremental(parser.as_ref(), pages.clone(), &budget, &mut store).unwrap();
+        let again = assimilate_incremental(parser.as_ref(), pages, &budget, &mut store).unwrap();
+        assimilations_match(&first, &again);
+        assert_eq!(store.stats.page_misses, m.pages.len());
+        assert_eq!(store.stats.page_hits, m.pages.len());
+        assert_eq!(store.stats.syntax_misses, store.stats.syntax_hits);
+        assert_eq!(store.stats.derived_hits, 1);
+    }
+
+    #[test]
+    fn save_load_round_trips() {
+        let m = manual(13);
+        let parser = parser_for("helix").unwrap();
+        let pages: Vec<(&str, &str)> = m
+            .pages
+            .iter()
+            .map(|p| (p.url.as_str(), p.html.as_str()))
+            .collect();
+        let budget = IngestBudget::default();
+        let mut store = ArtifactStore::new();
+        let first =
+            assimilate_incremental(parser.as_ref(), pages.clone(), &budget, &mut store).unwrap();
+        let dir = std::env::temp_dir().join("nassim-artifact-roundtrip");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("store.json");
+        store.save(&path).unwrap();
+        let mut loaded = ArtifactStore::load(&path).unwrap();
+        assert_eq!(loaded.page_count(), store.page_count());
+        assert_eq!(loaded.syntax_count(), store.syntax_count());
+        let again = assimilate_incremental(parser.as_ref(), pages, &budget, &mut loaded).unwrap();
+        assimilations_match(&first, &again);
+        // Every parse and syntax artifact came from the loaded store.
+        assert_eq!(loaded.stats.page_misses, 0);
+        assert_eq!(loaded.stats.syntax_misses, 0);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn corrupt_stores_are_typed_errors() {
+        let dir = std::env::temp_dir().join("nassim-artifact-corrupt");
+        std::fs::create_dir_all(&dir).unwrap();
+        let cases: [(&str, &str); 4] = [
+            ("garbage.json", "not json at all {{{"),
+            ("magic.json", "{\"magic\":\"SOMETHING-ELSE\",\"schema_version\":1}"),
+            (
+                "version.json",
+                "{\"magic\":\"NASSIM-ARTIFACTS\",\"schema_version\":999}",
+            ),
+            (
+                "missing.json",
+                "{\"magic\":\"NASSIM-ARTIFACTS\",\"schema_version\":1}",
+            ),
+        ];
+        for (name, content) in cases {
+            let path = dir.join(name);
+            std::fs::write(&path, content).unwrap();
+            match ArtifactStore::load(&path) {
+                Err(NassimError::ArtifactCorrupt { .. }) => {}
+                other => panic!(
+                    "{name}: expected ArtifactCorrupt, got {:?}",
+                    other.err().map(|e| e.to_string())
+                ),
+            }
+            std::fs::remove_file(&path).ok();
+        }
+        // A missing file is an I/O error, not corruption.
+        match ArtifactStore::load(&dir.join("no-such-file.json")) {
+            Err(NassimError::Io { .. }) => {}
+            other => panic!("expected Io, got {:?}", other.err().map(|e| e.to_string())),
+        }
+    }
+}

@@ -17,6 +17,7 @@
 //! Sub-crates are re-exported under their short names, so downstream
 //! users depend on `nassim` alone.
 
+pub mod artifacts;
 pub mod deviceize;
 pub mod modelzoo;
 pub mod pipeline;
@@ -33,4 +34,5 @@ pub use nassim_parser as parser;
 pub use nassim_syntax as syntax;
 pub use nassim_validator as validator;
 
+pub use artifacts::{assimilate_incremental, ArtifactStore, StoreStats};
 pub use pipeline::{assimilate, assimilate_with, Assimilation};

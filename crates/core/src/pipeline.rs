@@ -2,7 +2,7 @@
 
 use nassim_diag::{DiagReport, NassimError};
 use nassim_html::IngestBudget;
-use nassim_parser::{run_parser_with, ParseRun, VendorParser};
+use nassim_parser::{page_key, run_parser_with, ParseRun, VendorParser};
 use nassim_validator::hierarchy::Derivation;
 use nassim_validator::syntax_stage::SyntaxAudit;
 use nassim_validator::vdm_build::VdmBuild;
@@ -48,14 +48,17 @@ impl Assimilation {
         empirical: Option<(&nassim_validator::EmpiricalReport, usize)>,
         device: Option<&DeviceValidation>,
     ) -> VdmConstructionReport {
-        let mut diags: Vec<nassim_diag::Diagnostic> =
-            self.diagnostics.diagnostics.clone();
-        if let Some((emp, _)) = empirical {
-            diags.extend(emp.diagnostics());
-        }
-        if let Some(dev) = device {
-            diags.extend(dev.diagnostics());
-        }
+        // The construction diagnostics are chained by reference and
+        // cloned element-wise straight into the report's collection —
+        // no intermediate clone of the full vec.
+        let diags: DiagReport = self
+            .diagnostics
+            .diagnostics
+            .iter()
+            .cloned()
+            .chain(empirical.iter().flat_map(|(emp, _)| emp.diagnostics()))
+            .chain(device.iter().flat_map(|dev| dev.diagnostics()))
+            .collect();
         VdmConstructionReport::assemble(
             &self.build.vdm.vendor,
             device_model,
@@ -63,8 +66,69 @@ impl Assimilation {
             &self.syntax,
             &self.derivation,
             empirical,
-            diags.into_iter().collect(),
+            diags,
         )
+    }
+}
+
+/// One manual page with its content key, collected in a single
+/// streaming pass by [`keyed_pages`].
+pub(crate) struct KeyedPage<'a> {
+    pub url: &'a str,
+    pub html: &'a str,
+    /// [`page_key`] of (vendor, url, html, budget) — the address of this
+    /// page's parse artifact in an [`crate::artifacts::ArtifactStore`].
+    pub key: u64,
+}
+
+/// Stream the manual's pages once, hashing each as it arrives. The
+/// incremental path reuses these keys directly, so dirty-page detection
+/// never needs a second pass over the page bytes; the empty-manual check
+/// rides on the same pass.
+pub(crate) fn keyed_pages<'a>(
+    vendor: &str,
+    pages: impl IntoIterator<Item = (&'a str, &'a str)>,
+    budget: &IngestBudget,
+) -> Result<Vec<KeyedPage<'a>>, NassimError> {
+    let keyed: Vec<KeyedPage<'a>> = pages
+        .into_iter()
+        .map(|(url, html)| KeyedPage {
+            url,
+            html,
+            key: page_key(vendor, url, html, budget),
+        })
+        .collect();
+    if keyed.is_empty() {
+        return Err(NassimError::EmptyManual {
+            vendor: vendor.to_string(),
+        });
+    }
+    Ok(keyed)
+}
+
+/// Assemble an [`Assimilation`] from completed stage outputs: the
+/// diagnostics chain is identical for the full and incremental paths, so
+/// both produce byte-identical reports from equal stage artifacts.
+pub(crate) fn finish_assimilation(
+    parse: ParseRun,
+    syntax: SyntaxAudit,
+    derivation: Derivation,
+    build: VdmBuild,
+) -> Assimilation {
+    let diagnostics: DiagReport = parse
+        .diagnostics
+        .iter()
+        .cloned()
+        .chain(syntax.diagnostics())
+        .chain(derivation.diagnostics(&parse.pages))
+        .chain(build.diagnostics(&parse.pages))
+        .collect();
+    Assimilation {
+        parse,
+        syntax,
+        derivation,
+        build,
+        diagnostics,
     }
 }
 
@@ -89,31 +153,12 @@ pub fn assimilate_with<'a>(
     pages: impl IntoIterator<Item = (&'a str, &'a str)>,
     budget: &IngestBudget,
 ) -> Result<Assimilation, NassimError> {
-    let pages: Vec<(&str, &str)> = pages.into_iter().collect();
-    if pages.is_empty() {
-        return Err(NassimError::EmptyManual {
-            vendor: parser.vendor().to_string(),
-        });
-    }
-    let parse = run_parser_with(parser, pages, budget);
+    let keyed = keyed_pages(parser.vendor(), pages, budget)?;
+    let parse = run_parser_with(parser, keyed.iter().map(|p| (p.url, p.html)), budget);
     let syntax = audit_corpus(&parse.pages);
     let derivation = derive_hierarchy(&parse.pages);
     let build = build_vdm(parser.vendor(), &parse.pages, &derivation);
-    let diagnostics: DiagReport = parse
-        .diagnostics
-        .iter()
-        .cloned()
-        .chain(syntax.diagnostics())
-        .chain(derivation.diagnostics(&parse.pages))
-        .chain(build.diagnostics(&parse.pages))
-        .collect();
-    Ok(Assimilation {
-        parse,
-        syntax,
-        derivation,
-        build,
-        diagnostics,
-    })
+    Ok(finish_assimilation(parse, syntax, derivation, build))
 }
 
 #[cfg(test)]

@@ -1,0 +1,114 @@
+//! Content hashing for artifact keys.
+//!
+//! The artifact store keys every stage output by an FNV-1a hash of its
+//! inputs (page bytes, CLI sets, leaf contexts). FNV-1a is chosen over a
+//! cryptographic hash deliberately: keys only need to distinguish inputs
+//! within one corpus, the hasher must be dependency-free, and — unlike
+//! `std::hash::DefaultHasher` — its output is specified, so saved stores
+//! remain valid across Rust releases.
+//!
+//! Multi-field keys are built by feeding fields through one [`Fnv1a`]
+//! stream with explicit length prefixes ([`Fnv1a::write_field`]), so
+//! `("ab", "c")` and `("a", "bc")` hash differently.
+
+/// Streaming 64-bit FNV-1a hasher.
+#[derive(Debug, Clone)]
+pub struct Fnv1a {
+    state: u64,
+}
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x100_0000_01b3;
+
+impl Default for Fnv1a {
+    fn default() -> Fnv1a {
+        Fnv1a::new()
+    }
+}
+
+impl Fnv1a {
+    pub fn new() -> Fnv1a {
+        Fnv1a { state: FNV_OFFSET }
+    }
+
+    /// Feed raw bytes.
+    pub fn write_bytes(&mut self, bytes: &[u8]) -> &mut Fnv1a {
+        for &b in bytes {
+            self.state ^= u64::from(b);
+            self.state = self.state.wrapping_mul(FNV_PRIME);
+        }
+        self
+    }
+
+    /// Feed a string's UTF-8 bytes (no framing — see [`Fnv1a::write_field`]).
+    pub fn write_str(&mut self, s: &str) -> &mut Fnv1a {
+        self.write_bytes(s.as_bytes())
+    }
+
+    /// Feed a `u64` little-endian.
+    pub fn write_u64(&mut self, v: u64) -> &mut Fnv1a {
+        self.write_bytes(&v.to_le_bytes())
+    }
+
+    /// Feed a `usize` as a `u64` (portable across word sizes).
+    pub fn write_usize(&mut self, v: usize) -> &mut Fnv1a {
+        self.write_u64(v as u64)
+    }
+
+    /// Feed one delimited field: its byte length, then its bytes. Use
+    /// this when hashing several variable-length inputs into one key so
+    /// field boundaries are unambiguous.
+    pub fn write_field(&mut self, s: &str) -> &mut Fnv1a {
+        self.write_usize(s.len());
+        self.write_str(s)
+    }
+
+    /// The hash of everything written so far.
+    pub fn finish(&self) -> u64 {
+        self.state
+    }
+}
+
+/// One-shot FNV-1a of a string.
+pub fn fnv1a_str(s: &str) -> u64 {
+    let mut h = Fnv1a::new();
+    h.write_str(s);
+    h.finish()
+}
+
+/// One-shot FNV-1a of raw bytes.
+pub fn fnv1a_bytes(bytes: &[u8]) -> u64 {
+    let mut h = Fnv1a::new();
+    h.write_bytes(bytes);
+    h.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_published_test_vectors() {
+        // Standard FNV-1a 64-bit vectors.
+        assert_eq!(fnv1a_str(""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a_str("a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a_str("foobar"), 0x8594_4171_f739_67e8);
+    }
+
+    #[test]
+    fn field_framing_disambiguates_concatenations() {
+        let mut a = Fnv1a::new();
+        a.write_field("ab").write_field("c");
+        let mut b = Fnv1a::new();
+        b.write_field("a").write_field("bc");
+        assert_ne!(a.finish(), b.finish());
+    }
+
+    #[test]
+    fn streaming_equals_one_shot() {
+        let mut h = Fnv1a::new();
+        h.write_str("foo").write_str("bar");
+        assert_eq!(h.finish(), fnv1a_str("foobar"));
+        assert_eq!(fnv1a_bytes(b"foobar"), fnv1a_str("foobar"));
+    }
+}

@@ -18,9 +18,11 @@
 //! and `nassim-mapper`.
 
 pub mod format;
+pub mod hash;
 pub mod udm;
 pub mod vdm;
 
 pub use format::{CorpusCheck, CorpusEntry, CorpusViolation, ParaDef};
+pub use hash::{fnv1a_bytes, fnv1a_str, Fnv1a};
 pub use udm::{Udm, UdmAttribute, UdmNodeId};
 pub use vdm::{Vdm, VdmNode, VdmNodeId};

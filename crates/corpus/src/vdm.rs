@@ -48,7 +48,7 @@ pub struct VdmParameter {
 }
 
 /// The Vendor-specific Device Model.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Vdm {
     /// Vendor identifier, e.g. `helix`.
     pub vendor: String,

@@ -30,6 +30,7 @@ pub mod catalog;
 pub mod configgen;
 pub mod corrupt;
 pub mod manualgen;
+pub mod revision;
 pub mod style;
 pub mod textcorpus;
 pub mod udmgen;
@@ -38,4 +39,5 @@ pub mod words;
 pub use catalog::{Catalog, CatalogCommand, CatalogParam, ViewDef};
 pub use corrupt::{CorruptKind, CorruptRates, CorruptionPlan, InjectedCorruption};
 pub use manualgen::{InjectedDefect, Manual, ManualPage};
+pub use revision::{apply_edit_plan, EditPlan, RevisionReport};
 pub use style::{VendorStyle, VENDORS};

@@ -362,6 +362,9 @@ pub enum NassimError {
     Hierarchy { reason: String },
     /// Device-model construction / softdevice failure.
     Device { reason: String },
+    /// A saved artifact store failed to load: missing magic, unsupported
+    /// schema version, or structurally corrupt contents.
+    ArtifactCorrupt { path: String, reason: String },
     /// An I/O failure, with the operation that failed.
     Io { context: String, reason: String },
     /// An internal invariant broke — a bug in NAssim, not in the input.
@@ -391,6 +394,7 @@ impl NassimError {
             NassimError::BudgetExhausted { .. } | NassimError::PagePanic { .. } => Stage::Parse,
             NassimError::Hierarchy { .. } => Stage::Hierarchy,
             NassimError::Device { .. } => Stage::Device,
+            NassimError::ArtifactCorrupt { .. } => Stage::Internal,
             NassimError::Io { .. } => Stage::Internal,
             NassimError::Internal { .. } => Stage::Internal,
         }
@@ -452,6 +456,9 @@ impl fmt::Display for NassimError {
             ),
             NassimError::Hierarchy { reason } => write!(f, "hierarchy derivation failed: {reason}"),
             NassimError::Device { reason } => write!(f, "device error: {reason}"),
+            NassimError::ArtifactCorrupt { path, reason } => {
+                write!(f, "artifact store `{path}` is corrupt: {reason}")
+            }
             NassimError::Io { context, reason } => write!(f, "I/O error while {context}: {reason}"),
             NassimError::Internal { context } => {
                 write!(f, "internal error (please report): {context}")

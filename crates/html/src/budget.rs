@@ -20,10 +20,11 @@
 //! page — so budgets only bite on pathological input. Tests tune them
 //! down to exercise the cut-off paths cheaply.
 
+use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Which ceiling a page ran into.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum BudgetResource {
     /// Raw input length in bytes.
     Bytes,
@@ -45,7 +46,7 @@ impl fmt::Display for BudgetResource {
 }
 
 /// A page exceeded one of its ingestion ceilings.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct BudgetExhausted {
     pub resource: BudgetResource,
     /// Usage at the moment the ceiling was hit (≥ `cap`).

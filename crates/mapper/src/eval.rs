@@ -41,7 +41,7 @@ impl EvalReport {
 /// (shared parameter prep, deduplicated repeats), then ranking fans out
 /// across workers; the per-case ranks fold back in case order into the
 /// same tallies a serial sweep produces.
-pub fn evaluate(mapper: &Mapper<'_>, cases: &[EvalCase], ks: &[usize]) -> EvalReport {
+pub fn evaluate(mapper: &Mapper, cases: &[EvalCase], ks: &[usize]) -> EvalReport {
     let max_k = ks.iter().copied().max().unwrap_or(10);
     let ctx_refs: Vec<&Context> = cases.iter().map(|c| &c.context).collect();
     let prepared = mapper.prepare_queries(&ctx_refs);

@@ -149,7 +149,7 @@ pub fn finetune_with_validation(
             losses.extend(train_siamese(encoder, &pairs, 1, opts.batch_size, opts.lr));
         }
         let batched = BatchEncoder::new(encoder.clone(), vocab.clone());
-        let mapper = Mapper::dl(udm, &batched);
+        let mapper = Mapper::dl(udm, std::sync::Arc::new(batched));
         let report = evaluate(&mapper, validation, &[1]);
         val_recall_at_1.push(report.recall.get(&1).copied().unwrap_or(0.0));
     }

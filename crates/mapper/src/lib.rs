@@ -25,4 +25,7 @@ pub mod models;
 pub use context::{udm_leaf_context, vdm_param_context, Context};
 pub use eval::{evaluate, EvalCase, EvalReport};
 pub use finetune::{finetune, finetune_with_validation, FinetuneOptions, FinetuneReport};
-pub use models::{Embedder, EncoderEmbedder, Mapper, PreparedQuery};
+pub use models::{
+    leaf_embedding_key, Embedder, EmbeddingCache, EncoderEmbedder, Mapper, MapperIndex,
+    NormalizedEmbedding, PreparedQuery,
+};

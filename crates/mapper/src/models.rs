@@ -16,12 +16,14 @@
 //!   the paper's §7.3 composite would implement.
 
 use crate::context::{udm_leaf_context, Context};
-use nassim_corpus::{Udm, UdmNodeId};
+use nassim_corpus::{Fnv1a, Udm, UdmNodeId};
 use nassim_nlp::tensor::cosine;
 use nassim_nlp::topk::TopK;
 use nassim_nlp::{BatchEncoder, Encoder, TfIdf, Vocab};
+use serde::{DeError, Deserialize, Serialize, Value};
 use std::collections::HashMap;
 use std::ops::Range;
+use std::sync::Arc;
 
 /// Texts per worker chunk when the default [`Embedder::embed_batch`] fans
 /// out: one embed is sub-millisecond, so chunks amortise spawn overhead.
@@ -51,10 +53,12 @@ fn leaf_shards(n: usize) -> Vec<Range<usize>> {
 
 /// Anything that turns one text into one vector.
 ///
-/// `Sync` is a supertrait so mapper construction and evaluation can fan
-/// embedding work out across [`nassim_exec`] workers; embedders are
-/// read-only model weights, so this costs implementations nothing.
-pub trait Embedder: Sync {
+/// `Send + Sync` are supertraits so mapper construction and evaluation
+/// can fan embedding work out across [`nassim_exec`] workers and so
+/// mappers (which hold their embedder behind an [`Arc`]) can move across
+/// threads; embedders are read-only model weights, so this costs
+/// implementations nothing.
+pub trait Embedder: Send + Sync {
     fn embed(&self, text: &str) -> Vec<f32>;
 
     /// Embed many texts in one call, position-aligned with `texts`.
@@ -68,14 +72,18 @@ pub trait Embedder: Sync {
 }
 
 /// The transformer encoder + vocabulary as an [`Embedder`].
-pub struct EncoderEmbedder<'a> {
-    pub encoder: &'a Encoder,
-    pub vocab: &'a Vocab,
+///
+/// Owns its weights so it can live behind the `Arc<dyn Embedder>` a
+/// [`Mapper`] carries; both fields are plain data, so constructing one
+/// from an existing encoder/vocab is a single clone of the weights.
+pub struct EncoderEmbedder {
+    pub encoder: Encoder,
+    pub vocab: Vocab,
 }
 
-impl Embedder for EncoderEmbedder<'_> {
+impl Embedder for EncoderEmbedder {
     fn embed(&self, text: &str) -> Vec<f32> {
-        self.encoder.embed_text(self.vocab, text)
+        self.encoder.embed_text(&self.vocab, text)
     }
 }
 
@@ -177,6 +185,29 @@ impl NormalizedEmbedding {
     #[inline]
     fn scaled_row(&self, i: usize) -> &[f32] {
         &self.scaled[i * self.dim..(i + 1) * self.dim]
+    }
+
+    /// The raw rows as IEEE-754 bit patterns — the lossless persistence
+    /// form used by the artifact store. `from_bit_rows` inverts this
+    /// exactly: norms and scaled buffers are recomputed by the same
+    /// arithmetic as construction, so a round-tripped embedding is
+    /// bit-for-bit identical to the original.
+    pub fn to_bit_rows(&self) -> Vec<Vec<u32>> {
+        self.rows
+            .iter()
+            .map(|r| r.iter().map(|x| x.to_bits()).collect())
+            .collect()
+    }
+
+    /// Rebuild an embedding from [`NormalizedEmbedding::to_bit_rows`]
+    /// output.
+    pub fn from_bit_rows(bit_rows: &[Vec<u32>]) -> NormalizedEmbedding {
+        NormalizedEmbedding::new(ContextEmbedding {
+            rows: bit_rows
+                .iter()
+                .map(|r| r.iter().map(|&b| f32::from_bits(b)).collect())
+                .collect(),
+        })
     }
 }
 
@@ -311,21 +342,27 @@ pub fn context_similarity(
 /// both in [0,1]-ish ranges so a fixed blend is meaningful).
 pub const IR_BLEND: f32 = 0.35;
 
-/// Which ranking strategy a [`Mapper`] uses.
-enum Strategy<'a> {
+/// Which ranking strategy a [`Mapper`] uses. Embedders are shared, not
+/// borrowed, so mappers are self-contained values.
+#[derive(Clone)]
+enum Strategy {
     Ir,
     Dl {
-        embedder: &'a dyn Embedder,
+        embedder: Arc<dyn Embedder>,
     },
     IrDl {
-        embedder: &'a dyn Embedder,
+        embedder: Arc<dyn Embedder>,
         shortlist: usize,
     },
 }
 
-/// A ready-to-query mapper over one UDM.
-pub struct Mapper<'a> {
-    udm: &'a Udm,
+/// The immutable, shareable core of a [`Mapper`]: the UDM, its leaf
+/// contexts, the fitted TF-IDF model and the pre-normalized leaf context
+/// embeddings. Built once per (UDM, embedder) pair and shared by every
+/// clone of the mapper — cloning a mapper is two `Arc` bumps, never a
+/// re-embedding.
+pub struct MapperIndex {
+    udm: Udm,
     leaves: Vec<UdmNodeId>,
     leaf_contexts: Vec<Context>,
     /// leaf id → index into `leaves`/`leaf_contexts` (O(1) lookups).
@@ -334,43 +371,209 @@ pub struct Mapper<'a> {
     /// IR-based ones query it).
     ir: TfIdf,
     /// Pre-computed, pre-normalized leaf context embeddings (DL
-    /// strategies): the norms are paid once here, never per query.
-    leaf_embeddings: Vec<NormalizedEmbedding>,
+    /// strategies): the norms are paid once here, never per query. Each
+    /// embedding sits behind an `Arc` so the artifact store's embedding
+    /// cache and any number of mappers share one copy.
+    leaf_embeddings: Vec<Arc<NormalizedEmbedding>>,
+}
+
+impl MapperIndex {
+    /// Number of candidate leaves.
+    pub fn candidate_count(&self) -> usize {
+        self.leaves.len()
+    }
+}
+
+/// A ready-to-query mapper over one UDM. Owns all of its state (the
+/// index behind an [`Arc`], the embedder behind an `Arc<dyn Embedder>`),
+/// so it is `Clone`, `Send` and has no borrow tying it to the UDM it was
+/// built from.
+#[derive(Clone)]
+pub struct Mapper {
+    index: Arc<MapperIndex>,
     /// Contiguous leaf-index partitions for the parallel DL scan,
     /// computed once at construction from the corpus size alone.
     shards: Vec<Range<usize>>,
-    strategy: Strategy<'a>,
+    strategy: Strategy,
     /// Optional Eq. 2 weight vector (length k_V × k_U).
     pub weights: Option<Vec<f32>>,
 }
 
-impl<'a> Mapper<'a> {
-    fn base(udm: &'a Udm, strategy: Strategy<'a>) -> Mapper<'a> {
+/// Content key of one leaf context's embedding under one embedder:
+/// FNV-1a over the embedder identity and the context's sequences,
+/// length-framed. Two leaves with identical contexts share a key (and
+/// therefore a cached embedding), which is sound because embedders are
+/// pure functions of their input text.
+pub fn leaf_embedding_key(embedder_id: &str, ctx: &Context) -> u64 {
+    let mut h = Fnv1a::new();
+    h.write_field(embedder_id);
+    h.write_usize(ctx.sequences.len());
+    for s in &ctx.sequences {
+        h.write_field(s);
+    }
+    h.finish()
+}
+
+/// Content-addressed cache of normalized leaf-context embeddings, keyed
+/// by [`leaf_embedding_key`]. [`Mapper::dl_cached`] consults it so an
+/// incremental re-assimilation only pays the embedder for contexts it
+/// has never seen; `hits`/`misses` expose the reuse rate to benches and
+/// differential tests.
+#[derive(Clone, Default)]
+pub struct EmbeddingCache {
+    entries: HashMap<u64, Arc<NormalizedEmbedding>>,
+    pub hits: usize,
+    pub misses: usize,
+}
+
+impl EmbeddingCache {
+    pub fn new() -> EmbeddingCache {
+        EmbeddingCache::default()
+    }
+
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+/// Persistence form: keys as fixed-width hex strings (the vendored JSON
+/// value model has no u64 map keys), embeddings as their raw IEEE-754
+/// bit rows. Hit/miss counters are session statistics, not content, and
+/// deliberately reset on load.
+impl Serialize for EmbeddingCache {
+    fn to_value(&self) -> Value {
+        let mut entries: Vec<(String, Value)> = self
+            .entries
+            .iter()
+            .map(|(k, e)| (format!("{k:016x}"), e.to_bit_rows().to_value()))
+            .collect();
+        entries.sort_by(|a, b| a.0.cmp(&b.0));
+        Value::Obj(vec![("entries".to_string(), Value::Obj(entries))])
+    }
+}
+
+impl Deserialize for EmbeddingCache {
+    fn from_value(v: &Value) -> Result<EmbeddingCache, DeError> {
+        let Some(Value::Obj(entries)) = v.get("entries") else {
+            return Err(DeError::new("EmbeddingCache: missing `entries` object"));
+        };
+        let mut cache = EmbeddingCache::new();
+        for (key, val) in entries {
+            let k = u64::from_str_radix(key, 16)
+                .map_err(|e| DeError::new(format!("EmbeddingCache: bad key `{key}`: {e}")))?;
+            let bit_rows: Vec<Vec<u32>> = Deserialize::from_value(val)?;
+            cache
+                .entries
+                .insert(k, Arc::new(NormalizedEmbedding::from_bit_rows(&bit_rows)));
+        }
+        Ok(cache)
+    }
+}
+
+/// Embed `leaf_contexts` through `cache`: hits are `Arc` bumps, misses
+/// are embedded in **one** [`embed_contexts`] batch and inserted. The
+/// output vector is position-aligned with `leaf_contexts`.
+fn embed_leaves_cached(
+    embedder: &dyn Embedder,
+    embedder_id: &str,
+    leaf_contexts: &[Context],
+    cache: &mut EmbeddingCache,
+) -> Vec<Arc<NormalizedEmbedding>> {
+    let keys: Vec<u64> = leaf_contexts
+        .iter()
+        .map(|c| leaf_embedding_key(embedder_id, c))
+        .collect();
+    let mut missing: Vec<usize> = Vec::new();
+    for (i, k) in keys.iter().enumerate() {
+        if cache.entries.contains_key(k) {
+            cache.hits += 1;
+        } else {
+            cache.misses += 1;
+            // Duplicate contexts within one build share a key; embed the
+            // first occurrence only.
+            if missing.iter().all(|&j| keys[j] != *k) {
+                missing.push(i);
+            }
+        }
+    }
+    if !missing.is_empty() {
+        let ctx_refs: Vec<&Context> = missing.iter().map(|&i| &leaf_contexts[i]).collect();
+        let embedded = embed_contexts(embedder, &ctx_refs);
+        for (&i, e) in missing.iter().zip(embedded) {
+            cache.entries.insert(keys[i], Arc::new(e));
+        }
+    }
+    keys.iter()
+        .map(|k| {
+            cache.entries.get(k).cloned().unwrap_or_else(|| {
+                // Unreachable: every key was either a hit or just
+                // inserted; keep a sound fallback instead of panicking.
+                Arc::new(NormalizedEmbedding::new(ContextEmbedding {
+                    rows: Vec::new(),
+                }))
+            })
+        })
+        .collect()
+}
+
+impl Mapper {
+    fn base(udm: &Udm, strategy: Strategy) -> Mapper {
+        let index = Mapper::build_index(udm, &strategy, None);
+        Mapper::assemble(index, strategy)
+    }
+
+    /// Build the shared index, embedding leaf contexts through `cache`
+    /// when one is supplied (cache hits skip the embedder entirely; all
+    /// misses go through **one** batch, so the computed embeddings are
+    /// bit-identical to an uncached build).
+    fn build_index(
+        udm: &Udm,
+        strategy: &Strategy,
+        cache: Option<(&str, &mut EmbeddingCache)>,
+    ) -> MapperIndex {
         let leaves = udm.leaves();
         let leaf_contexts: Vec<Context> =
             leaves.iter().map(|&l| udm_leaf_context(udm, l)).collect();
         let leaf_index = leaves.iter().enumerate().map(|(i, &l)| (l, i)).collect();
         let joined: Vec<String> = leaf_contexts.iter().map(Context::joined).collect();
         let ir = TfIdf::fit(joined.iter().map(String::as_str));
-        let leaf_embeddings = match &strategy {
+        let leaf_embeddings = match strategy {
             Strategy::Ir => Vec::new(),
             // Embedding every leaf context is the expensive part of
             // construction — hand the whole corpus to the embedder as one
             // batch (shared parameter prep, memoised repeats, chunked
             // fan-out for plain embedders).
-            Strategy::Dl { embedder } | Strategy::IrDl { embedder, .. } => {
-                let ctx_refs: Vec<&Context> = leaf_contexts.iter().collect();
-                embed_contexts(*embedder, &ctx_refs)
-            }
+            Strategy::Dl { embedder } | Strategy::IrDl { embedder, .. } => match cache {
+                None => {
+                    let ctx_refs: Vec<&Context> = leaf_contexts.iter().collect();
+                    embed_contexts(embedder.as_ref(), &ctx_refs)
+                        .into_iter()
+                        .map(Arc::new)
+                        .collect()
+                }
+                Some((embedder_id, cache)) => {
+                    embed_leaves_cached(embedder.as_ref(), embedder_id, &leaf_contexts, cache)
+                }
+            },
         };
-        let shards = leaf_shards(leaves.len());
-        Mapper {
-            udm,
+        MapperIndex {
+            udm: udm.clone(),
             leaves,
             leaf_contexts,
             leaf_index,
             ir,
             leaf_embeddings,
+        }
+    }
+
+    fn assemble(index: MapperIndex, strategy: Strategy) -> Mapper {
+        let shards = leaf_shards(index.leaves.len());
+        Mapper {
+            index: Arc::new(index),
             shards,
             strategy,
             weights: None,
@@ -389,7 +592,7 @@ impl<'a> Mapper<'a> {
     /// identical for every `count` — only the scan's parallel grain
     /// changes.
     pub fn set_shard_count(&mut self, count: usize) {
-        let n = self.leaves.len();
+        let n = self.index.leaves.len();
         let count = count.clamp(1, n.max(1));
         let size = n.div_ceil(count).max(1);
         self.shards = (0..count)
@@ -399,41 +602,70 @@ impl<'a> Mapper<'a> {
     }
 
     /// Pure information-retrieval mapper (TF-IDF).
-    pub fn ir(udm: &'a Udm) -> Mapper<'a> {
+    pub fn ir(udm: &Udm) -> Mapper {
         Mapper::base(udm, Strategy::Ir)
     }
 
     /// Pure DL mapper over `embedder`.
-    pub fn dl(udm: &'a Udm, embedder: &'a dyn Embedder) -> Mapper<'a> {
+    pub fn dl(udm: &Udm, embedder: Arc<dyn Embedder>) -> Mapper {
         Mapper::base(udm, Strategy::Dl { embedder })
     }
 
+    /// [`Mapper::dl`] through an [`EmbeddingCache`]: leaf contexts whose
+    /// [`leaf_embedding_key`] is already cached reuse the stored
+    /// embedding (an `Arc` bump, no embedder call); the misses are
+    /// embedded in one batch and inserted. Because the batched encoder's
+    /// output is batch-composition independent, the resulting mapper is
+    /// bit-for-bit identical to `Mapper::dl` at any hit rate.
+    /// `embedder_id` names the embedder's identity (weights + vocab) and
+    /// partitions the cache's key space.
+    pub fn dl_cached(
+        udm: &Udm,
+        embedder: Arc<dyn Embedder>,
+        embedder_id: &str,
+        cache: &mut EmbeddingCache,
+    ) -> Mapper {
+        let strategy = Strategy::Dl {
+            embedder: embedder.clone(),
+        };
+        let index = Mapper::build_index(udm, &strategy, Some((embedder_id, cache)));
+        Mapper::assemble(index, strategy)
+    }
+
     /// IR shortlist (paper: top-50) re-ranked by `embedder`.
-    pub fn ir_dl(udm: &'a Udm, embedder: &'a dyn Embedder, shortlist: usize) -> Mapper<'a> {
+    pub fn ir_dl(udm: &Udm, embedder: Arc<dyn Embedder>, shortlist: usize) -> Mapper {
         Mapper::base(udm, Strategy::IrDl { embedder, shortlist })
     }
 
     /// The UDM this mapper ranks over.
     pub fn udm(&self) -> &Udm {
-        self.udm
+        &self.index.udm
+    }
+
+    /// The shared index: UDM, leaf contexts, TF-IDF and embeddings.
+    pub fn index(&self) -> &Arc<MapperIndex> {
+        &self.index
     }
 
     /// Number of candidate leaves.
     pub fn candidate_count(&self) -> usize {
-        self.leaves.len()
+        self.index.leaves.len()
     }
 
     /// Context of candidate `leaf` (for human-readable recommendations).
     pub fn leaf_context(&self, leaf: UdmNodeId) -> Option<&Context> {
-        self.leaf_index.get(&leaf).map(|&i| &self.leaf_contexts[i])
+        self.index
+            .leaf_index
+            .get(&leaf)
+            .map(|&i| &self.index.leaf_contexts[i])
     }
 
     /// The embedder behind DL-backed strategies, `None` for pure IR.
-    fn embedder(&self) -> Option<&'a dyn Embedder> {
+    fn embedder(&self) -> Option<&dyn Embedder> {
         match &self.strategy {
             Strategy::Ir => None,
-            Strategy::Dl { embedder } => Some(*embedder),
-            Strategy::IrDl { embedder, .. } => Some(*embedder),
+            Strategy::Dl { embedder } => Some(embedder.as_ref()),
+            Strategy::IrDl { embedder, .. } => Some(embedder.as_ref()),
         }
     }
 
@@ -504,14 +736,14 @@ impl<'a> Mapper<'a> {
             }
         };
         let scored: Vec<(usize, f32)> = match &self.strategy {
-            Strategy::Ir => self.ir.top_k(joined, k),
+            Strategy::Ir => self.index.ir.top_k(joined, k),
             Strategy::Dl { .. } => self.dl_scan(ev, k),
             Strategy::IrDl { shortlist, .. } => {
                 let mut top = TopK::new(k);
-                for (i, ir_score) in self.ir.top_k(joined, *shortlist) {
+                for (i, ir_score) in self.index.ir.top_k(joined, *shortlist) {
                     let dl = context_similarity_normalized(
                         ev,
-                        &self.leaf_embeddings[i],
+                        &self.index.leaf_embeddings[i],
                         self.weights.as_deref(),
                     );
                     top.offer(i, dl + IR_BLEND * ir_score);
@@ -521,7 +753,7 @@ impl<'a> Mapper<'a> {
         };
         scored
             .into_iter()
-            .map(|(i, s)| (self.leaves[i], s))
+            .map(|(i, s)| (self.index.leaves[i], s))
             .collect()
     }
 
@@ -545,7 +777,7 @@ impl<'a> Mapper<'a> {
             && nassim_exec::threads() > 1
             && !nassim_exec::in_parallel_region();
         if !fan_out {
-            let all = 0..self.leaves.len();
+            let all = 0..self.index.leaves.len();
             return self.dl_scan_shard(ev, k, all).into_sorted_vec();
         }
         let partials = nassim_exec::par_map(&self.shards, |range| {
@@ -569,7 +801,7 @@ impl<'a> Mapper<'a> {
                 // k-th score can be skipped unscored.
                 Some(threshold) => match context_similarity_pruned(
                     ev,
-                    &self.leaf_embeddings[i],
+                    &self.index.leaf_embeddings[i],
                     self.weights.as_deref(),
                     threshold,
                 ) {
@@ -578,7 +810,7 @@ impl<'a> Mapper<'a> {
                 },
                 None => context_similarity_normalized(
                     ev,
-                    &self.leaf_embeddings[i],
+                    &self.index.leaf_embeddings[i],
                     self.weights.as_deref(),
                 ),
             };
@@ -605,7 +837,7 @@ pub struct PreparedQuery {
 /// front; every candidate weight vector re-scores those memoized
 /// embeddings instead of re-running the embedder n×grid times.
 pub fn grid_search_weights(
-    mapper: &Mapper<'_>,
+    mapper: &Mapper,
     validation: &[(Context, UdmNodeId)],
     kv: usize,
     ku: usize,
@@ -636,7 +868,7 @@ pub fn grid_search_weights(
 /// Embed every validation query once, as a single batch. Returns an
 /// empty vec for IR mappers — weights are a DL concept.
 fn embed_validation(
-    mapper: &Mapper<'_>,
+    mapper: &Mapper,
     validation: &[(Context, UdmNodeId)],
 ) -> Vec<NormalizedEmbedding> {
     let Some(embedder) = mapper.embedder() else {
@@ -649,12 +881,12 @@ fn embed_validation(
 /// Reference scorer that re-embeds the queries on every call; production
 /// code goes through the memoized path in [`grid_search_weights`].
 #[cfg(test)]
-fn weight_score(mapper: &Mapper<'_>, validation: &[(Context, UdmNodeId)], w: &[f32]) -> f32 {
+fn weight_score(mapper: &Mapper, validation: &[(Context, UdmNodeId)], w: &[f32]) -> f32 {
     weight_score_embedded(mapper, &embed_validation(mapper, validation), validation, w)
 }
 
 fn weight_score_embedded(
-    mapper: &Mapper<'_>,
+    mapper: &Mapper,
     queries: &[NormalizedEmbedding],
     validation: &[(Context, UdmNodeId)],
     w: &[f32],
@@ -668,12 +900,12 @@ fn weight_score_embedded(
     let case_hits = nassim_exec::par_map_indexed_chunked(validation, 4, |qi, (_, truth)| {
         let ev = &queries[qi];
         let mut top = TopK::new(1);
-        for i in 0..mapper.leaves.len() {
+        for i in 0..mapper.index.leaves.len() {
             match top.prune_below() {
                 Some(threshold) => {
                     if let Some(s) = context_similarity_pruned(
                         ev,
-                        &mapper.leaf_embeddings[i],
+                        &mapper.index.leaf_embeddings[i],
                         Some(w),
                         threshold,
                     ) {
@@ -682,11 +914,14 @@ fn weight_score_embedded(
                 }
                 None => top.offer(
                     i,
-                    context_similarity_normalized(ev, &mapper.leaf_embeddings[i], Some(w)),
+                    context_similarity_normalized(ev, &mapper.index.leaf_embeddings[i], Some(w)),
                 ),
             }
         }
-        top.into_sorted_vec().first().map(|&(i, _)| mapper.leaves[i]) == Some(*truth)
+        top.into_sorted_vec()
+            .first()
+            .map(|&(i, _)| mapper.index.leaves[i])
+            == Some(*truth)
     });
     let hits = case_hits.into_iter().filter(|&h| h).count();
     hits as f32 / validation.len().max(1) as f32
@@ -742,8 +977,7 @@ mod tests {
     #[test]
     fn dl_mapper_uses_embeddings() {
         let udm = sample_udm();
-        let e = HashEmbedder;
-        let m = Mapper::dl(&udm, &e);
+        let m = Mapper::dl(&udm, Arc::new(HashEmbedder));
         let top = m.recommend(&query("ipv4 address of the bgp neighbor"), 3);
         assert_eq!(udm.path_of(top[0].0), "protocols/bgp/neighbor/neighbor-address");
     }
@@ -751,9 +985,8 @@ mod tests {
     #[test]
     fn ir_dl_respects_shortlist() {
         let udm = sample_udm();
-        let e = HashEmbedder;
         // Shortlist of 1: DL can only re-rank IR's single candidate.
-        let m = Mapper::ir_dl(&udm, &e, 1);
+        let m = Mapper::ir_dl(&udm, Arc::new(HashEmbedder), 1);
         let top = m.recommend(&query("identifier of the vlan"), 3);
         assert_eq!(top.len(), 1);
     }
@@ -796,8 +1029,7 @@ mod tests {
     #[test]
     fn grid_search_never_worsens_recall() {
         let udm = sample_udm();
-        let e = HashEmbedder;
-        let m = Mapper::dl(&udm, &e);
+        let m = Mapper::dl(&udm, Arc::new(HashEmbedder));
         let validation: Vec<(Context, _)> = vec![
             (query("identifier of the vlan"), udm.lookup("vlans/vlan/vlan-id").unwrap()),
             (
@@ -860,17 +1092,21 @@ mod tests {
     /// Full-sort reference ranking over the mapper's own leaf embeddings
     /// — what `recommend` computed before the bounded-heap rewrite.
     fn full_sort_reference(
-        m: &Mapper<'_>,
+        m: &Mapper,
         ctx: &Context,
         e: &dyn Embedder,
         k: usize,
     ) -> Vec<(UdmNodeId, f32)> {
         let ev = NormalizedEmbedding::new(embed_context(e, ctx));
-        let mut scored: Vec<(usize, f32)> = (0..m.leaves.len())
+        let mut scored: Vec<(usize, f32)> = (0..m.index.leaves.len())
             .map(|i| {
                 (
                     i,
-                    context_similarity_normalized(&ev, &m.leaf_embeddings[i], m.weights.as_deref()),
+                    context_similarity_normalized(
+                        &ev,
+                        &m.index.leaf_embeddings[i],
+                        m.weights.as_deref(),
+                    ),
                 )
             })
             .collect();
@@ -882,7 +1118,7 @@ mod tests {
         scored
             .into_iter()
             .take(k)
-            .map(|(i, s)| (m.leaves[i], s))
+            .map(|(i, s)| (m.index.leaves[i], s))
             .collect()
     }
 
@@ -904,7 +1140,7 @@ mod tests {
     fn recommend_heap_matches_full_sort_reference() {
         let udm = wide_udm();
         let e = HashEmbedder;
-        let m = Mapper::dl(&udm, &e);
+        let m = Mapper::dl(&udm, Arc::new(HashEmbedder));
         for qtext in [
             "attribute number 7 of group 1",
             "attribute of group",
@@ -936,7 +1172,7 @@ mod tests {
     fn recommend_breaks_ties_by_leaf_index_like_full_sort() {
         let udm = wide_udm();
         let e = ConstEmbedder;
-        let m = Mapper::dl(&udm, &e);
+        let m = Mapper::dl(&udm, Arc::new(ConstEmbedder));
         let top = m.recommend(&query("anything"), 5);
         let reference = full_sort_reference(&m, &query("anything"), &e, 5);
         assert_eq!(
@@ -946,15 +1182,18 @@ mod tests {
         // All scores tie, so the winners are the first leaves in order.
         assert_eq!(
             top.iter().map(|r| r.0).collect::<Vec<_>>(),
-            m.leaves[..5].to_vec()
+            m.index.leaves[..5].to_vec()
         );
     }
 
     #[test]
     fn prepared_queries_match_direct_recommend() {
         let udm = wide_udm();
-        let e = HashEmbedder;
-        for m in [Mapper::ir(&udm), Mapper::dl(&udm, &e), Mapper::ir_dl(&udm, &e, 5)] {
+        for m in [
+            Mapper::ir(&udm),
+            Mapper::dl(&udm, Arc::new(HashEmbedder)),
+            Mapper::ir_dl(&udm, Arc::new(HashEmbedder), 5),
+        ] {
             let queries: Vec<Context> = ["attribute number 2", "group 0", ""]
                 .iter()
                 .map(|t| query(t))
@@ -988,12 +1227,12 @@ mod tests {
             3,
         );
         let per_text = EncoderEmbedder {
-            encoder: &enc,
-            vocab: &vocab,
+            encoder: enc.clone(),
+            vocab: vocab.clone(),
         };
-        let m_per_text = Mapper::dl(&udm, &per_text);
+        let m_per_text = Mapper::dl(&udm, Arc::new(per_text));
         let batched = BatchEncoder::new(enc.clone(), vocab.clone());
-        let m_batched = Mapper::dl(&udm, &batched);
+        let m_batched = Mapper::dl(&udm, Arc::new(batched));
         let q = query("ipv4 address of the bgp neighbor");
         let a = m_per_text.recommend(&q, 3);
         let b = m_batched.recommend(&q, 3);
@@ -1011,5 +1250,80 @@ mod tests {
         let leaf = udm.lookup("vlans/vlan/vlan-id").unwrap();
         let ctx = m.leaf_context(leaf).unwrap();
         assert_eq!(ctx.sequences[0], "vlan-id");
+    }
+
+    #[test]
+    fn dl_cached_matches_dl_bitwise_and_reuses_embeddings() {
+        let udm = wide_udm();
+        let uncached = Mapper::dl(&udm, Arc::new(HashEmbedder));
+        let mut cache = EmbeddingCache::new();
+        // Cold build: every leaf misses.
+        let cold = Mapper::dl_cached(&udm, Arc::new(HashEmbedder), "hash", &mut cache);
+        assert_eq!(cache.hits, 0);
+        assert_eq!(cache.misses, udm.leaves().len());
+        // Warm build: every leaf hits; no new entries.
+        let entries_after_cold = cache.len();
+        let warm = Mapper::dl_cached(&udm, Arc::new(HashEmbedder), "hash", &mut cache);
+        assert_eq!(cache.hits, udm.leaves().len());
+        assert_eq!(cache.len(), entries_after_cold);
+        for qtext in ["attribute number 7 of group 1", "attribute of group"] {
+            let q = query(qtext);
+            let reference = uncached.recommend(&q, 6);
+            for m in [&cold, &warm] {
+                let got = m.recommend(&q, 6);
+                assert_eq!(got.len(), reference.len());
+                for (g, r) in got.iter().zip(&reference) {
+                    assert_eq!(g.0, r.0, "q={qtext}");
+                    assert_eq!(g.1.to_bits(), r.1.to_bits(), "q={qtext}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn embedder_id_partitions_the_cache() {
+        let udm = sample_udm();
+        let mut cache = EmbeddingCache::new();
+        Mapper::dl_cached(&udm, Arc::new(HashEmbedder), "a", &mut cache);
+        let before = cache.len();
+        // A different embedder id must not hit "a"'s entries.
+        Mapper::dl_cached(&udm, Arc::new(ConstEmbedder), "b", &mut cache);
+        assert_eq!(cache.hits, 0);
+        assert_eq!(cache.len(), 2 * before);
+    }
+
+    #[test]
+    fn embedding_cache_round_trips_through_serde() {
+        let udm = wide_udm();
+        let mut cache = EmbeddingCache::new();
+        Mapper::dl_cached(&udm, Arc::new(HashEmbedder), "hash", &mut cache);
+        let value = cache.to_value();
+        let mut restored = EmbeddingCache::from_value(&value).unwrap();
+        assert_eq!(restored.len(), cache.len());
+        // A build against the restored cache is all hits and bit-equal.
+        let a = Mapper::dl_cached(&udm, Arc::new(HashEmbedder), "hash", &mut restored);
+        assert_eq!(restored.misses, 0);
+        let b = Mapper::dl(&udm, Arc::new(HashEmbedder));
+        let q = query("attribute number 3 of group 0");
+        for (x, y) in a.recommend(&q, 12).iter().zip(&b.recommend(&q, 12)) {
+            assert_eq!(x.0, y.0);
+            assert_eq!(x.1.to_bits(), y.1.to_bits());
+        }
+    }
+
+    /// Owned mappers are values: clones share the index and embedder and
+    /// answer identically, and a mapper can cross a thread boundary.
+    #[test]
+    fn mapper_is_clone_and_send() {
+        let udm = wide_udm();
+        let m = Mapper::dl(&udm, Arc::new(HashEmbedder));
+        let clone = m.clone();
+        assert!(Arc::ptr_eq(m.index(), clone.index()));
+        let q = query("attribute number 1 of group 1");
+        let here = m.recommend(&q, 4);
+        let there = std::thread::spawn(move || clone.recommend(&query("attribute number 1 of group 1"), 4))
+            .join()
+            .unwrap();
+        assert_eq!(here, there);
     }
 }

@@ -71,19 +71,18 @@ proptest! {
         qword in 0usize..7,
     ) {
         let udm = udm_with_leaves(leaves);
-        let e = HashEmbedder;
         let q = query(&format!(
             "the {} of the peer unit 3",
             ["address", "peer", "vlan", "timer", "policy", "mtu", "asn"][qword]
         ));
 
         // Reference: unsharded serial scan (1 shard, 1 worker).
-        let mut reference = Mapper::dl(&udm, &e);
+        let mut reference = Mapper::dl(&udm, std::sync::Arc::new(HashEmbedder));
         reference.set_shard_count(1);
         let want = nassim_exec::with_threads(1, || reference.recommend(&q, k));
 
         // Candidate: forced sharding, parallel workers.
-        let mut sharded = Mapper::dl(&udm, &e);
+        let mut sharded = Mapper::dl(&udm, std::sync::Arc::new(HashEmbedder));
         sharded.set_shard_count(shard_count);
         let got = nassim_exec::with_threads(workers, || sharded.recommend(&q, k));
 
@@ -97,11 +96,10 @@ proptest! {
         k in 1usize..12,
     ) {
         let udm = udm_with_leaves(leaves);
-        let e = HashEmbedder;
         let q = query("the address of the peer unit 3");
-        let mapper = Mapper::dl(&udm, &e);
+        let mapper = Mapper::dl(&udm, std::sync::Arc::new(HashEmbedder));
         // Construction-time layout is a pure function of corpus size.
-        let again = Mapper::dl(&udm, &e);
+        let again = Mapper::dl(&udm, std::sync::Arc::new(HashEmbedder));
         prop_assert_eq!(mapper.shard_count(), again.shard_count());
         let serial = nassim_exec::with_threads(1, || mapper.recommend(&q, k));
         let parallel = nassim_exec::with_threads(8, || mapper.recommend(&q, k));

@@ -9,13 +9,14 @@
 //! problematic/empty `CLIs` fields, with links back to the manual) and a
 //! *status of corpus* (every problematic field of every entry).
 
-use nassim_corpus::{CorpusEntry, CorpusViolation};
+use nassim_corpus::{CorpusEntry, CorpusViolation, Fnv1a};
 use nassim_diag::{Diagnostic, NassimError, Severity, SourceSpan, Stage};
 use nassim_html::{BudgetExhausted, Document, IngestBudget, MarkupDefect};
+use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// One successfully parsed manual page.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ParsedPage {
     /// Source page URL (kept for report links and VDM provenance).
     pub url: String,
@@ -105,14 +106,14 @@ pub struct Quarantined {
 }
 
 /// One entry of the "summary of key attributes" report part.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct KeyAttrProblem {
     pub url: String,
     pub reason: String,
 }
 
 /// One entry of the "status of corpus" report part.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct CorpusStatus {
     pub url: String,
     pub violations: Vec<CorpusViolation>,
@@ -204,20 +205,69 @@ pub struct ParseRun {
     pub quarantined: Vec<Quarantined>,
 }
 
-/// Per-page parse outcome plus its audit records and markup defects.
-enum PageOutcome {
-    /// The DOM build hit an [`IngestBudget`] ceiling.
-    OverBudget(BudgetExhausted),
-    Done {
-        outcome: Box<Result<Option<ParsedPage>, NassimError>>,
-        defects: Vec<MarkupDefect>,
-        key_attr: Option<KeyAttrProblem>,
-        status: Option<CorpusStatus>,
-    },
+/// One markup defect, reduced to what the diagnostics need (message +
+/// byte offset) so parse artifacts serialize without carrying the DOM
+/// layer's defect taxonomy.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DefectRecord {
+    pub message: String,
+    pub offset: usize,
 }
 
-fn markup_diag(severity: Severity, vendor: &str, url: &str, defect: &MarkupDefect) -> Diagnostic {
-    Diagnostic::new(severity, Stage::Html, defect.kind.to_string())
+impl DefectRecord {
+    fn from_defect(d: &MarkupDefect) -> DefectRecord {
+        DefectRecord {
+            message: d.kind.to_string(),
+            offset: d.offset,
+        }
+    }
+}
+
+/// How one page left the parser.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum PageDisposition {
+    /// The page produced a corpus entry.
+    Parsed { page: ParsedPage },
+    /// The parser deliberately declined the page (preface, index).
+    Skipped,
+    /// The parser rejected the page outright.
+    Rejected { error: NassimError },
+    /// The DOM build hit an [`IngestBudget`] ceiling.
+    OverBudget { exhausted: BudgetExhausted },
+    /// The vendor parser panicked on this page.
+    Panicked { payload: String },
+}
+
+/// The complete, immutable per-page parse artifact: outcome, markup
+/// defects and Appendix-B audit records. A `PageRecord` is a pure
+/// function of `(vendor, url, html, budget)` — see [`page_key`] — so
+/// the artifact store can reuse it verbatim whenever those inputs are
+/// unchanged, and [`fold_page_records`] rebuilds a [`ParseRun`] from
+/// any mix of fresh and cached records that is identical to a full run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PageRecord {
+    pub url: String,
+    pub disposition: PageDisposition,
+    pub defects: Vec<DefectRecord>,
+    pub key_attr: Option<KeyAttrProblem>,
+    pub status: Option<CorpusStatus>,
+}
+
+/// Content key of one page's parse artifact: FNV-1a over the vendor,
+/// URL, raw HTML and every budget ceiling, length-framed so field
+/// boundaries are unambiguous.
+pub fn page_key(vendor: &str, url: &str, html: &str, budget: &IngestBudget) -> u64 {
+    let mut h = Fnv1a::new();
+    h.write_field(vendor).write_field(url).write_field(html);
+    h.write_usize(budget.max_bytes)
+        .write_usize(budget.max_tokens)
+        .write_usize(budget.max_nodes)
+        .write_usize(budget.max_depth);
+    h.finish()
+}
+
+fn markup_diag(severity: Severity, vendor: &str, url: &str, defect: &DefectRecord) -> Diagnostic {
+    Diagnostic::new(severity, Stage::Html, defect.message.clone())
         .with_span(SourceSpan::point(url, defect.offset))
         .with_vendor(vendor)
 }
@@ -260,71 +310,128 @@ pub fn run_parser_with<'a>(
     budget: &IngestBudget,
 ) -> ParseRun {
     let pages: Vec<(&str, &str)> = pages.into_iter().collect();
-    let per_page = nassim_exec::par_map_isolated_chunked(&pages, PARSE_MIN_CHUNK, |&(url, html)| {
-        let (doc, defects) = match Document::parse_budgeted(html, budget) {
-            Ok(built) => built,
-            Err(e) => return PageOutcome::OverBudget(e),
-        };
-        let outcome = parser.parse_doc(url, &doc);
-        let (key_attr, status) = match &outcome {
-            Ok(Some(parsed)) => {
-                // Part 1: key attribute ('CLIs') summary.
-                let key_attr = (parsed.entry.clis.is_empty()
-                    || parsed.entry.clis.iter().all(|c| c.trim().is_empty()))
-                .then(|| KeyAttrProblem {
-                    url: parsed.url.clone(),
-                    reason: "empty CLIs field".to_string(),
-                });
-                // Part 2: full per-entry status.
-                let violations = parsed.entry.check();
-                let status = (!violations.is_empty()).then(|| CorpusStatus {
-                    url: parsed.url.clone(),
-                    violations,
-                });
-                (key_attr, status)
-            }
-            _ => (None, None),
-        };
-        PageOutcome::Done {
-            outcome: Box::new(outcome),
-            defects,
-            key_attr,
-            status,
-        }
-    });
+    let records = page_records(parser, &pages, budget);
+    fold_page_records(parser.vendor(), records.iter())
+}
 
-    let vendor = parser.vendor();
+/// Parse one page into its [`PageRecord`] artifact. Does *not* catch
+/// panics — callers that need isolation fan out via [`page_records`].
+pub fn page_record(
+    parser: &dyn VendorParser,
+    url: &str,
+    html: &str,
+    budget: &IngestBudget,
+) -> PageRecord {
+    let (doc, defects) = match Document::parse_budgeted(html, budget) {
+        Ok(built) => built,
+        Err(e) => {
+            return PageRecord {
+                url: url.to_string(),
+                disposition: PageDisposition::OverBudget { exhausted: e },
+                defects: Vec::new(),
+                key_attr: None,
+                status: None,
+            }
+        }
+    };
+    let outcome = parser.parse_doc(url, &doc);
+    let (key_attr, status) = match &outcome {
+        Ok(Some(parsed)) => {
+            // Part 1: key attribute ('CLIs') summary.
+            let key_attr = (parsed.entry.clis.is_empty()
+                || parsed.entry.clis.iter().all(|c| c.trim().is_empty()))
+            .then(|| KeyAttrProblem {
+                url: parsed.url.clone(),
+                reason: "empty CLIs field".to_string(),
+            });
+            // Part 2: full per-entry status.
+            let violations = parsed.entry.check();
+            let status = (!violations.is_empty()).then(|| CorpusStatus {
+                url: parsed.url.clone(),
+                violations,
+            });
+            (key_attr, status)
+        }
+        _ => (None, None),
+    };
+    PageRecord {
+        url: url.to_string(),
+        disposition: match outcome {
+            Ok(Some(page)) => PageDisposition::Parsed { page },
+            Ok(None) => PageDisposition::Skipped,
+            Err(error) => PageDisposition::Rejected { error },
+        },
+        defects: defects.iter().map(DefectRecord::from_defect).collect(),
+        key_attr,
+        status,
+    }
+}
+
+/// Parse every page into its [`PageRecord`] with panic isolation: a
+/// worker panic becomes that page's [`PageDisposition::Panicked`], never
+/// a run abort. Records come back in page order.
+pub fn page_records(
+    parser: &dyn VendorParser,
+    pages: &[(&str, &str)],
+    budget: &IngestBudget,
+) -> Vec<PageRecord> {
+    let per_page = nassim_exec::par_map_isolated_chunked(pages, PARSE_MIN_CHUNK, |&(url, html)| {
+        page_record(parser, url, html, budget)
+    });
+    pages
+        .iter()
+        .zip(per_page)
+        .map(|(&(url, _), outcome)| match outcome {
+            Ok(record) => record,
+            // The parser panicked inside the fan-out; the panic was
+            // caught per item, so only this page is lost.
+            Err(exec_err) => PageRecord {
+                url: url.to_string(),
+                disposition: PageDisposition::Panicked {
+                    payload: exec_err.payload,
+                },
+                defects: Vec::new(),
+                key_attr: None,
+                status: None,
+            },
+        })
+        .collect()
+}
+
+/// Fold per-page records (in page order) into the [`ParseRun`] report,
+/// diagnostics and page list. Deterministic in the records alone, so a
+/// fold over cached artifacts equals a fold over a fresh parse.
+pub fn fold_page_records<'a>(
+    vendor: &str,
+    records: impl Iterator<Item = &'a PageRecord>,
+) -> ParseRun {
     let mut parsed_pages = Vec::new();
     let mut diagnostics = Vec::new();
     let mut quarantined = Vec::new();
-    let mut report = TddReport {
-        total_pages: pages.len(),
-        ..TddReport::default()
-    };
-    for (&(url, _), page) in pages.iter().zip(per_page) {
-        let (outcome, defects, key_attr, status) = match page {
-            Err(exec_err) => {
-                // The parser panicked inside the fan-out; the panic was
-                // caught per item, so only this page is lost.
+    let mut report = TddReport::default();
+    for record in records {
+        report.total_pages += 1;
+        let url = record.url.as_str();
+        let defects = &record.defects;
+        match &record.disposition {
+            PageDisposition::Panicked { payload } => {
                 report.quarantined += 1;
-                let reason = QuarantineReason::Panic {
-                    payload: exec_err.payload.clone(),
-                };
                 diagnostics.push(
                     NassimError::PagePanic {
                         vendor: vendor.to_string(),
                         url: url.to_string(),
-                        payload: exec_err.payload,
+                        payload: payload.clone(),
                     }
                     .to_diagnostic(),
                 );
                 quarantined.push(Quarantined {
                     url: url.to_string(),
-                    reason,
+                    reason: QuarantineReason::Panic {
+                        payload: payload.clone(),
+                    },
                 });
-                continue;
             }
-            Ok(PageOutcome::OverBudget(e)) => {
+            PageDisposition::OverBudget { exhausted: e } => {
                 report.quarantined += 1;
                 diagnostics.push(
                     NassimError::BudgetExhausted {
@@ -338,37 +445,28 @@ pub fn run_parser_with<'a>(
                 );
                 quarantined.push(Quarantined {
                     url: url.to_string(),
-                    reason: QuarantineReason::BudgetExhausted(e),
+                    reason: QuarantineReason::BudgetExhausted(e.clone()),
                 });
-                continue;
             }
-            Ok(PageOutcome::Done {
-                outcome,
-                defects,
-                key_attr,
-                status,
-            }) => (*outcome, defects, key_attr, status),
-        };
-        match outcome {
-            Ok(Some(parsed)) => {
+            PageDisposition::Parsed { page } => {
                 report.parsed += 1;
                 // The page parsed despite its defects: warnings only.
-                for d in &defects {
+                for d in defects {
                     diagnostics.push(markup_diag(Severity::Warning, vendor, url, d));
                 }
-                report.key_attr_problems.extend(key_attr);
-                report.corpus_status.extend(status);
-                parsed_pages.push(parsed);
+                report.key_attr_problems.extend(record.key_attr.clone());
+                report.corpus_status.extend(record.status.clone());
+                parsed_pages.push(page.clone());
             }
-            Ok(None) if defects.is_empty() => {
+            PageDisposition::Skipped if defects.is_empty() => {
                 report.skipped += 1;
                 report.skipped_pages.push(url.to_string());
             }
-            Ok(None) => {
+            PageDisposition::Skipped => {
                 // No corpus entry *and* damaged markup: the damage most
                 // likely destroyed the sections the parser keys on.
                 report.failed += 1;
-                for d in &defects {
+                for d in defects {
                     diagnostics.push(markup_diag(Severity::Error, vendor, url, d));
                 }
                 diagnostics.push(
@@ -384,12 +482,12 @@ pub fn run_parser_with<'a>(
                     .with_vendor(vendor),
                 );
             }
-            Err(e) => {
+            PageDisposition::Rejected { error } => {
                 report.failed += 1;
-                for d in &defects {
+                for d in defects {
                     diagnostics.push(markup_diag(Severity::Error, vendor, url, d));
                 }
-                diagnostics.push(e.to_diagnostic());
+                diagnostics.push(error.to_diagnostic());
             }
         }
     }

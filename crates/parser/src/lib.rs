@@ -42,7 +42,8 @@ pub mod helix;
 pub mod norsk;
 
 pub use framework::{
-    ensure_parsable, run_parser, run_parser_with, ParseRun, ParsedPage, Quarantined,
+    ensure_parsable, fold_page_records, page_key, page_record, page_records, run_parser,
+    run_parser_with, DefectRecord, PageDisposition, PageRecord, ParseRun, ParsedPage, Quarantined,
     QuarantineReason, TddReport, VendorParser,
 };
 

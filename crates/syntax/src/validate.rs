@@ -9,6 +9,7 @@
 
 use crate::combinator::PErr;
 use crate::template::{parse_template, CliStruc};
+use serde::{DeError, Deserialize, Serialize, Value};
 use std::fmt;
 
 /// Classified cause of a template syntax error.
@@ -30,6 +31,86 @@ pub enum SyntaxErrorKind {
     Other(String),
 }
 
+// Hand-written serde impls: the vendored derive cannot express tuple
+// variants or `char` fields, so the kind serializes as a tagged value
+// with brackets carried as one-character strings.
+impl Serialize for SyntaxErrorKind {
+    fn to_value(&self) -> Value {
+        let tag = |name: &str, v: Value| Value::Obj(vec![(name.to_string(), v)]);
+        match self {
+            SyntaxErrorKind::UnpairedOpen(c) => tag("UnpairedOpen", Value::Str(c.to_string())),
+            SyntaxErrorKind::UnpairedClose(c) => tag("UnpairedClose", Value::Str(c.to_string())),
+            SyntaxErrorKind::MismatchedClose { expected, found } => tag(
+                "MismatchedClose",
+                Value::Obj(vec![
+                    ("expected".to_string(), Value::Str(expected.to_string())),
+                    ("found".to_string(), Value::Str(found.to_string())),
+                ]),
+            ),
+            SyntaxErrorKind::BadPlaceholder => Value::Str("BadPlaceholder".to_string()),
+            SyntaxErrorKind::EmptyBranch => Value::Str("EmptyBranch".to_string()),
+            SyntaxErrorKind::EmptyTemplate => Value::Str("EmptyTemplate".to_string()),
+            SyntaxErrorKind::Other(s) => tag("Other", Value::Str(s.clone())),
+        }
+    }
+}
+
+impl Deserialize for SyntaxErrorKind {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        fn one_char(v: &Value) -> Result<char, DeError> {
+            match v {
+                Value::Str(s) if s.chars().count() == 1 => {
+                    s.chars().next().ok_or_else(|| DeError::new("empty char"))
+                }
+                other => Err(DeError::new(format!(
+                    "expected single-character string, found {other:?}"
+                ))),
+            }
+        }
+        match v {
+            Value::Str(s) => match s.as_str() {
+                "BadPlaceholder" => Ok(SyntaxErrorKind::BadPlaceholder),
+                "EmptyBranch" => Ok(SyntaxErrorKind::EmptyBranch),
+                "EmptyTemplate" => Ok(SyntaxErrorKind::EmptyTemplate),
+                other => Err(DeError::new(format!(
+                    "unknown SyntaxErrorKind variant `{other}`"
+                ))),
+            },
+            Value::Obj(entries) if entries.len() == 1 => {
+                let (name, inner) = &entries[0];
+                match name.as_str() {
+                    "UnpairedOpen" => Ok(SyntaxErrorKind::UnpairedOpen(one_char(inner)?)),
+                    "UnpairedClose" => Ok(SyntaxErrorKind::UnpairedClose(one_char(inner)?)),
+                    "MismatchedClose" => Ok(SyntaxErrorKind::MismatchedClose {
+                        expected: one_char(
+                            inner
+                                .get("expected")
+                                .ok_or_else(|| DeError::new("MismatchedClose.expected missing"))?,
+                        )?,
+                        found: one_char(
+                            inner
+                                .get("found")
+                                .ok_or_else(|| DeError::new("MismatchedClose.found missing"))?,
+                        )?,
+                    }),
+                    "Other" => match inner {
+                        Value::Str(s) => Ok(SyntaxErrorKind::Other(s.clone())),
+                        other => Err(DeError::new(format!(
+                            "Other payload must be a string, found {other:?}"
+                        ))),
+                    },
+                    other => Err(DeError::new(format!(
+                        "unknown SyntaxErrorKind variant `{other}`"
+                    ))),
+                }
+            }
+            other => Err(DeError::new(format!(
+                "expected SyntaxErrorKind, found {other:?}"
+            ))),
+        }
+    }
+}
+
 impl fmt::Display for SyntaxErrorKind {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
@@ -47,7 +128,7 @@ impl fmt::Display for SyntaxErrorKind {
 }
 
 /// A failed validation: cause, byte position and candidate fixes.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct SyntaxDiagnosis {
     pub kind: SyntaxErrorKind,
     /// Byte offset into the template text the diagnosis points at.
@@ -317,5 +398,27 @@ mod tests {
         let d = validate_template("a { b").unwrap_err();
         let text = d.to_string();
         assert!(text.contains("unpaired opening '{'"), "{text}");
+    }
+
+    #[test]
+    fn diagnosis_round_trips_through_serde() {
+        let kinds = vec![
+            SyntaxErrorKind::UnpairedOpen('['),
+            SyntaxErrorKind::UnpairedClose('}'),
+            SyntaxErrorKind::MismatchedClose { expected: '}', found: ']' },
+            SyntaxErrorKind::BadPlaceholder,
+            SyntaxErrorKind::EmptyBranch,
+            SyntaxErrorKind::EmptyTemplate,
+            SyntaxErrorKind::Other("keyword".to_string()),
+        ];
+        for kind in kinds {
+            let d = SyntaxDiagnosis {
+                kind,
+                pos: 17,
+                candidate_fixes: vec!["a b".to_string()],
+            };
+            let back = SyntaxDiagnosis::from_value(&d.to_value()).unwrap();
+            assert_eq!(back, d);
+        }
     }
 }

@@ -21,9 +21,11 @@
 //! authoritative votes.
 
 use nassim_cgm::{matching::is_cli_match, CliGraph};
+use nassim_corpus::Fnv1a;
 use nassim_parser::ParsedPage;
 use nassim_syntax::parse_template;
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, HashMap};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// Sentinel opener index meaning "the view is a root view" (the snippet
@@ -134,11 +136,78 @@ impl AmbiguousView {
     }
 }
 
-/// Compiled template graphs for one page, bucketed for fast lookup.
+/// One page's compiled template graphs plus its head-keyword bucket
+/// entries — an immutable artifact that is a pure function of the
+/// page's `CLIs` list ([`graph_key`]), so the artifact store can share
+/// it across incremental runs. Deliberately *not* serialized: compiled
+/// graphs are cheap to rebuild relative to their encoded size.
+pub struct PageGraphs {
+    /// cli index → graph; `None` for templates that failed stage-1
+    /// parsing (they can never match an instance).
+    pub graphs: Vec<Option<CliGraph>>,
+    /// (cli index, head keyword) for each parseable template; `None`
+    /// head means headless (starts with a group).
+    buckets: Vec<(usize, Option<String>)>,
+}
+
+/// Content key of one page's compiled-graph artifact: FNV-1a over its
+/// CLI forms, length-framed. The URL deliberately does not participate:
+/// two pages with identical `CLIs` compile to identical graphs.
+pub fn graph_key(page: &ParsedPage) -> u64 {
+    let mut h = Fnv1a::new();
+    for cli in &page.entry.clis {
+        h.write_field(cli);
+    }
+    h.finish()
+}
+
+/// Compile one page's parseable CLI forms into a [`PageGraphs`] artifact.
+pub fn compile_page_graphs(page: &ParsedPage) -> PageGraphs {
+    let mut graphs = Vec::new();
+    let mut buckets = Vec::new();
+    for (ci, cli) in page.entry.clis.iter().enumerate() {
+        match parse_template(cli) {
+            Ok(struc) => {
+                buckets.push((ci, struc.head_keyword().map(str::to_string)));
+                graphs.push(Some(CliGraph::build(&struc)));
+            }
+            // `None` keeps (page, cli) indexing aligned.
+            Err(_) => graphs.push(None),
+        }
+    }
+    PageGraphs { graphs, buckets }
+}
+
+/// In-memory cache of per-page [`PageGraphs`] artifacts, keyed by
+/// [`graph_key`]. The hit/miss counters make artifact reuse observable
+/// to the differential tests and the incremental bench.
+#[derive(Clone, Default)]
+pub struct GraphCache {
+    entries: HashMap<u64, Arc<PageGraphs>>,
+    pub hits: usize,
+    pub misses: usize,
+}
+
+impl GraphCache {
+    pub fn new() -> GraphCache {
+        GraphCache::default()
+    }
+
+    /// Number of distinct artifacts held.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+/// Compiled template graphs for a whole corpus, bucketed for fast
+/// lookup. Per-page graphs are [`Arc`]-shared with the [`GraphCache`].
 pub struct CorpusGraphs {
-    /// (page index, cli index) → graph; `None` for templates that failed
-    /// stage-1 parsing (they can never match an instance).
-    pub graphs: Vec<Vec<Option<CliGraph>>>,
+    /// page index → that page's compiled graphs.
+    pub graphs: Vec<Arc<PageGraphs>>,
     /// head keyword → (page, cli) pairs whose template starts with it.
     head_index: BTreeMap<String, Vec<(usize, usize)>>,
     /// Templates with no leading keyword (start with a group) — always
@@ -163,41 +232,60 @@ impl CorpusGraphs {
     /// filled back in page order, so the index layout matches a serial
     /// build exactly.
     pub fn build(pages: &[ParsedPage]) -> CorpusGraphs {
-        // One page's compiled graphs plus its (cli index, head keyword)
-        // bucket entries.
-        type PageGraphs = (Vec<Option<CliGraph>>, Vec<(usize, Option<String>)>);
-        let per_page: Vec<PageGraphs> =
+        let per_page: Vec<Arc<PageGraphs>> =
             nassim_exec::par_map_chunked(pages, CGM_MIN_CHUNK, |page| {
-                let mut page_graphs = Vec::new();
-                // (cli index, head keyword) for each parseable template;
-                // `None` head means headless (starts with a group).
-                let mut buckets = Vec::new();
-                for (ci, cli) in page.entry.clis.iter().enumerate() {
-                    match parse_template(cli) {
-                        Ok(struc) => {
-                            buckets.push((ci, struc.head_keyword().map(str::to_string)));
-                            page_graphs.push(Some(CliGraph::build(&struc)));
-                        }
-                        // `None` keeps (page, cli) indexing aligned.
-                        Err(_) => page_graphs.push(None),
-                    }
-                }
-                (page_graphs, buckets)
+                Arc::new(compile_page_graphs(page))
             });
-        let mut graphs = Vec::with_capacity(pages.len());
+        CorpusGraphs::assemble(per_page)
+    }
+
+    /// [`CorpusGraphs::build`] reusing cached per-page artifacts: pages
+    /// whose CLI set is already in `cache` skip compilation entirely;
+    /// misses compile in one fan-out and are inserted for next time.
+    /// The assembled index is identical to an uncached build.
+    pub fn build_cached(pages: &[ParsedPage], cache: &mut GraphCache) -> CorpusGraphs {
+        let keys: Vec<u64> = pages.iter().map(graph_key).collect();
+        let mut per_page: Vec<Option<Arc<PageGraphs>>> =
+            keys.iter().map(|k| cache.entries.get(k).cloned()).collect();
+        let missing: Vec<usize> = per_page
+            .iter()
+            .enumerate()
+            .filter(|(_, a)| a.is_none())
+            .map(|(i, _)| i)
+            .collect();
+        cache.hits += pages.len() - missing.len();
+        cache.misses += missing.len();
+        let compiled: Vec<Arc<PageGraphs>> =
+            nassim_exec::par_map_chunked(&missing, CGM_MIN_CHUNK, |&i| {
+                Arc::new(compile_page_graphs(&pages[i]))
+            });
+        for (&i, artifact) in missing.iter().zip(compiled) {
+            cache.entries.insert(keys[i], artifact.clone());
+            per_page[i] = Some(artifact);
+        }
+        let per_page = per_page
+            .into_iter()
+            .enumerate()
+            .map(|(i, a)| a.unwrap_or_else(|| Arc::new(compile_page_graphs(&pages[i]))))
+            .collect();
+        CorpusGraphs::assemble(per_page)
+    }
+
+    /// Fold per-page artifacts (in page order) into the bucketed index;
+    /// the layout matches a serial build exactly.
+    fn assemble(per_page: Vec<Arc<PageGraphs>>) -> CorpusGraphs {
         let mut head_index: BTreeMap<String, Vec<(usize, usize)>> = BTreeMap::new();
         let mut headless = Vec::new();
-        for (pi, (page_graphs, buckets)) in per_page.into_iter().enumerate() {
-            for (ci, head) in buckets {
+        for (pi, page) in per_page.iter().enumerate() {
+            for (ci, head) in &page.buckets {
                 match head {
-                    Some(head) => head_index.entry(head).or_default().push((pi, ci)),
-                    None => headless.push((pi, ci)),
+                    Some(head) => head_index.entry(head.clone()).or_default().push((pi, *ci)),
+                    None => headless.push((pi, *ci)),
                 }
             }
-            graphs.push(page_graphs);
         }
         CorpusGraphs {
-            graphs,
+            graphs: per_page,
             head_index,
             headless,
         }
@@ -222,7 +310,7 @@ impl CorpusGraphs {
             .candidates(instance)
             .into_iter()
             .filter(|&(pi, ci)| {
-                self.graphs[pi][ci]
+                self.graphs[pi].graphs[ci]
                     .as_ref()
                     .is_some_and(|g| is_cli_match(instance, g))
             })
@@ -243,7 +331,10 @@ const WINNER_SHARE_THRESHOLD: f64 = 0.75;
 /// Per-page hierarchy evidence. Collected in parallel, merged into the
 /// vote tallies in page order — since the serial loop only ever
 /// *increments* tally entries, the ordered merge reproduces it exactly.
-struct PageEvidence {
+///
+/// Opaque outside this module: it exists publicly only so an
+/// [`EvidenceCache`] can hold `Arc`s of it.
+pub struct PageEvidence {
     example_snippets: usize,
     self_match_failures: usize,
     /// One `(view, opener page index)` pair per vote cast.
@@ -252,92 +343,245 @@ struct PageEvidence {
     root_votes: Vec<String>,
 }
 
+/// Content key of one page's hierarchy-evidence artifact.
+///
+/// Evidence is a function of (a) the *global* compiled-template index —
+/// folded in as `fingerprint`, the FNV over every page's ordered
+/// [`graph_key`] — (b) the page's position `pi` (votes carry page
+/// indices), and (c) the page-local fields the evidence loop reads:
+/// working views, examples, context path and `Enters:` marker. The
+/// function description deliberately does not participate, so a
+/// prose-only manual revision invalidates no evidence at all; any CLI
+/// change anywhere invalidates everything through the fingerprint.
+fn evidence_key(fingerprint: u64, pi: usize, page: &ParsedPage) -> u64 {
+    let mut h = Fnv1a::new();
+    h.write_u64(fingerprint);
+    h.write_usize(pi);
+    h.write_usize(page.entry.parent_views.len());
+    for view in &page.entry.parent_views {
+        h.write_field(view);
+    }
+    h.write_usize(page.entry.examples.len());
+    for snippet in &page.entry.examples {
+        h.write_usize(snippet.len());
+        for line in snippet {
+            h.write_field(line);
+        }
+    }
+    match &page.context_path {
+        Some(path) => {
+            h.write_usize(1 + path.len());
+            for seg in path {
+                h.write_field(seg);
+            }
+        }
+        None => {
+            h.write_usize(0);
+        }
+    }
+    match &page.enters_view {
+        Some(v) => {
+            h.write_usize(1);
+            h.write_field(v);
+        }
+        None => {
+            h.write_usize(0);
+        }
+    }
+    h.finish()
+}
+
+/// In-memory cache of per-page [`PageEvidence`] artifacts, keyed by
+/// [`evidence_key`]. Because the key embeds the whole-corpus template
+/// fingerprint, a hit is always sound: the cached evidence was collected
+/// against a bit-identical template index at the same page position.
+#[derive(Default)]
+pub struct EvidenceCache {
+    entries: HashMap<u64, Arc<PageEvidence>>,
+    pub hits: usize,
+    pub misses: usize,
+}
+
+impl EvidenceCache {
+    pub fn new() -> EvidenceCache {
+        EvidenceCache::default()
+    }
+
+    /// Number of distinct artifacts held.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
 /// Derive the hierarchy of a parsed corpus.
 pub fn derive_hierarchy(pages: &[ParsedPage]) -> Derivation {
     let t0 = Instant::now();
     let corpus = CorpusGraphs::build(pages);
     let cgm_build_time = t0.elapsed();
+    derive_from_graphs(pages, &corpus, cgm_build_time)
+}
 
+/// [`derive_hierarchy`] reusing per-page artifacts: compiled template
+/// graphs from `graphs` and hierarchy evidence from `evidence`. Evidence
+/// keys embed the whole-corpus template fingerprint (see
+/// [`evidence_key`]), so a prose-only page edit re-collects nothing and
+/// a CLI edit anywhere re-collects everything — either way the output is
+/// identical to [`derive_hierarchy`] (modulo wall-clock stats).
+pub fn derive_hierarchy_cached(
+    pages: &[ParsedPage],
+    graphs: &mut GraphCache,
+    evidence: &mut EvidenceCache,
+) -> Derivation {
+    let t0 = Instant::now();
+    let corpus = CorpusGraphs::build_cached(pages, graphs);
+    let cgm_build_time = t0.elapsed();
+    let t1 = Instant::now();
+
+    let mut fp = Fnv1a::new();
+    fp.write_usize(pages.len());
+    for page in pages {
+        fp.write_u64(graph_key(page));
+    }
+    let fingerprint = fp.finish();
+    let keys: Vec<u64> = pages
+        .iter()
+        .enumerate()
+        .map(|(pi, page)| evidence_key(fingerprint, pi, page))
+        .collect();
+    let mut per_page: Vec<Option<Arc<PageEvidence>>> =
+        keys.iter().map(|k| evidence.entries.get(k).cloned()).collect();
+    let missing: Vec<usize> = per_page
+        .iter()
+        .enumerate()
+        .filter(|(_, e)| e.is_none())
+        .map(|(i, _)| i)
+        .collect();
+    evidence.hits += pages.len() - missing.len();
+    evidence.misses += missing.len();
+    let fresh: Vec<Arc<PageEvidence>> =
+        nassim_exec::par_map_chunked(&missing, EVIDENCE_MIN_CHUNK, |&i| {
+            Arc::new(collect_page_evidence(i, &pages[i], &corpus))
+        });
+    for (&i, ev) in missing.iter().zip(fresh) {
+        evidence.entries.insert(keys[i], ev.clone());
+        per_page[i] = Some(ev);
+    }
+    let per_page: Vec<Arc<PageEvidence>> = per_page
+        .into_iter()
+        .enumerate()
+        .map(|(i, e)| e.unwrap_or_else(|| Arc::new(collect_page_evidence(i, &pages[i], &corpus))))
+        .collect();
+    fold_evidence(pages, per_page.iter().map(|e| e.as_ref()), cgm_build_time, t1)
+}
+
+/// Collect one page's hierarchy evidence against the corpus template
+/// index — a pure function of (page, position, index), which is what
+/// makes it cacheable under [`evidence_key`].
+fn collect_page_evidence(pi: usize, page: &ParsedPage, corpus: &CorpusGraphs) -> PageEvidence {
+    let mut ev = PageEvidence {
+        example_snippets: 0,
+        self_match_failures: 0,
+        votes: Vec::new(),
+        root_votes: Vec::new(),
+    };
+    let Some(view) = page.entry.parent_views.first() else {
+        return ev;
+    };
+    // Explicit hierarchy (norsk): authoritative, no derivation needed.
+    if let Some(path) = &page.context_path {
+        if path.len() <= 1 {
+            if let Some(v) = path.first().or(page.entry.parent_views.first()) {
+                ev.root_votes.push(v.clone());
+            }
+        }
+        if let Some(enters) = &page.enters_view {
+            // This page opens `enters`: authoritative vote.
+            ev.votes.push((enters.clone(), pi));
+        }
+        return ev;
+    }
+    // Example-based derivation. Manuals list one snippet per working
+    // view in `ParentViews` order (multi-view commands); when counts
+    // line up, pair snippet j with view j, otherwise attribute all
+    // snippets to the primary view.
+    let paired = page.entry.parent_views.len() == page.entry.examples.len()
+        && page.entry.parent_views.len() > 1;
+    for (j, snippet) in page.entry.examples.iter().enumerate() {
+        let view = if paired {
+            &page.entry.parent_views[j]
+        } else {
+            view
+        };
+        ev.example_snippets += 1;
+        let Some(last) = snippet.last() else { continue };
+        let child_indent = indent_of(last);
+        let child_instance = last.trim_start();
+        // Step 1: the innermost line must instantiate this page's CLI.
+        let self_matches = corpus
+            .candidates(child_instance)
+            .into_iter()
+            .any(|(p, c)| {
+                p == pi
+                    && corpus.graphs[p].graphs[c]
+                        .as_ref()
+                        .is_some_and(|g| is_cli_match(child_instance, g))
+            });
+        if !self_matches {
+            ev.self_match_failures += 1;
+            continue;
+        }
+        if child_indent == 0 {
+            // No parent line: the working view is a root view.
+            ev.root_votes.push(view.clone());
+            continue;
+        }
+        // Step 2: track back to the parent instance by indentation.
+        let parent_line = snippet[..snippet.len() - 1]
+            .iter()
+            .rev()
+            .find(|l| indent_of(l) < child_indent);
+        let Some(parent_line) = parent_line else {
+            continue;
+        };
+        // Step 3: find templates matching the parent instance.
+        let parents = corpus.matching_pages(parent_line.trim_start());
+        // Step 4: vote.
+        for parent_pi in parents {
+            ev.votes.push((view.clone(), parent_pi));
+        }
+    }
+    ev
+}
+
+fn derive_from_graphs(
+    pages: &[ParsedPage],
+    corpus: &CorpusGraphs,
+    cgm_build_time: Duration,
+) -> Derivation {
     let t1 = Instant::now();
     // Instance–template matching is the hot step; fan it out per page,
     // batched so cheap pages amortise the fan-out cost (unbatched, this
     // stage ran at 0.64× serial — the overhead outweighed the work).
-    let evidence: Vec<PageEvidence> = nassim_exec::par_map_indexed_chunked(pages, EVIDENCE_MIN_CHUNK, |pi, page| {
-        let mut ev = PageEvidence {
-            example_snippets: 0,
-            self_match_failures: 0,
-            votes: Vec::new(),
-            root_votes: Vec::new(),
-        };
-        let Some(view) = page.entry.parent_views.first() else {
-            return ev;
-        };
-        // Explicit hierarchy (norsk): authoritative, no derivation needed.
-        if let Some(path) = &page.context_path {
-            if path.len() <= 1 {
-                if let Some(v) = path.first().or(page.entry.parent_views.first()) {
-                    ev.root_votes.push(v.clone());
-                }
-            }
-            if let Some(enters) = &page.enters_view {
-                // This page opens `enters`: authoritative vote.
-                ev.votes.push((enters.clone(), pi));
-            }
-            return ev;
-        }
-        // Example-based derivation. Manuals list one snippet per working
-        // view in `ParentViews` order (multi-view commands); when counts
-        // line up, pair snippet j with view j, otherwise attribute all
-        // snippets to the primary view.
-        let paired = page.entry.parent_views.len() == page.entry.examples.len()
-            && page.entry.parent_views.len() > 1;
-        for (j, snippet) in page.entry.examples.iter().enumerate() {
-            let view = if paired {
-                &page.entry.parent_views[j]
-            } else {
-                view
-            };
-            ev.example_snippets += 1;
-            let Some(last) = snippet.last() else { continue };
-            let child_indent = indent_of(last);
-            let child_instance = last.trim_start();
-            // Step 1: the innermost line must instantiate this page's CLI.
-            let self_matches = corpus
-                .candidates(child_instance)
-                .into_iter()
-                .any(|(p, c)| {
-                    p == pi
-                        && corpus.graphs[p][c]
-                            .as_ref()
-                            .is_some_and(|g| is_cli_match(child_instance, g))
-                });
-            if !self_matches {
-                ev.self_match_failures += 1;
-                continue;
-            }
-            if child_indent == 0 {
-                // No parent line: the working view is a root view.
-                ev.root_votes.push(view.clone());
-                continue;
-            }
-            // Step 2: track back to the parent instance by indentation.
-            let parent_line = snippet[..snippet.len() - 1]
-                .iter()
-                .rev()
-                .find(|l| indent_of(l) < child_indent);
-            let Some(parent_line) = parent_line else {
-                continue;
-            };
-            // Step 3: find templates matching the parent instance.
-            let parents = corpus.matching_pages(parent_line.trim_start());
-            // Step 4: vote.
-            for parent_pi in parents {
-                ev.votes.push((view.clone(), parent_pi));
-            }
-        }
-        ev
-    });
+    let evidence: Vec<PageEvidence> =
+        nassim_exec::par_map_indexed_chunked(pages, EVIDENCE_MIN_CHUNK, |pi, page| {
+            collect_page_evidence(pi, page, corpus)
+        });
+    fold_evidence(pages, evidence.iter(), cgm_build_time, t1)
+}
 
+/// Merge per-page evidence (in page order) into the vote tallies and
+/// aggregate. Shared by the cold and cached derivations, so equal
+/// evidence always folds to an equal [`Derivation`].
+fn fold_evidence<'a>(
+    pages: &[ParsedPage],
+    evidence: impl Iterator<Item = &'a PageEvidence>,
+    cgm_build_time: Duration,
+    t1: Instant,
+) -> Derivation {
     let mut votes: BTreeMap<String, BTreeMap<usize, usize>> = BTreeMap::new();
     let mut stats = DerivationStats {
         cgm_build_time,
@@ -348,11 +592,11 @@ pub fn derive_hierarchy(pages: &[ParsedPage]) -> Derivation {
         stats.example_snippets += ev.example_snippets;
         stats.self_match_failures += ev.self_match_failures;
         stats.votes_cast += ev.votes.len();
-        for v in ev.root_votes {
-            *root_votes.entry(v).or_default() += 1;
+        for v in &ev.root_votes {
+            *root_votes.entry(v.clone()).or_default() += 1;
         }
-        for (view, opener) in ev.votes {
-            *votes.entry(view).or_default().entry(opener).or_default() += 1;
+        for (view, opener) in &ev.votes {
+            *votes.entry(view.clone()).or_default().entry(*opener).or_default() += 1;
         }
     }
 

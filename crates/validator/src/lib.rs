@@ -32,7 +32,12 @@ pub use empirical::{
     validate_config_files, validate_on_device, validate_on_device_with, DevicePush,
     DeviceValidation, EmpiricalReport, SkippedNode,
 };
-pub use hierarchy::{derive_hierarchy, Derivation};
+pub use hierarchy::{
+    compile_page_graphs, derive_hierarchy, derive_hierarchy_cached, graph_key, Derivation,
+    EvidenceCache, GraphCache, PageGraphs,
+};
 pub use report::VdmConstructionReport;
-pub use syntax_stage::{audit_corpus, SyntaxAudit};
+pub use syntax_stage::{
+    audit_corpus, audit_page, fold_page_syntax, syntax_key, PageSyntax, SyntaxAudit, SyntaxFailure,
+};
 pub use vdm_build::build_vdm;

@@ -6,11 +6,13 @@
 //! index), so "the experts can intervene in a more targeted and efficient
 //! way".
 
+use nassim_corpus::Fnv1a;
 use nassim_parser::ParsedPage;
 use nassim_syntax::{validate_template, SyntaxDiagnosis};
+use serde::{Deserialize, Serialize};
 
 /// One failed CLI template.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct SyntaxFailure {
     /// Source page URL.
     pub url: String,
@@ -23,7 +25,7 @@ pub struct SyntaxFailure {
 }
 
 /// The stage-1 audit result.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct SyntaxAudit {
     /// Total CLI forms examined.
     pub total_clis: usize,
@@ -83,24 +85,57 @@ impl SyntaxAudit {
 const AUDIT_MIN_CHUNK: usize = 64;
 
 pub fn audit_corpus(pages: &[ParsedPage]) -> SyntaxAudit {
-    let per_page: Vec<(usize, Vec<SyntaxFailure>)> = nassim_exec::par_map_chunked(pages, AUDIT_MIN_CHUNK, |page| {
-        let mut failures = Vec::new();
-        for (i, cli) in page.entry.clis.iter().enumerate() {
-            if let Err(diagnosis) = validate_template(cli) {
-                failures.push(SyntaxFailure {
-                    url: page.url.clone(),
-                    cli_index: i,
-                    cli: cli.clone(),
-                    diagnosis,
-                });
-            }
+    let per_page: Vec<PageSyntax> =
+        nassim_exec::par_map_chunked(pages, AUDIT_MIN_CHUNK, audit_page);
+    fold_page_syntax(per_page.iter())
+}
+
+/// One page's share of the stage-1 audit: an immutable artifact that is
+/// a pure function of the page's URL and `CLIs` list ([`syntax_key`]).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PageSyntax {
+    /// CLI forms examined on this page.
+    pub cli_count: usize,
+    /// Failures, in `CLIs` order.
+    pub failures: Vec<SyntaxFailure>,
+}
+
+/// Content key of one page's syntax artifact: FNV-1a over the URL and
+/// every CLI form, length-framed.
+pub fn syntax_key(page: &ParsedPage) -> u64 {
+    let mut h = Fnv1a::new();
+    h.write_field(&page.url);
+    for cli in &page.entry.clis {
+        h.write_field(cli);
+    }
+    h.finish()
+}
+
+/// Audit one page's CLI forms.
+pub fn audit_page(page: &ParsedPage) -> PageSyntax {
+    let mut failures = Vec::new();
+    for (i, cli) in page.entry.clis.iter().enumerate() {
+        if let Err(diagnosis) = validate_template(cli) {
+            failures.push(SyntaxFailure {
+                url: page.url.clone(),
+                cli_index: i,
+                cli: cli.clone(),
+                diagnosis,
+            });
         }
-        (page.entry.clis.len(), failures)
-    });
+    }
+    PageSyntax {
+        cli_count: page.entry.clis.len(),
+        failures,
+    }
+}
+
+/// Fold per-page audits (in page order) into the corpus-level result.
+pub fn fold_page_syntax<'a>(per_page: impl Iterator<Item = &'a PageSyntax>) -> SyntaxAudit {
     let mut audit = SyntaxAudit::default();
-    for (cli_count, failures) in per_page {
-        audit.total_clis += cli_count;
-        audit.failures.extend(failures);
+    for page in per_page {
+        audit.total_clis += page.cli_count;
+        audit.failures.extend(page.failures.iter().cloned());
     }
     audit
 }

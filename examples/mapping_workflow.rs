@@ -67,8 +67,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let cases = resolve_cases(vdm, udm, &annotations);
     let (train, test) = cases.split_at(cases.len() / 2);
     let netbert = zoo.netbert(train, udm, &Default::default());
-    let embedder = EncoderEmbedder { encoder: &netbert, vocab: &zoo.vocab };
-    let mapper = Mapper::ir_dl(udm, &embedder, 50);
+    let embedder = EncoderEmbedder { encoder: netbert.clone(), vocab: zoo.vocab.clone() };
+    let mapper = Mapper::ir_dl(udm, std::sync::Arc::new(embedder), 50);
 
     // ── Recommendations, the human-comprehensible output (Figure 10). ──
     println!("\nsample recommendations:");

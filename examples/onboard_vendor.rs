@@ -6,17 +6,28 @@
 //! cargo run --release --example onboard_vendor
 //! # …or demonstrate graceful degradation on a corrupted crawl:
 //! cargo run --release --example onboard_vendor -- --corrupt 17:0.2
+//! # …or persist stage artifacts and re-onboard incrementally:
+//! cargo run --release --example onboard_vendor -- --save-artifacts /tmp/nassim
+//! cargo run --release --example onboard_vendor -- --load-artifacts /tmp/nassim
 //! ```
 //!
 //! `--corrupt seed:rate` (or the `NASSIM_CORRUPT` env var) runs the same
 //! manual through a seeded [`CorruptionPlan`] first: corrupted pages
 //! degrade to diagnostics or quarantine entries and the pipeline carries
 //! on with the clean subset.
+//!
+//! `--save-artifacts DIR` assimilates through an [`ArtifactStore`] and
+//! persists it to `DIR/artifacts.json`; `--load-artifacts DIR` seeds the
+//! store from that file first, so re-running after a manual revision
+//! re-parses only the changed pages (the store reports its hit counts).
 
 use nassim::datasets::corrupt::CorruptionPlan;
 use nassim::datasets::{catalog::Catalog, manualgen, style};
 use nassim::parser::{cirrus::ParserCirrus, run_parser};
 use nassim::pipeline::assimilate;
+use nassim::{assimilate_incremental, ArtifactStore};
+use nassim_html::IngestBudget;
+use std::path::PathBuf;
 
 /// Parse `--corrupt seed:rate` from argv, falling back to the
 /// `NASSIM_CORRUPT` environment knob.
@@ -31,6 +42,20 @@ fn corruption_from_args() -> Result<Option<CorruptionPlan>, String> {
         return Ok(Some(CorruptionPlan::uniform(seed, rate)));
     }
     Ok(CorruptionPlan::from_env())
+}
+
+/// Parse `--save-artifacts DIR` / `--load-artifacts DIR` from argv.
+fn artifact_dir_from_args(flag: &str) -> Result<Option<PathBuf>, String> {
+    let args: Vec<String> = std::env::args().collect();
+    match args.iter().position(|a| a == flag) {
+        Some(pos) => {
+            let dir = args
+                .get(pos + 1)
+                .ok_or_else(|| format!("{flag} requires a directory argument"))?;
+            Ok(Some(PathBuf::from(dir)))
+        }
+        None => Ok(None),
+    }
 }
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -84,7 +109,53 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // With corruption armed this demonstrates graceful degradation:
     // damaged pages quarantine or fail with diagnostics, and the clean
     // subset still assimilates.
-    let a = assimilate(&ParserCirrus::new(), pages())?;
+    //
+    // With `--save-artifacts` / `--load-artifacts` the same stages run
+    // through an `ArtifactStore` instead: a loaded store turns every
+    // unchanged page into a cache hit, and the result is bit-for-bit
+    // what the cold path would produce.
+    let save_dir = artifact_dir_from_args("--save-artifacts")?;
+    let load_dir = artifact_dir_from_args("--load-artifacts")?;
+    let a = if save_dir.is_some() || load_dir.is_some() {
+        let mut store = match &load_dir {
+            Some(dir) => {
+                let path = dir.join("artifacts.json");
+                let store = ArtifactStore::load(&path)?;
+                println!(
+                    "loaded artifact store from {} ({} pages, {} audits)",
+                    path.display(),
+                    store.page_count(),
+                    store.syntax_count()
+                );
+                store
+            }
+            None => ArtifactStore::new(),
+        };
+        let a = assimilate_incremental(
+            &ParserCirrus::new(),
+            pages(),
+            &IngestBudget::default(),
+            &mut store,
+        )?;
+        println!(
+            "incremental assimilation: {} page hits, {} page misses ({} syntax hits)",
+            store.stats.page_hits, store.stats.page_misses, store.stats.syntax_hits
+        );
+        if let Some(dir) = &save_dir {
+            std::fs::create_dir_all(dir)?;
+            let path = dir.join("artifacts.json");
+            store.save(&path)?;
+            println!(
+                "saved artifact store to {} ({} pages, {} audits)",
+                path.display(),
+                store.page_count(),
+                store.syntax_count()
+            );
+        }
+        a
+    } else {
+        assimilate(&ParserCirrus::new(), pages())?
+    };
     if corrupted > 0 {
         println!(
             "degradation: {} pages quarantined, {} failed — continuing with {} parsed",

@@ -110,10 +110,10 @@ fn ir_mapper_beats_chance_and_dl_pipeline_runs() {
     let (train, test) = cases.split_at(cases.len() / 2);
     let netbert = zoo.netbert(train, &data.udm, &Default::default());
     let emb = EncoderEmbedder {
-        encoder: &netbert,
-        vocab: &zoo.vocab,
+        encoder: netbert.clone(),
+        vocab: zoo.vocab.clone(),
     };
-    let dl = Mapper::ir_dl(&data.udm, &emb, 50);
+    let dl = Mapper::ir_dl(&data.udm, std::sync::Arc::new(emb), 50);
     let dl_report = evaluate(&dl, test, &[10]);
     assert!(
         dl_report.recall[&10] > chance_at_10 * 2.0,
@@ -157,10 +157,10 @@ fn finetuning_improves_or_preserves_sbert_recall() {
     let (train, test) = cases.split_at(2 * cases.len() / 3);
     let netbert = zoo.netbert(train, &data.udm, &Default::default());
 
-    let sbert_emb = EncoderEmbedder { encoder: &zoo.sbert, vocab: &zoo.vocab };
-    let netbert_emb = EncoderEmbedder { encoder: &netbert, vocab: &zoo.vocab };
-    let sbert_r = evaluate(&Mapper::dl(&data.udm, &sbert_emb), test, &[10]);
-    let netbert_r = evaluate(&Mapper::dl(&data.udm, &netbert_emb), test, &[10]);
+    let sbert_emb = EncoderEmbedder { encoder: zoo.sbert.clone(), vocab: zoo.vocab.clone() };
+    let netbert_emb = EncoderEmbedder { encoder: netbert.clone(), vocab: zoo.vocab.clone() };
+    let sbert_r = evaluate(&Mapper::dl(&data.udm, std::sync::Arc::new(sbert_emb)), test, &[10]);
+    let netbert_r = evaluate(&Mapper::dl(&data.udm, std::sync::Arc::new(netbert_emb)), test, &[10]);
     // Domain adaptation must not collapse performance; typically it helps.
     assert!(
         netbert_r.recall[&10] + 0.10 >= sbert_r.recall[&10],
