@@ -56,7 +56,7 @@ struct ResilienceBench {
 fn chaos_policy() -> ResiliencePolicy {
     ResiliencePolicy {
         op_timeout: Duration::from_millis(60),
-        connect_timeout: Duration::from_secs(2),
+        connect_timeout: ResiliencePolicy::CONNECT_TIMEOUT,
         max_retries: 16,
         base_backoff: Duration::from_millis(5),
         max_backoff: Duration::from_millis(80),

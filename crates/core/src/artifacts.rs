@@ -44,6 +44,7 @@ use nassim_validator::{
     audit_page, build_vdm, derive_hierarchy_cached, fold_page_syntax, syntax_key, EvidenceCache,
     GraphCache,
 };
+use nassim_diag::{Diagnostic, Stage};
 use serde::{DeError, Deserialize, Serialize, Value};
 use std::collections::HashMap;
 use std::path::Path;
@@ -188,6 +189,86 @@ impl ArtifactStore {
         })
     }
 
+    /// Degraded-startup variant of [`ArtifactStore::load`]: individually
+    /// corrupt entries are skipped and surfaced as [`Stage::Internal`]
+    /// diagnostics while every valid entry still loads. A salvaged entry
+    /// is only ever a future cache miss — re-derived from source, never
+    /// trusted — so a long-running service can warm-start from a
+    /// partially damaged store instead of refusing to come up.
+    ///
+    /// Damage the header cannot absorb (unreadable file, invalid JSON,
+    /// wrong magic, unknown schema version) still fails hard with
+    /// [`NassimError::Io`] / [`NassimError::ArtifactCorrupt`]: with no
+    /// trustworthy frame there is nothing to salvage.
+    pub fn load_lossy(path: &Path) -> Result<(ArtifactStore, Vec<Diagnostic>), NassimError> {
+        let text = std::fs::read_to_string(path).map_err(|e| NassimError::Io {
+            context: format!("reading artifact store from `{}`", path.display()),
+            reason: e.to_string(),
+        })?;
+        let corrupt = |reason: String| NassimError::ArtifactCorrupt {
+            path: path.display().to_string(),
+            reason,
+        };
+        let value: Value =
+            serde_json::from_str(&text).map_err(|e| corrupt(format!("invalid JSON: {e:?}")))?;
+        match value.get("magic") {
+            Some(Value::Str(m)) if m == MAGIC => {}
+            Some(Value::Str(m)) => {
+                return Err(corrupt(format!("bad magic `{m}` (expected `{MAGIC}`)")))
+            }
+            _ => return Err(corrupt("missing magic header".to_string())),
+        }
+        match value.get("schema_version") {
+            Some(Value::Num(v)) if *v == SCHEMA_VERSION as f64 => {}
+            Some(Value::Num(v)) => {
+                return Err(corrupt(format!(
+                    "unsupported schema version {v} (expected {SCHEMA_VERSION})"
+                )))
+            }
+            _ => return Err(corrupt("missing schema version".to_string())),
+        }
+        let mut diagnostics = Vec::new();
+        let mut diag = |what: &str, detail: String| {
+            diagnostics.push(Diagnostic::warning(
+                Stage::Internal,
+                format!(
+                    "artifact store `{}`: dropped corrupt {what}: {detail}",
+                    path.display()
+                ),
+            ));
+        };
+        let pages = keyed_map_from_value_lossy(value.get("pages"), "pages", &mut diag);
+        let syntax = keyed_map_from_value_lossy(value.get("syntax"), "syntax", &mut diag);
+        let embeddings = match value.get("embeddings") {
+            Some(v) => {
+                let (cache, errors) = EmbeddingCache::from_value_lossy(v);
+                for e in errors {
+                    diag("embedding entry", e);
+                }
+                cache
+            }
+            None => {
+                diag(
+                    "section",
+                    "missing `embeddings` section (starting empty)".to_string(),
+                );
+                EmbeddingCache::new()
+            }
+        };
+        Ok((
+            ArtifactStore {
+                pages,
+                syntax,
+                graphs: GraphCache::new(),
+                evidence: EvidenceCache::new(),
+                embeddings,
+                derived: None,
+                stats: StoreStats::default(),
+            },
+            diagnostics,
+        ))
+    }
+
     /// [`Mapper::dl`] through this store's embedding cache: only leaf
     /// contexts the store has never embedded (under `embedder_id`) touch
     /// the embedder, and the resulting mapper is bit-for-bit identical
@@ -228,6 +309,43 @@ fn keyed_map_from_value<T: Deserialize>(
         map.insert(k, Arc::new(T::from_value(val)?));
     }
     Ok(map)
+}
+
+/// Per-entry lossy variant of [`keyed_map_from_value`]: bad keys and
+/// undeserializable values are reported through `diag` and skipped, a
+/// missing or malformed section salvages nothing (one report, empty
+/// map). Valid entries always load.
+fn keyed_map_from_value_lossy<T: Deserialize>(
+    v: Option<&Value>,
+    what: &str,
+    diag: &mut impl FnMut(&str, String),
+) -> HashMap<u64, Arc<T>> {
+    let Some(Value::Obj(entries)) = v else {
+        diag(
+            "section",
+            format!("missing `{what}` object (starting empty)"),
+        );
+        return HashMap::new();
+    };
+    let mut map = HashMap::with_capacity(entries.len());
+    for (key, val) in entries {
+        let k = match u64::from_str_radix(key, 16) {
+            Ok(k) => k,
+            Err(e) => {
+                diag("entry", format!("`{what}` key `{key}` is not hex: {e}"));
+                continue;
+            }
+        };
+        match T::from_value(val) {
+            Ok(artifact) => {
+                map.insert(k, Arc::new(artifact));
+            }
+            Err(e) => {
+                diag("entry", format!("`{what}` entry `{key}`: {}", e.0));
+            }
+        }
+    }
+    map
 }
 
 /// Content key of the corpus-level derived stage: FNV over the ordered
@@ -446,6 +564,119 @@ mod tests {
         assert_eq!(loaded.stats.page_misses, 0);
         assert_eq!(loaded.stats.syntax_misses, 0);
         std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn lossy_load_salvages_valid_entries() {
+        use nassim_diag::Severity;
+
+        let m = manual(14);
+        let parser = parser_for("helix").unwrap();
+        let pages: Vec<(&str, &str)> = m
+            .pages
+            .iter()
+            .map(|p| (p.url.as_str(), p.html.as_str()))
+            .collect();
+        let budget = IngestBudget::default();
+        let mut store = ArtifactStore::new();
+        assimilate_incremental(parser.as_ref(), pages.clone(), &budget, &mut store).unwrap();
+        // Populate the embedding section too, so all three persisted
+        // sections have entries to damage.
+        let udm_data = nassim_datasets::udmgen::generate(
+            &Catalog::base(),
+            &nassim_datasets::udmgen::UdmGenOptions {
+                seed: 1,
+                paraphrase_strength: 0.8,
+                distractors: 5,
+            },
+        );
+        struct TestEmbedder;
+        impl nassim_mapper::Embedder for TestEmbedder {
+            fn embed(&self, text: &str) -> Vec<f32> {
+                let mut v = vec![0.0f32; 8];
+                for (i, b) in text.bytes().enumerate() {
+                    v[i % 8] += b as f32;
+                }
+                v
+            }
+        }
+        store.mapper_dl(&udm_data.udm, Arc::new(TestEmbedder), "test-embedder");
+        assert!(store.embeddings.len() > 1, "need entries to damage");
+        let dir = std::env::temp_dir().join("nassim-artifact-lossy");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("store.json");
+        store.save(&path).unwrap();
+
+        // A pristine store loads lossily without a single diagnostic.
+        let (pristine, diags) = ArtifactStore::load_lossy(&path).unwrap();
+        assert!(diags.is_empty(), "{diags:?}");
+        assert_eq!(pristine.page_count(), store.page_count());
+
+        // Surgically corrupt individual entries: one page value, one
+        // non-hex syntax key, one embedding entry.
+        let text = std::fs::read_to_string(&path).unwrap();
+        let mut value: Value = serde_json::from_str(&text).unwrap();
+        let Value::Obj(sections) = &mut value else { panic!("store is an object") };
+        for (name, section) in sections.iter_mut() {
+            match (name.as_str(), section) {
+                ("pages", Value::Obj(entries)) => {
+                    entries[0].1 = Value::Str("junk".to_string());
+                }
+                ("syntax", Value::Obj(entries)) => {
+                    entries.push(("not-hex".to_string(), Value::Num(1.0)));
+                }
+                ("embeddings", emb) => {
+                    let Value::Obj(outer) = emb else { panic!("embeddings is an object") };
+                    let Value::Obj(entries) = &mut outer[0].1 else {
+                        panic!("embeddings entries is an object")
+                    };
+                    entries[0].1 = Value::Str("garbled".to_string());
+                }
+                _ => {}
+            }
+        }
+        std::fs::write(&path, serde_json::to_string(&value).unwrap()).unwrap();
+
+        // Strict load refuses the damaged store…
+        match ArtifactStore::load(&path) {
+            Err(NassimError::ArtifactCorrupt { .. }) => {}
+            other => panic!("expected ArtifactCorrupt, got {:?}", other.is_ok()),
+        }
+        // …while the lossy load salvages everything else and reports
+        // each dropped entry as a Stage::Internal diagnostic.
+        let (salvaged, diags) = ArtifactStore::load_lossy(&path).unwrap();
+        assert_eq!(salvaged.page_count(), store.page_count() - 1);
+        assert_eq!(salvaged.syntax_count(), store.syntax_count());
+        assert_eq!(salvaged.embeddings.len(), store.embeddings.len() - 1);
+        assert_eq!(diags.len(), 3, "{diags:?}");
+        for d in &diags {
+            assert_eq!(d.stage, Stage::Internal);
+            assert_eq!(d.severity, Severity::Warning);
+            assert!(d.message.contains("dropped corrupt"), "{}", d.message);
+        }
+
+        // The salvaged store still assimilates correctly: dropped
+        // entries are plain cache misses, re-derived from source.
+        let mut salvaged = salvaged;
+        let again =
+            assimilate_incremental(parser.as_ref(), pages, &budget, &mut salvaged).unwrap();
+        assert_eq!(again.build.vdm, store_build_vdm(&m));
+        assert_eq!(salvaged.stats.page_misses, 1);
+        std::fs::remove_file(&path).ok();
+    }
+
+    /// The VDM a cold assimilation of `m` produces (ground truth for
+    /// salvage tests).
+    fn store_build_vdm(m: &manualgen::Manual) -> nassim_corpus::Vdm {
+        let parser = parser_for("helix").unwrap();
+        assimilate_with(
+            parser.as_ref(),
+            m.pages.iter().map(|p| (p.url.as_str(), p.html.as_str())),
+            &IngestBudget::default(),
+        )
+        .unwrap()
+        .build
+        .vdm
     }
 
     #[test]

@@ -16,6 +16,9 @@
 //!   configuration store, and `display current-configuration`;
 //! * [`protocol`] — the line protocol framing responses (`+OK`, `-ERR`,
 //!   `*N` output blocks);
+//! * [`framing`] — bounded line-frame reading shared with the
+//!   `nassim-serve` protocol: a [`MAX_FRAME_BYTES`] cap per frame and a
+//!   timeout-tolerant accumulator for server read loops;
 //! * [`server`] / [`client`] — a blocking TCP server (thread per
 //!   connection, std::net) and client, so the validation loop runs over a
 //!   real socket exactly as a Telnet-driven SDN controller would;
@@ -44,6 +47,7 @@
 
 pub mod client;
 pub mod faults;
+pub mod framing;
 pub mod model;
 pub mod protocol;
 pub mod resilient;
@@ -52,6 +56,7 @@ pub mod session;
 
 pub use client::DeviceClient;
 pub use faults::{FaultKind, FaultPlan, FaultRates, InjectedFault};
+pub use framing::{read_frame, Frame, FrameAccumulator, MAX_FRAME_BYTES};
 pub use model::DeviceModel;
 pub use protocol::Response;
 pub use resilient::{

@@ -11,11 +11,14 @@
 //! *<n>\n<line-1>\n…<line-n>\n       n output lines follow
 //! ```
 
+use crate::framing::{read_frame, Frame, MAX_FRAME_BYTES};
 use std::fmt;
 use std::io::{self, BufRead, Write};
 
 /// Upper bound on a declared output-block size. Real configuration dumps
 /// are thousands of lines; anything past this is a corrupted frame.
+/// Each individual line is additionally capped at
+/// [`MAX_FRAME_BYTES`] by the shared frame reader.
 pub const MAX_OUTPUT_LINES: usize = 1 << 20;
 
 /// A framed server response.
@@ -53,16 +56,20 @@ impl Response {
         w.flush()
     }
 
-    /// Read one framed response from `r`.
+    /// Read one framed response from `r`. Every line rides the shared
+    /// bounded frame reader ([`crate::framing`]), so a hostile endless
+    /// line is a typed error instead of an unbounded allocation.
     pub fn read_from(r: &mut impl BufRead) -> io::Result<Response> {
-        let mut head = String::new();
-        if r.read_line(&mut head)? == 0 {
-            return Err(io::Error::new(
-                io::ErrorKind::UnexpectedEof,
-                "connection closed mid-response",
-            ));
-        }
-        let head = head.trim_end_matches(['\r', '\n']);
+        let head = match read_frame(r, MAX_FRAME_BYTES)? {
+            Frame::Line(line) => line,
+            Frame::Eof => {
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "connection closed mid-response",
+                ))
+            }
+        };
+        let head = head.as_str();
         if let Some(rest) = head.strip_prefix("+OK view=") {
             return Ok(Response::Ok {
                 view: rest.to_string(),
@@ -89,14 +96,15 @@ impl Response {
             // until the lines actually arrive.
             let mut lines = Vec::with_capacity(n.min(1024));
             for _ in 0..n {
-                let mut line = String::new();
-                if r.read_line(&mut line)? == 0 {
-                    return Err(io::Error::new(
-                        io::ErrorKind::UnexpectedEof,
-                        "connection closed inside output block",
-                    ));
+                match read_frame(r, MAX_FRAME_BYTES)? {
+                    Frame::Line(line) => lines.push(line),
+                    Frame::Eof => {
+                        return Err(io::Error::new(
+                            io::ErrorKind::UnexpectedEof,
+                            "connection closed inside output block",
+                        ))
+                    }
                 }
-                lines.push(line.trim_end_matches(['\r', '\n']).to_string());
             }
             return Ok(Response::Output { lines });
         }
@@ -207,6 +215,20 @@ mod tests {
         assert_eq!(kind_of(b"\xf0\x28\x8c\x28\n"), std::io::ErrorKind::InvalidData);
         // Non-UTF-8 inside an output block.
         assert_eq!(kind_of(b"*1\n\xff\xff\n"), std::io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn endless_lines_are_capped_not_allocated() {
+        // A head line longer than the frame cap must be a typed error,
+        // not an unbounded accumulation.
+        let mut huge = vec![b'a'; MAX_FRAME_BYTES + 16];
+        huge.push(b'\n');
+        assert_eq!(kind_of(&huge), std::io::ErrorKind::InvalidData);
+        // Same inside an output block.
+        let mut block = b"*1\n".to_vec();
+        block.extend(std::iter::repeat_n(b'b', MAX_FRAME_BYTES + 16));
+        block.push(b'\n');
+        assert_eq!(kind_of(&block), std::io::ErrorKind::InvalidData);
     }
 
     #[test]

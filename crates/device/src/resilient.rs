@@ -103,10 +103,20 @@ pub struct ResiliencePolicy {
     pub retry_budget: u32,
 }
 
+impl ResiliencePolicy {
+    /// The one TCP connect deadline every resilience-layer site uses.
+    /// Validation targets are LAN-local devices: a connect that has not
+    /// completed in 2 s is down, and the retry/backoff layer above this
+    /// timeout handles it — there is no point waiting longer per
+    /// attempt. Named once here so the default policy, the chaos
+    /// harnesses and the benches can never drift apart again.
+    pub const CONNECT_TIMEOUT: Duration = Duration::from_secs(2);
+}
+
 impl Default for ResiliencePolicy {
     fn default() -> ResiliencePolicy {
         ResiliencePolicy {
-            connect_timeout: Duration::from_secs(5),
+            connect_timeout: ResiliencePolicy::CONNECT_TIMEOUT,
             op_timeout: Duration::from_secs(10),
             max_retries: 4,
             base_backoff: Duration::from_millis(50),

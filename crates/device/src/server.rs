@@ -8,12 +8,13 @@
 //! machinery without adding capacity.
 
 use crate::faults::{FaultKind, FaultPlan, BUSY_MESSAGE};
+use crate::framing::{Frame, FrameAccumulator, MAX_FRAME_BYTES};
 use crate::model::DeviceModel;
 use crate::protocol::Response;
 use crate::session::{Accepted, Session};
 use nassim_diag::NassimError;
 use parking_lot::Mutex;
-use std::io::{self, BufRead, BufReader, Write};
+use std::io::{self, BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
@@ -169,30 +170,25 @@ fn serve_connection(
     let mut reader = BufReader::new(stream.try_clone()?);
     let mut writer = stream;
     let mut session = Session::new(model);
-    let mut line = String::new();
+    // The shared bounded frame reader: partial commands accumulate
+    // across read-timeout polls (so the shutdown flag is re-checked
+    // between them) and a hostile endless line is a typed error instead
+    // of an unbounded allocation.
+    let mut frames = FrameAccumulator::new(MAX_FRAME_BYTES);
     loop {
-        match reader.read_line(&mut line) {
-            Ok(0) => return Ok(()), // peer closed
-            Ok(_) => {}
-            Err(e)
-                if matches!(e.kind(), io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut) =>
-            {
-                // Timeout: `line` may hold a partial command (bytes read
-                // before the deadline stay accumulated) — keep it and
-                // retry unless we are shutting down.
+        let line = match frames.poll(&mut reader)? {
+            Some(Frame::Line(line)) => line,
+            Some(Frame::Eof) => return Ok(()), // peer closed
+            None => {
+                // Read timeout: keep the partial frame and retry unless
+                // we are shutting down.
                 if shutdown.load(Ordering::SeqCst) {
                     return Ok(());
                 }
                 continue;
             }
-            Err(e) => return Err(e),
-        }
-        if !line.ends_with('\n') {
-            // Partial line despite Ok (peer wrote without newline then
-            // paused); keep accumulating.
-            continue;
-        }
-        let input = line.trim_end_matches(['\r', '\n']);
+        };
+        let input = line.as_str();
         if input == "\u{4}" || input == "logout" {
             return Ok(());
         }
@@ -210,7 +206,6 @@ fn serve_connection(
                 Some(FaultKind::Garble) => {
                     writer.write_all(b"?garbled-frame 0xdeadbeef\n")?;
                     writer.flush()?;
-                    line.clear();
                     continue;
                 }
                 Some(FaultKind::Busy) => {
@@ -218,7 +213,6 @@ fn serve_connection(
                         message: BUSY_MESSAGE.to_string(),
                     }
                     .write_to(&mut writer)?;
-                    line.clear();
                     continue;
                 }
                 None => {}
@@ -233,7 +227,6 @@ fn serve_connection(
         };
         response.write_to(&mut writer)?;
         writer.flush()?;
-        line.clear();
     }
 }
 

@@ -474,6 +474,44 @@ impl Deserialize for EmbeddingCache {
     }
 }
 
+impl EmbeddingCache {
+    /// Per-entry lossy variant of the [`Deserialize`] impl: entries that
+    /// fail to decode (bad key, malformed bit rows) are skipped and
+    /// described in the returned error list while every valid entry
+    /// still loads. A value without the `entries` object salvages
+    /// nothing — one error, empty cache. Used by degraded warm starts
+    /// (`ArtifactStore::load_lossy`), where a missing embedding is just
+    /// a future cache miss, never a correctness problem.
+    pub fn from_value_lossy(v: &Value) -> (EmbeddingCache, Vec<String>) {
+        let mut cache = EmbeddingCache::new();
+        let mut errors = Vec::new();
+        let Some(Value::Obj(entries)) = v.get("entries") else {
+            errors.push("EmbeddingCache: missing `entries` object".to_string());
+            return (cache, errors);
+        };
+        for (key, val) in entries {
+            let k = match u64::from_str_radix(key, 16) {
+                Ok(k) => k,
+                Err(e) => {
+                    errors.push(format!("EmbeddingCache: bad key `{key}`: {e}"));
+                    continue;
+                }
+            };
+            let bit_rows: Vec<Vec<u32>> = match Deserialize::from_value(val) {
+                Ok(rows) => rows,
+                Err(e) => {
+                    errors.push(format!("EmbeddingCache: entry `{key}`: {}", e.0));
+                    continue;
+                }
+            };
+            cache
+                .entries
+                .insert(k, Arc::new(NormalizedEmbedding::from_bit_rows(&bit_rows)));
+        }
+        (cache, errors)
+    }
+}
+
 /// Embed `leaf_contexts` through `cache`: hits are `Arc` bumps, misses
 /// are embedded in **one** [`embed_contexts`] batch and inserted. The
 /// output vector is position-aligned with `leaf_contexts`.

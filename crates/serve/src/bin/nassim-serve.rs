@@ -1,0 +1,61 @@
+//! The serving daemon binary.
+//!
+//! Builds the demo catalog (optionally warm-starting from a persisted
+//! artifact store), binds a localhost port, prints it, and serves until
+//! stdin closes — then drains gracefully, persists the store and exits.
+//!
+//! ```text
+//! NASSIM_SERVE_QUEUE=4:16 NASSIM_SERVE_STORE=store.json nassim-serve
+//! ```
+
+use nassim_serve::{AdmissionConfig, ServeConfig, ServeDaemon, ServeState, StateOptions};
+use std::io::Read;
+use std::sync::Arc;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut opts = StateOptions::full_catalog();
+    if let Ok(path) = std::env::var("NASSIM_SERVE_STORE") {
+        opts = opts.with_store(path);
+    }
+    eprintln!("building catalog: {}", opts.vendors.join(", "));
+    let (state, store) = ServeState::build(&opts)?;
+    for d in &state.startup_diagnostics {
+        eprintln!("  startup: {}", d.message);
+    }
+    let config = ServeConfig {
+        admission: AdmissionConfig::from_env(),
+        enable_debug_ops: std::env::var("NASSIM_SERVE_DEBUG_OPS").is_ok(),
+    };
+    let mut daemon = ServeDaemon::spawn(Arc::new(state), config)?;
+    println!("{}", daemon.addr());
+    eprintln!(
+        "serving on {} (workers {}, queue {}); close stdin to drain and exit",
+        daemon.addr(),
+        daemon.config().admission.workers,
+        daemon.config().admission.queue
+    );
+
+    // Block until stdin closes, then drain.
+    let mut sink = Vec::new();
+    let _ = std::io::stdin().read_to_end(&mut sink);
+    eprintln!("draining…");
+    daemon.drain();
+    if let Some(path) = &opts.store_path {
+        ServeState::save_store(&store, path)?;
+        eprintln!("persisted artifact store to {}", path.display());
+    }
+    let c = daemon.counters();
+    daemon.stop();
+    eprintln!(
+        "drained at generation {}: {} served, {} shed (overload), {} shed (draining), {} deadline, {} malformed, {} disconnects, {} panics",
+        daemon.generation(),
+        c.served,
+        c.shed_overload,
+        c.shed_draining,
+        c.deadline_expired,
+        c.malformed,
+        c.disconnects,
+        c.panics
+    );
+    Ok(())
+}

@@ -1,0 +1,47 @@
+//! # nassim-serve
+//!
+//! Assimilation-as-a-service: a long-running TCP daemon serving the
+//! NAssim artifacts — assimilated VDMs, the network-wide UDM and the §6
+//! Mapper's sharded DL index — over a typed line/JSON protocol, built
+//! to keep its invariants under hostile load:
+//!
+//! * [`protocol`] — the wire format: `query-mapping`, `catalog` /
+//!   `inspect`, `submit-manual` (streamed per-stage progress) and
+//!   `health`, with a typed error class for every failure shape;
+//! * [`admission`] — bounded admission with explicit load shedding
+//!   (`overloaded` is a reply, never a hang), per-request deadlines
+//!   that keep counting while queued, and drain support;
+//! * [`state`] — the served artifacts, built through an
+//!   [`nassim::ArtifactStore`] so a daemon warm-starts from persisted
+//!   artifacts (lossily, surviving partial corruption) and serves
+//!   byte-identical responses either way;
+//! * [`server`] — the daemon: thread-per-connection over the shared
+//!   bounded frame reader, per-request `catch_unwind` isolation,
+//!   graceful drain behind a generation counter, and a drainable event
+//!   log accounting every shed, expired deadline, malformed frame,
+//!   mid-frame disconnect and caught panic;
+//! * [`client`] — the blocking client;
+//! * [`faults`] — the chaos layer: a seeded [`faults::ServeFaultPlan`]
+//!   driving slow-loris sends, mid-frame disconnects, malformed frames,
+//!   zero-deadline requests and burst-overload volleys, replayable from
+//!   its seed, with a parity oracle (clean requests answer
+//!   byte-identically to a fault-free run).
+//!
+//! Environment knobs: `NASSIM_SERVE_QUEUE=workers:queue` sizes
+//! admission, `NASSIM_SERVE_FAULTS=seed:rate` arms the chaos client.
+
+pub mod admission;
+pub mod client;
+pub mod faults;
+pub mod protocol;
+pub mod server;
+pub mod state;
+
+pub use admission::{Admission, AdmissionConfig, Deadline, Permit, ShedReason};
+pub use client::ServeClient;
+pub use faults::{
+    run_chaos, ChaosOptions, ChaosReport, InjectedServeFault, ServeFaultKind, ServeFaultPlan,
+};
+pub use protocol::{ErrKind, ErrReply, Reply, Request};
+pub use server::{CounterSnapshot, ServeConfig, ServeDaemon, ServeEvent};
+pub use state::{DemoEmbedder, ServeState, StateOptions, VendorEntry, DEMO_SEED};

@@ -1,0 +1,713 @@
+//! The serving daemon: a blocking TCP server answering the
+//! [`crate::protocol`] over admission control, with per-connection panic
+//! isolation, per-request deadlines propagated into every pipeline
+//! stage, graceful drain behind a generation counter, and a drainable
+//! event log accounting for every shed, deadline, malformed frame,
+//! mid-frame disconnect and caught panic.
+//!
+//! Thread-per-connection, like [`nassim_device::DeviceServer`]: the
+//! workload is request/response lines at serving scale, where blocking
+//! threads behind a bounded admission gate are the simplest design that
+//! is obviously correct — the gate, not the thread count, bounds the
+//! concurrent pipeline work.
+
+use crate::admission::{Admission, AdmissionConfig, Deadline, ShedReason};
+use crate::protocol::{ok_line, progress_line, ErrKind, ErrReply, Request};
+use crate::state::ServeState;
+use nassim_device::framing::{Frame, FrameAccumulator, MAX_FRAME_BYTES};
+use nassim_html::IngestBudget;
+use nassim_mapper::Context;
+use nassim_parser::{fold_page_records, page_records, parser_for};
+use nassim_validator::hierarchy::derive_hierarchy;
+use nassim_validator::{audit_page, build_vdm, fold_page_syntax};
+use parking_lot::Mutex;
+use serde::Value;
+use std::io::{self, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Daemon construction knobs.
+#[derive(Debug, Clone, Default)]
+pub struct ServeConfig {
+    pub admission: AdmissionConfig,
+    /// Allow `debug-sleep`/`debug-panic` (tests and benches only; a
+    /// production daemon answers them with `unknown_op`).
+    pub enable_debug_ops: bool,
+}
+
+/// Monotonic counters `health` exposes. All relaxed: they are reporting,
+/// not synchronization.
+#[derive(Debug, Default)]
+pub struct ServeCounters {
+    pub served: AtomicU64,
+    pub shed_overload: AtomicU64,
+    pub shed_draining: AtomicU64,
+    pub deadline_expired: AtomicU64,
+    pub malformed: AtomicU64,
+    pub panics: AtomicU64,
+    pub disconnects: AtomicU64,
+}
+
+/// A point-in-time copy of [`ServeCounters`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CounterSnapshot {
+    pub served: u64,
+    pub shed_overload: u64,
+    pub shed_draining: u64,
+    pub deadline_expired: u64,
+    pub malformed: u64,
+    pub panics: u64,
+    pub disconnects: u64,
+}
+
+impl ServeCounters {
+    fn snapshot(&self) -> CounterSnapshot {
+        CounterSnapshot {
+            served: self.served.load(Ordering::Relaxed),
+            shed_overload: self.shed_overload.load(Ordering::Relaxed),
+            shed_draining: self.shed_draining.load(Ordering::Relaxed),
+            deadline_expired: self.deadline_expired.load(Ordering::Relaxed),
+            malformed: self.malformed.load(Ordering::Relaxed),
+            panics: self.panics.load(Ordering::Relaxed),
+            disconnects: self.disconnects.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// One accounted serving event, in occurrence order. Every request that
+/// was *not* answered with its normal reply appears here — the drain log
+/// the chaos harness reconciles against its injection log.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServeEvent {
+    /// A request was shed (overloaded / draining / queued past its
+    /// deadline) instead of admitted.
+    Shed { op: String, reason: ShedReason },
+    /// An admitted request's deadline expired mid-pipeline.
+    DeadlineExpired { op: String, stage: String },
+    /// An unparseable request frame was answered with a typed error.
+    Malformed { detail: String },
+    /// The peer disconnected mid-frame (`partial` buffered bytes lost).
+    Disconnect { partial: usize },
+    /// A handler panicked; the panic was caught, the connection
+    /// answered `internal` and kept serving.
+    Panicked { op: String, payload: String },
+    /// A drain completed: every in-flight request finished, `generation`
+    /// is the new value.
+    Drained { generation: u64 },
+}
+
+/// A running serving daemon; dropping the handle drains and stops it.
+pub struct ServeDaemon {
+    addr: SocketAddr,
+    state: Arc<ServeState>,
+    admission: Arc<Admission>,
+    config: ServeConfig,
+    shutdown: Arc<AtomicBool>,
+    draining: Arc<AtomicBool>,
+    generation: Arc<AtomicU64>,
+    counters: Arc<ServeCounters>,
+    events: Arc<Mutex<Vec<ServeEvent>>>,
+    accept_thread: Option<JoinHandle<()>>,
+    conn_threads: Arc<Mutex<Vec<JoinHandle<()>>>>,
+}
+
+impl ServeDaemon {
+    /// Bind an ephemeral localhost port and serve `state`.
+    pub fn spawn(state: Arc<ServeState>, config: ServeConfig) -> io::Result<ServeDaemon> {
+        let listener = TcpListener::bind(("127.0.0.1", 0))?;
+        let addr = listener.local_addr()?;
+        let admission = Arc::new(Admission::new(config.admission));
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let draining = Arc::new(AtomicBool::new(false));
+        let counters = Arc::new(ServeCounters::default());
+        let events: Arc<Mutex<Vec<ServeEvent>>> = Arc::new(Mutex::new(Vec::new()));
+        let conn_threads: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
+
+        let ctx = ConnCtx {
+            state: Arc::clone(&state),
+            admission: Arc::clone(&admission),
+            counters: Arc::clone(&counters),
+            events: Arc::clone(&events),
+            shutdown: Arc::clone(&shutdown),
+            draining: Arc::clone(&draining),
+            enable_debug_ops: config.enable_debug_ops,
+        };
+        let accept_conns = Arc::clone(&conn_threads);
+        let accept_thread = std::thread::Builder::new()
+            .name("serve-accept".to_string())
+            .spawn(move || {
+                for stream in listener.incoming() {
+                    if ctx.shutdown.load(Ordering::SeqCst) {
+                        break;
+                    }
+                    let Ok(stream) = stream else { continue };
+                    if ctx.draining.load(Ordering::SeqCst) {
+                        // New connections during drain get one typed
+                        // frame and are closed without a session thread.
+                        let mut stream = stream;
+                        let line =
+                            ErrReply::new(ErrKind::Draining, "daemon is draining").to_line();
+                        let _ = stream.write_all(line.as_bytes());
+                        let _ = stream.write_all(b"\n");
+                        ctx.counters.shed_draining.fetch_add(1, Ordering::Relaxed);
+                        ctx.events.lock().push(ServeEvent::Shed {
+                            op: "connect".to_string(),
+                            reason: ShedReason::Draining,
+                        });
+                        continue;
+                    }
+                    let conn_ctx = ctx.clone();
+                    let spawned = std::thread::Builder::new()
+                        .name("serve-conn".to_string())
+                        .spawn(move || {
+                            // Connection I/O errors are peer problems; the
+                            // accounting that matters (disconnects,
+                            // malformed, panics) already happened inside.
+                            let _ = serve_connection(stream, &conn_ctx);
+                        });
+                    if let Ok(handle) = spawned {
+                        let mut conns = accept_conns.lock();
+                        conns.retain(|h| !h.is_finished());
+                        conns.push(handle);
+                    }
+                }
+            })?;
+
+        Ok(ServeDaemon {
+            addr,
+            state,
+            admission,
+            config,
+            shutdown,
+            draining,
+            generation: Arc::new(AtomicU64::new(0)),
+            counters,
+            events,
+            accept_thread: Some(accept_thread),
+            conn_threads,
+        })
+    }
+
+    /// The bound address clients connect to.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The served artifacts (shared).
+    pub fn state(&self) -> &Arc<ServeState> {
+        &self.state
+    }
+
+    pub fn config(&self) -> &ServeConfig {
+        &self.config
+    }
+
+    /// Completed drain cycles.
+    pub fn generation(&self) -> u64 {
+        self.generation.load(Ordering::SeqCst)
+    }
+
+    pub fn is_draining(&self) -> bool {
+        self.draining.load(Ordering::SeqCst)
+    }
+
+    /// Counter snapshot (also served remotely via `health`).
+    pub fn counters(&self) -> CounterSnapshot {
+        self.counters.snapshot()
+    }
+
+    /// Drain the event log accumulated since the last call.
+    pub fn take_events(&self) -> Vec<ServeEvent> {
+        std::mem::take(&mut *self.events.lock())
+    }
+
+    /// Graceful drain: stop admitting, shed the queue, wait for every
+    /// in-flight request to complete, then bump the generation counter.
+    /// Idempotent; concurrent callers all return once drained.
+    pub fn drain(&self) {
+        let first = !self.draining.swap(true, Ordering::SeqCst);
+        self.admission.begin_drain();
+        self.admission.wait_idle();
+        if first {
+            let generation = self.generation.fetch_add(1, Ordering::SeqCst) + 1;
+            self.events.lock().push(ServeEvent::Drained { generation });
+        }
+    }
+
+    /// Drain, then stop the listener and join every thread. The accept
+    /// thread exits on its own (unblocked by a no-op connection) — it is
+    /// joined, never killed.
+    pub fn stop(&mut self) {
+        self.drain();
+        if self.shutdown.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        let _ = TcpStream::connect(self.addr);
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+        for t in self.conn_threads.lock().drain(..) {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for ServeDaemon {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+/// Everything a connection thread needs, cloneable per connection.
+#[derive(Clone)]
+struct ConnCtx {
+    state: Arc<ServeState>,
+    admission: Arc<Admission>,
+    counters: Arc<ServeCounters>,
+    events: Arc<Mutex<Vec<ServeEvent>>>,
+    shutdown: Arc<AtomicBool>,
+    draining: Arc<AtomicBool>,
+    enable_debug_ops: bool,
+}
+
+fn write_line(w: &mut impl Write, line: &str) -> io::Result<()> {
+    w.write_all(line.as_bytes())?;
+    w.write_all(b"\n")?;
+    w.flush()
+}
+
+/// Serve one connection until the peer closes, the daemon shuts down, or
+/// the connection is retired by drain. Every request — including a
+/// panicking one — is answered with exactly one final frame.
+fn serve_connection(stream: TcpStream, ctx: &ConnCtx) -> io::Result<()> {
+    stream.set_read_timeout(Some(Duration::from_millis(100)))?;
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut writer = stream;
+    let mut frames = FrameAccumulator::new(MAX_FRAME_BYTES);
+    loop {
+        let line = match frames.poll(&mut reader) {
+            Ok(Some(Frame::Line(line))) => line,
+            Ok(Some(Frame::Eof)) => {
+                // A clean close ends the session silently; bytes left in
+                // the accumulator mean the peer vanished mid-frame — an
+                // accounted event (slow-loris peers that never finish a
+                // line land here too, via their eventual disconnect).
+                let partial = frames.partial_len();
+                if partial > 0 {
+                    ctx.counters.disconnects.fetch_add(1, Ordering::Relaxed);
+                    ctx.events.lock().push(ServeEvent::Disconnect { partial });
+                }
+                return Ok(());
+            }
+            Ok(None) => {
+                if ctx.shutdown.load(Ordering::SeqCst) {
+                    return Ok(());
+                }
+                continue;
+            }
+            Err(e) if e.kind() == io::ErrorKind::InvalidData => {
+                // Oversized or non-UTF-8 frame: typed reply, then drop
+                // the connection (the stream is no longer frame-aligned).
+                ctx.counters.malformed.fetch_add(1, Ordering::Relaxed);
+                ctx.events
+                    .lock()
+                    .push(ServeEvent::Malformed { detail: e.to_string() });
+                let _ = write_line(
+                    &mut writer,
+                    &ErrReply::new(ErrKind::Malformed, e.to_string()).to_line(),
+                );
+                return Ok(());
+            }
+            Err(e) => return Err(e),
+        };
+        if line.is_empty() {
+            continue;
+        }
+        // Drain retires idle connections at their next request: one
+        // typed frame, then close (in-flight requests are not here —
+        // they are still inside handle_request).
+        if ctx.draining.load(Ordering::SeqCst) {
+            ctx.counters.shed_draining.fetch_add(1, Ordering::Relaxed);
+            ctx.events.lock().push(ServeEvent::Shed {
+                op: "request".to_string(),
+                reason: ShedReason::Draining,
+            });
+            write_line(
+                &mut writer,
+                &ErrReply::new(ErrKind::Draining, "daemon is draining").to_line(),
+            )?;
+            return Ok(());
+        }
+        // The deadline clock starts at frame receipt: queueing time
+        // counts against the request's budget.
+        let deadline = Deadline::started(
+            Request::parse(&line).ok().and_then(|r| r.deadline_ms()),
+        );
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            handle_request(&line, &deadline, ctx, &mut writer)
+        }));
+        match outcome {
+            Ok(result) => result?,
+            Err(payload) => {
+                let payload = panic_payload(payload);
+                let op = Request::parse(&line)
+                    .map(|r| r.op().to_string())
+                    .unwrap_or_else(|_| "?".to_string());
+                ctx.counters.panics.fetch_add(1, Ordering::Relaxed);
+                ctx.events.lock().push(ServeEvent::Panicked {
+                    op,
+                    payload: payload.clone(),
+                });
+                write_line(
+                    &mut writer,
+                    &ErrReply::new(
+                        ErrKind::Internal,
+                        format!("request handler panicked: {payload}"),
+                    )
+                    .to_line(),
+                )?;
+            }
+        }
+    }
+}
+
+fn panic_payload(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Parse, admit and execute one request, writing every reply frame.
+fn handle_request(
+    line: &str,
+    deadline: &Deadline,
+    ctx: &ConnCtx,
+    writer: &mut impl Write,
+) -> io::Result<()> {
+    let request = match Request::parse(line) {
+        Ok(request) => request,
+        Err(err) => {
+            // Unknown ops are answered but not accounted as malformed —
+            // the malformed counter reconciles against injected garbage
+            // frames, which always fail *parsing*, not dispatch.
+            if err.kind == ErrKind::Malformed {
+                ctx.counters.malformed.fetch_add(1, Ordering::Relaxed);
+                ctx.events.lock().push(ServeEvent::Malformed {
+                    detail: err.message.clone(),
+                });
+            }
+            return write_line(writer, &err.to_line());
+        }
+    };
+    if matches!(request, Request::DebugSleep { .. } | Request::DebugPanic)
+        && !ctx.enable_debug_ops
+    {
+        return write_line(
+            writer,
+            &ErrReply::new(ErrKind::UnknownOp, "debug ops are disabled").to_line(),
+        );
+    }
+
+    // Control-plane ops bypass admission so health stays answerable
+    // under full overload.
+    let _permit = if request.is_admitted() {
+        match ctx.admission.admit(deadline) {
+            Ok(permit) => Some(permit),
+            Err(reason) => {
+                let (kind, message, counter) = match reason {
+                    ShedReason::Overloaded => (
+                        ErrKind::Overloaded,
+                        "admission queue full, request shed",
+                        &ctx.counters.shed_overload,
+                    ),
+                    ShedReason::Draining => (
+                        ErrKind::Draining,
+                        "daemon is draining",
+                        &ctx.counters.shed_draining,
+                    ),
+                    ShedReason::DeadlineExpired => (
+                        ErrKind::Deadline,
+                        "deadline expired before admission",
+                        &ctx.counters.deadline_expired,
+                    ),
+                };
+                counter.fetch_add(1, Ordering::Relaxed);
+                ctx.events.lock().push(ServeEvent::Shed {
+                    op: request.op().to_string(),
+                    reason,
+                });
+                return write_line(writer, &ErrReply::new(kind, message).to_line());
+            }
+        }
+    } else {
+        None
+    };
+
+    match request {
+        Request::Health => write_line(writer, &ok_line(health_payload(ctx))),
+        Request::Catalog => {
+            let vendors: Vec<Value> = ctx
+                .state
+                .vendors
+                .values()
+                .map(vendor_summary)
+                .collect();
+            write_line(
+                writer,
+                &ok_line(Value::Obj(vec![("vendors".to_string(), Value::Arr(vendors))])),
+            )
+        }
+        Request::Inspect { vendor } => match ctx.state.vendors.get(&vendor) {
+            None => write_line(
+                writer,
+                &ErrReply::new(
+                    ErrKind::UnknownVendor,
+                    format!("vendor `{vendor}` is not in the catalog"),
+                )
+                .to_line(),
+            ),
+            Some(entry) => {
+                let mut fields = match vendor_summary(entry) {
+                    Value::Obj(fields) => fields,
+                    _ => Vec::new(),
+                };
+                let sample: Vec<Value> = entry
+                    .vdm
+                    .walk()
+                    .into_iter()
+                    .take(5)
+                    .map(|id| Value::Str(entry.vdm.path_of(id).join(" / ")))
+                    .collect();
+                fields.push(("sample_paths".to_string(), Value::Arr(sample)));
+                write_line(writer, &ok_line(Value::Obj(fields)))
+            }
+        },
+        Request::QueryMapping { sequences, k, .. } => {
+            if let Err(stage) = deadline.check("dl-scan") {
+                return deadline_reply(ctx, writer, "query-mapping", "dl-scan", &stage);
+            }
+            let ctx_q = Context { sequences };
+            let matches: Vec<Value> = ctx
+                .state
+                .mapper
+                .recommend(&ctx_q, k)
+                .into_iter()
+                .map(|(leaf, score)| {
+                    Value::Obj(vec![
+                        (
+                            "path".to_string(),
+                            Value::Str(ctx.state.mapper.udm().path_of(leaf)),
+                        ),
+                        ("score".to_string(), Value::Num(score as f64)),
+                    ])
+                })
+                .collect();
+            ctx.counters.served.fetch_add(1, Ordering::Relaxed);
+            write_line(
+                writer,
+                &ok_line(Value::Obj(vec![("matches".to_string(), Value::Arr(matches))])),
+            )
+        }
+        Request::SubmitManual { vendor, pages, .. } => {
+            submit_manual(ctx, &vendor, &pages, deadline, writer)
+        }
+        Request::DebugSleep { ms } => {
+            // Sleep in slices so shutdown never waits the full hold.
+            let mut remaining = Duration::from_millis(ms);
+            while !remaining.is_zero() && !ctx.shutdown.load(Ordering::SeqCst) {
+                let step = remaining.min(Duration::from_millis(10));
+                std::thread::sleep(step);
+                remaining -= step;
+            }
+            ctx.counters.served.fetch_add(1, Ordering::Relaxed);
+            write_line(
+                writer,
+                &ok_line(Value::Obj(vec![(
+                    "slept_ms".to_string(),
+                    Value::Num(ms as f64),
+                )])),
+            )
+        }
+        Request::DebugPanic => {
+            panic!("debug-panic requested by client");
+        }
+    }
+}
+
+fn vendor_summary(entry: &crate::state::VendorEntry) -> Value {
+    Value::Obj(vec![
+        ("vendor".to_string(), Value::Str(entry.vendor.clone())),
+        ("pages".to_string(), Value::Num(entry.pages as f64)),
+        ("nodes".to_string(), Value::Num(entry.nodes as f64)),
+        ("params".to_string(), Value::Num(entry.params as f64)),
+    ])
+}
+
+fn health_payload(ctx: &ConnCtx) -> Value {
+    let (active, queued) = ctx.admission.depths();
+    let cfg = ctx.admission.config();
+    let c = ctx.counters.snapshot();
+    let pool = nassim_exec::pool_stats();
+    Value::Obj(vec![
+        ("draining".to_string(), Value::Bool(ctx.draining.load(Ordering::SeqCst))),
+        ("active".to_string(), Value::Num(active as f64)),
+        ("queued".to_string(), Value::Num(queued as f64)),
+        ("workers".to_string(), Value::Num(cfg.workers as f64)),
+        ("queue_capacity".to_string(), Value::Num(cfg.queue as f64)),
+        ("served".to_string(), Value::Num(c.served as f64)),
+        ("shed_overload".to_string(), Value::Num(c.shed_overload as f64)),
+        ("shed_draining".to_string(), Value::Num(c.shed_draining as f64)),
+        ("deadline_expired".to_string(), Value::Num(c.deadline_expired as f64)),
+        ("malformed".to_string(), Value::Num(c.malformed as f64)),
+        ("panics".to_string(), Value::Num(c.panics as f64)),
+        ("disconnects".to_string(), Value::Num(c.disconnects as f64)),
+        (
+            "pool".to_string(),
+            Value::Obj(vec![
+                ("workers".to_string(), Value::Num(pool.workers as f64)),
+                ("jobs".to_string(), Value::Num(pool.jobs as f64)),
+                ("respawns".to_string(), Value::Num(pool.respawns as f64)),
+            ]),
+        ),
+        (
+            "vendors".to_string(),
+            Value::Num(ctx.state.vendors.len() as f64),
+        ),
+    ])
+}
+
+fn deadline_reply(
+    ctx: &ConnCtx,
+    writer: &mut impl Write,
+    op: &str,
+    stage: &str,
+    message: &str,
+) -> io::Result<()> {
+    ctx.counters.deadline_expired.fetch_add(1, Ordering::Relaxed);
+    ctx.events.lock().push(ServeEvent::DeadlineExpired {
+        op: op.to_string(),
+        stage: stage.to_string(),
+    });
+    write_line(writer, &ErrReply::new(ErrKind::Deadline, message).to_line())
+}
+
+/// The staged §4–§5 pipeline with the request deadline checked between
+/// stages and one progress frame per stage. Pure in its inputs — it
+/// never touches the daemon's catalog — so identical submissions yield
+/// byte-identical frame sequences.
+fn submit_manual(
+    ctx: &ConnCtx,
+    vendor: &str,
+    pages: &[(String, String)],
+    deadline: &Deadline,
+    writer: &mut impl Write,
+) -> io::Result<()> {
+    let op = "submit-manual";
+    let parser = match parser_for(vendor) {
+        Ok(parser) => parser,
+        Err(_) => {
+            write_line(
+                writer,
+                &ErrReply::new(
+                    ErrKind::UnknownVendor,
+                    format!("no parser registered for vendor `{vendor}`"),
+                )
+                .to_line(),
+            )?;
+            return Ok(());
+        }
+    };
+    let progress = |writer: &mut dyn Write, stage: &str| -> io::Result<()> {
+        writer.write_all(
+            progress_line(Value::Obj(vec![(
+                "stage".to_string(),
+                Value::Str(stage.to_string()),
+            )]))
+            .as_bytes(),
+        )?;
+        writer.write_all(b"\n")?;
+        writer.flush()
+    };
+
+    // Stage 1: parse every page (panic-isolated parser fan-out).
+    if let Err(msg) = deadline.check("parse") {
+        deadline_reply(ctx, writer, op, "parse", &msg)?;
+        return Ok(());
+    }
+    progress(writer, "parse")?;
+    let budget = IngestBudget::default();
+    let refs: Vec<(&str, &str)> = pages
+        .iter()
+        .map(|(u, h)| (u.as_str(), h.as_str()))
+        .collect();
+    let records = page_records(parser.as_ref(), &refs, &budget);
+    let parse = fold_page_records(vendor, records.iter());
+
+    // Stage 2: formal syntax audit.
+    if let Err(msg) = deadline.check("syntax") {
+        deadline_reply(ctx, writer, op, "syntax", &msg)?;
+        return Ok(());
+    }
+    progress(writer, "syntax")?;
+    let audits: Vec<_> = parse.pages.iter().map(audit_page).collect();
+    let syntax = fold_page_syntax(audits.iter());
+
+    // Stage 3: hierarchy derivation.
+    if let Err(msg) = deadline.check("hierarchy") {
+        deadline_reply(ctx, writer, op, "hierarchy", &msg)?;
+        return Ok(());
+    }
+    progress(writer, "hierarchy")?;
+    let derivation = derive_hierarchy(&parse.pages);
+
+    // Stage 4: VDM assembly.
+    if let Err(msg) = deadline.check("build") {
+        deadline_reply(ctx, writer, op, "build", &msg)?;
+        return Ok(());
+    }
+    progress(writer, "build")?;
+    let build = build_vdm(vendor, &parse.pages, &derivation);
+
+    let diagnostics = parse.diagnostics.len() + build.diagnostics(&parse.pages).len();
+    // Count before writing: a client that has read the final frame must
+    // already see this request in the `served` counter.
+    ctx.counters.served.fetch_add(1, Ordering::Relaxed);
+    write_line(
+        writer,
+        &ok_line(Value::Obj(vec![
+            ("vendor".to_string(), Value::Str(vendor.to_string())),
+            ("pages".to_string(), Value::Num(pages.len() as f64)),
+            (
+                "parsed_pages".to_string(),
+                Value::Num(parse.pages.len() as f64),
+            ),
+            (
+                "quarantined".to_string(),
+                Value::Num(parse.quarantined.len() as f64),
+            ),
+            ("nodes".to_string(), Value::Num(build.vdm.walk().len() as f64)),
+            (
+                "syntax_checked".to_string(),
+                Value::Num(syntax.total_clis as f64),
+            ),
+            (
+                "syntax_invalid".to_string(),
+                Value::Num(syntax.invalid_count() as f64),
+            ),
+            (
+                "unplaced_pages".to_string(),
+                Value::Num(build.unplaced_pages.len() as f64),
+            ),
+            ("diagnostics".to_string(), Value::Num(diagnostics as f64)),
+        ])),
+    )?;
+    Ok(())
+}

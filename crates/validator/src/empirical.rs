@@ -613,7 +613,7 @@ mod tests {
             seed: 7,
             policy: ResiliencePolicy {
                 op_timeout: Duration::from_millis(60),
-                connect_timeout: Duration::from_secs(2),
+                connect_timeout: ResiliencePolicy::CONNECT_TIMEOUT,
                 max_retries: 16,
                 base_backoff: Duration::from_millis(20),
                 max_backoff: Duration::from_millis(500),

@@ -43,7 +43,7 @@ fn chaos_policy() -> ResiliencePolicy {
     ResiliencePolicy {
         // Short per-op deadline keeps injected stalls cheap in the suite.
         op_timeout: Duration::from_millis(60),
-        connect_timeout: Duration::from_secs(2),
+        connect_timeout: ResiliencePolicy::CONNECT_TIMEOUT,
         max_retries: 16,
         base_backoff: Duration::from_millis(20),
         max_backoff: Duration::from_millis(500),
