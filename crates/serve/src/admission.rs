@@ -217,6 +217,12 @@ impl Admission {
             }
         };
         g.waiting -= 1;
+        // wait_idle() sleeps on the same condvar and re-checks `waiting`;
+        // a shed waiter that left silently could strand it forever (last
+        // active permit notifies, wait_idle sees waiting > 0, goes back
+        // to sleep, then this decrement happens with no further wake).
+        drop(g);
+        self.cv.notify_all();
         Err(shed)
     }
 
@@ -348,6 +354,45 @@ mod tests {
         drop(hold);
         adm.wait_idle();
         assert_eq!(adm.depths(), (0, 0));
+    }
+
+    #[test]
+    fn wait_idle_not_stranded_by_shed_waiters() {
+        // Regression: a shed waiter must notify the condvar on its way
+        // out, or wait_idle() can wake on the last permit's release, see
+        // waiting > 0, and sleep forever once the waiters shed silently.
+        // The interleaving is racy, so hammer it.
+        for _ in 0..50 {
+            let adm = Arc::new(Admission::new(AdmissionConfig::new(1, 4)));
+            let hold = adm.admit(&Deadline::unbounded()).unwrap();
+            let waiters: Vec<_> = (0..2)
+                .map(|_| {
+                    let adm = Arc::clone(&adm);
+                    std::thread::spawn(move || {
+                        let _ = adm.admit(&Deadline::unbounded());
+                    })
+                })
+                .collect();
+            while adm.depths().1 != 2 {
+                std::thread::yield_now();
+            }
+            adm.begin_drain();
+            drop(hold);
+            let idle = std::thread::spawn({
+                let adm = Arc::clone(&adm);
+                move || adm.wait_idle()
+            });
+            let deadline = Instant::now() + Duration::from_secs(10);
+            while !idle.is_finished() {
+                assert!(Instant::now() < deadline, "wait_idle stranded");
+                std::thread::yield_now();
+            }
+            idle.join().unwrap();
+            for w in waiters {
+                w.join().unwrap();
+            }
+            assert_eq!(adm.depths(), (0, 0));
+        }
     }
 
     #[test]

@@ -43,5 +43,5 @@ pub use faults::{
     run_chaos, ChaosOptions, ChaosReport, InjectedServeFault, ServeFaultKind, ServeFaultPlan,
 };
 pub use protocol::{ErrKind, ErrReply, Reply, Request};
-pub use server::{CounterSnapshot, ServeConfig, ServeDaemon, ServeEvent};
+pub use server::{CounterSnapshot, ServeConfig, ServeDaemon, ServeEvent, EVENT_LOG_CAP};
 pub use state::{DemoEmbedder, ServeState, StateOptions, VendorEntry, DEMO_SEED};

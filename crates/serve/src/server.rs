@@ -22,6 +22,7 @@ use nassim_validator::hierarchy::derive_hierarchy;
 use nassim_validator::{audit_page, build_vdm, fold_page_syntax};
 use parking_lot::Mutex;
 use serde::Value;
+use std::collections::VecDeque;
 use std::io::{self, BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -29,6 +30,13 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
+
+/// Most ServeEvents retained between [`ServeDaemon::take_events`] calls.
+/// The daemon binary never drains the log, so it must be bounded: past
+/// the cap the *oldest* events are dropped and counted, keeping a
+/// long-running daemon under sustained overload or garbage traffic at
+/// constant memory. Far above what the chaos matrix produces per drain.
+pub const EVENT_LOG_CAP: usize = 16_384;
 
 /// Daemon construction knobs.
 #[derive(Debug, Clone, Default)]
@@ -100,6 +108,28 @@ pub enum ServeEvent {
     Drained { generation: u64 },
 }
 
+/// Bounded ring of [`ServeEvent`]s: past [`EVENT_LOG_CAP`] the oldest
+/// entries are evicted and tallied in `dropped`.
+#[derive(Debug, Default)]
+struct EventLog {
+    buf: VecDeque<ServeEvent>,
+    dropped: u64,
+}
+
+impl EventLog {
+    fn push(&mut self, event: ServeEvent) {
+        if self.buf.len() >= EVENT_LOG_CAP {
+            self.buf.pop_front();
+            self.dropped += 1;
+        }
+        self.buf.push_back(event);
+    }
+
+    fn take(&mut self) -> Vec<ServeEvent> {
+        std::mem::take(&mut self.buf).into()
+    }
+}
+
 /// A running serving daemon; dropping the handle drains and stops it.
 pub struct ServeDaemon {
     addr: SocketAddr,
@@ -110,7 +140,7 @@ pub struct ServeDaemon {
     draining: Arc<AtomicBool>,
     generation: Arc<AtomicU64>,
     counters: Arc<ServeCounters>,
-    events: Arc<Mutex<Vec<ServeEvent>>>,
+    events: Arc<Mutex<EventLog>>,
     accept_thread: Option<JoinHandle<()>>,
     conn_threads: Arc<Mutex<Vec<JoinHandle<()>>>>,
 }
@@ -124,7 +154,7 @@ impl ServeDaemon {
         let shutdown = Arc::new(AtomicBool::new(false));
         let draining = Arc::new(AtomicBool::new(false));
         let counters = Arc::new(ServeCounters::default());
-        let events: Arc<Mutex<Vec<ServeEvent>>> = Arc::new(Mutex::new(Vec::new()));
+        let events: Arc<Mutex<EventLog>> = Arc::new(Mutex::new(EventLog::default()));
         let conn_threads: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
 
         let ctx = ConnCtx {
@@ -220,9 +250,18 @@ impl ServeDaemon {
         self.counters.snapshot()
     }
 
-    /// Drain the event log accumulated since the last call.
+    /// Drain the event log accumulated since the last call. At most
+    /// [`EVENT_LOG_CAP`] events are retained between calls; see
+    /// [`ServeDaemon::dropped_events`] for the eviction tally.
     pub fn take_events(&self) -> Vec<ServeEvent> {
-        std::mem::take(&mut *self.events.lock())
+        self.events.lock().take()
+    }
+
+    /// Total events evicted from the bounded log since startup (a
+    /// long-running daemon that is never drained keeps only the most
+    /// recent [`EVENT_LOG_CAP`] events).
+    pub fn dropped_events(&self) -> u64 {
+        self.events.lock().dropped
     }
 
     /// Graceful drain: stop admitting, shed the queue, wait for every
@@ -268,7 +307,7 @@ struct ConnCtx {
     state: Arc<ServeState>,
     admission: Arc<Admission>,
     counters: Arc<ServeCounters>,
-    events: Arc<Mutex<Vec<ServeEvent>>>,
+    events: Arc<Mutex<EventLog>>,
     shutdown: Arc<AtomicBool>,
     draining: Arc<AtomicBool>,
     enable_debug_ops: bool,
@@ -285,6 +324,11 @@ fn write_line(w: &mut impl Write, line: &str) -> io::Result<()> {
 /// panicking one — is answered with exactly one final frame.
 fn serve_connection(stream: TcpStream, ctx: &ConnCtx) -> io::Result<()> {
     stream.set_read_timeout(Some(Duration::from_millis(100)))?;
+    // A peer that stops reading backpressures TCP until our writes
+    // block; without a timeout that pins this thread (and any admission
+    // permit it holds) forever and hangs stop()'s join. A timed-out
+    // write errors out of the loop below, closing the connection.
+    stream.set_write_timeout(Some(Duration::from_secs(5)))?;
     let mut reader = BufReader::new(stream.try_clone()?);
     let mut writer = stream;
     let mut frames = FrameAccumulator::new(MAX_FRAME_BYTES);
@@ -342,21 +386,25 @@ fn serve_connection(stream: TcpStream, ctx: &ConnCtx) -> io::Result<()> {
             )?;
             return Ok(());
         }
+        // Parse exactly once (submit-manual frames run to MAX_FRAME_BYTES,
+        // so re-parsing is real per-request CPU); the op and deadline are
+        // lifted out before the parse result moves into the handler.
+        let parsed = Request::parse(&line);
+        let op = parsed
+            .as_ref()
+            .map(|r| r.op().to_string())
+            .unwrap_or_else(|_| "?".to_string());
         // The deadline clock starts at frame receipt: queueing time
         // counts against the request's budget.
-        let deadline = Deadline::started(
-            Request::parse(&line).ok().and_then(|r| r.deadline_ms()),
-        );
+        let deadline =
+            Deadline::started(parsed.as_ref().ok().and_then(|r| r.deadline_ms()));
         let outcome = catch_unwind(AssertUnwindSafe(|| {
-            handle_request(&line, &deadline, ctx, &mut writer)
+            handle_request(parsed, &deadline, ctx, &mut writer)
         }));
         match outcome {
             Ok(result) => result?,
             Err(payload) => {
                 let payload = panic_payload(payload);
-                let op = Request::parse(&line)
-                    .map(|r| r.op().to_string())
-                    .unwrap_or_else(|_| "?".to_string());
                 ctx.counters.panics.fetch_add(1, Ordering::Relaxed);
                 ctx.events.lock().push(ServeEvent::Panicked {
                     op,
@@ -385,14 +433,15 @@ fn panic_payload(payload: Box<dyn std::any::Any + Send>) -> String {
     }
 }
 
-/// Parse, admit and execute one request, writing every reply frame.
+/// Admit and execute one already-parsed request, writing every reply
+/// frame.
 fn handle_request(
-    line: &str,
+    parsed: Result<Request, ErrReply>,
     deadline: &Deadline,
     ctx: &ConnCtx,
     writer: &mut impl Write,
 ) -> io::Result<()> {
-    let request = match Request::parse(line) {
+    let request = match parsed {
         Ok(request) => request,
         Err(err) => {
             // Unknown ops are answered but not accounted as malformed —
@@ -542,6 +591,27 @@ fn handle_request(
     }
 }
 
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn event_log_caps_and_counts_evictions() {
+        let mut log = EventLog::default();
+        for i in 0..EVENT_LOG_CAP + 10 {
+            log.push(ServeEvent::Disconnect { partial: i + 1 });
+        }
+        assert_eq!(log.buf.len(), EVENT_LOG_CAP);
+        assert_eq!(log.dropped, 10);
+        // Oldest evicted, newest retained.
+        assert_eq!(log.buf.front(), Some(&ServeEvent::Disconnect { partial: 11 }));
+        let drained = log.take();
+        assert_eq!(drained.len(), EVENT_LOG_CAP);
+        assert_eq!(log.buf.len(), 0);
+        assert_eq!(log.dropped, 10, "drop tally survives take()");
+    }
+}
+
 fn vendor_summary(entry: &crate::state::VendorEntry) -> Value {
     Value::Obj(vec![
         ("vendor".to_string(), Value::Str(entry.vendor.clone())),
@@ -569,6 +639,10 @@ fn health_payload(ctx: &ConnCtx) -> Value {
         ("malformed".to_string(), Value::Num(c.malformed as f64)),
         ("panics".to_string(), Value::Num(c.panics as f64)),
         ("disconnects".to_string(), Value::Num(c.disconnects as f64)),
+        (
+            "events_dropped".to_string(),
+            Value::Num(ctx.events.lock().dropped as f64),
+        ),
         (
             "pool".to_string(),
             Value::Obj(vec![
