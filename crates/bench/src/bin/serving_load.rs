@@ -149,6 +149,7 @@ fn chaos_script() -> Vec<Request> {
         vendor: "cirrus".to_string(),
         pages,
         deadline_ms: None,
+        job: None,
     });
     script
 }
@@ -286,6 +287,7 @@ fn load_phase(state: &Arc<ServeState>) -> Result<LoadStats, Box<dyn std::error::
         ServeConfig {
             admission: AdmissionConfig::new(4, 16),
             enable_debug_ops: false,
+            journal_dir: None,
         },
     )?;
     let addr = daemon.addr();
@@ -357,6 +359,7 @@ fn overload_phase(state: &Arc<ServeState>) -> Result<OverloadStats, Box<dyn std:
         ServeConfig {
             admission: cfg,
             enable_debug_ops: true,
+            journal_dir: None,
         },
     )?;
     let addr = daemon.addr();

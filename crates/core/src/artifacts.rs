@@ -9,7 +9,7 @@
 //! | [`PageSyntax`] (audit, per page)  | [`nassim_validator::syntax_key`]    |
 //! | compiled CGM graphs (per page)    | [`nassim_validator::graph_key`]     |
 //! | hierarchy evidence (per page)     | corpus template fingerprint + page fields |
-//! | derivation + VDM build (corpus)   | FNV over the ordered page keys      |
+//! | derivation + VDM build (corpus)   | FNV over the ordered page keys ([`corpus_key`]) |
 //! | leaf embeddings (per UDM leaf)    | [`nassim_mapper::leaf_embedding_key`] |
 //!
 //! The [`ArtifactStore`] keeps them behind `Arc`s so re-assimilating an
@@ -21,30 +21,56 @@
 //! identical** to a cold [`crate::assimilate_with`] run on the same
 //! pages (VDM, diagnostics, mapper rankings; wall-clock stats are the
 //! only exception). `tests/incremental_differential.rs` enforces this
-//! property-style.
+//! property-style. The stages are individually addressable
+//! ([`ArtifactStore::parse_stage`] / [`ArtifactStore::syntax_stage`] /
+//! [`ArtifactStore::hierarchy_stage`] / [`ArtifactStore::build_stage`])
+//! so a caller that must persist between stages — the `nassim-serve`
+//! job journal — runs exactly the pipeline [`assimilate_incremental`]
+//! composes.
+//!
+//! # Durability
 //!
 //! Stores persist as versioned JSON ([`ArtifactStore::save`] /
-//! [`ArtifactStore::load`]): a magic + schema-version header guards
-//! against foreign files, and any corruption surfaces as the typed
+//! [`ArtifactStore::load`]), **crash-consistently**: the bytes are
+//! staged in a sibling temp file, fsynced, atomically renamed over the
+//! destination, and the directory is fsynced ([`crate::atomic_write`])
+//! — a kill at any byte leaves either the old committed store or the
+//! new one, never a tear, at worst plus an orphaned `*.tmp.*` sibling
+//! that the next successful save sweeps and loads ignore. Five
+//! sections are persisted — parse records, syntax audits, compiled CGM
+//! graph sources, hierarchy evidence and the embedding cache — each
+//! guarded by an FNV-1a checksum in the `checksums` footer. The
+//! in-memory derived stage (hierarchy + build) is the only artifact not
+//! persisted directly; it is reconstructed from the cached graphs and
+//! evidence, which is what makes a reload cheap.
+//!
+//! A magic + schema-version header guards against foreign files, loads
+//! are size-capped ([`MAX_STORE_BYTES`]) against adversarial inputs,
+//! and any corruption surfaces as the typed
 //! [`NassimError::ArtifactCorrupt`] rather than a panic or a silently
-//! empty store. Parse and syntax artifacts and the embedding cache are
-//! persisted; compiled CGM graphs and the derived stage are cheap
-//! relative to their serialized size and stay in-memory only.
+//! empty store. [`ArtifactStore::load_lossy`] degrades instead of
+//! failing: a section whose checksum does not match its bytes is a
+//! torn or tampered write and is dropped whole (its entries are *not*
+//! trusted), while a store whose checksum footer is missing entirely
+//! falls back to per-entry salvage — either way each loss is a
+//! [`Stage::Internal`] diagnostic and every loss is only a future
+//! cache miss, re-derived from source.
 
+use crate::crash::{atomic_write, CrashPlan};
 use crate::pipeline::{finish_assimilation, keyed_pages, Assimilation};
-use nassim_corpus::Fnv1a;
+use nassim_corpus::{fnv1a_str, Fnv1a};
 use nassim_diag::NassimError;
+use nassim_diag::{Diagnostic, Stage};
 use nassim_html::IngestBudget;
 use nassim_mapper::{EmbeddingCache, Mapper};
-use nassim_parser::{fold_page_records, page_records, PageRecord, VendorParser};
+use nassim_parser::{fold_page_records, page_records, PageRecord, ParseRun, VendorParser};
 use nassim_validator::hierarchy::Derivation;
-use nassim_validator::syntax_stage::PageSyntax;
+use nassim_validator::syntax_stage::{PageSyntax, SyntaxAudit};
 use nassim_validator::vdm_build::VdmBuild;
 use nassim_validator::{
     audit_page, build_vdm, derive_hierarchy_cached, fold_page_syntax, syntax_key, EvidenceCache,
     GraphCache,
 };
-use nassim_diag::{Diagnostic, Stage};
 use serde::{DeError, Deserialize, Serialize, Value};
 use std::collections::HashMap;
 use std::path::Path;
@@ -55,8 +81,20 @@ use std::sync::Arc;
 const MAGIC: &str = "NASSIM-ARTIFACTS";
 
 /// Bumped on any change to the persisted layout; a mismatch is a typed
-/// corruption error, never a best-effort partial load.
-const SCHEMA_VERSION: i64 = 1;
+/// corruption error, never a best-effort partial load. v2 added the
+/// `graphs` and `evidence` sections and the per-section `checksums`
+/// footer.
+const SCHEMA_VERSION: i64 = 2;
+
+/// Ceiling on the bytes a store load will read. A corrupt length field
+/// cannot exist in JSON, but a multi-GB file (disk corruption, an
+/// adversarial artifact, the wrong path) must fail typed before any
+/// allocation proportional to its size.
+pub const MAX_STORE_BYTES: u64 = 256 * 1024 * 1024;
+
+/// The persisted sections, in on-disk order. Every section carries an
+/// FNV-1a checksum of its serialized bytes in the `checksums` footer.
+const SECTIONS: [&str; 5] = ["pages", "syntax", "graphs", "evidence", "embeddings"];
 
 /// Cache traffic counters for the store-level artifact maps. The graph
 /// and embedding caches carry their own counters ([`GraphCache`],
@@ -92,15 +130,16 @@ pub struct ArtifactStore {
     pages: HashMap<u64, Arc<PageRecord>>,
     /// Per-page syntax audits, keyed by [`nassim_validator::syntax_key`].
     syntax: HashMap<u64, Arc<PageSyntax>>,
-    /// Per-page compiled CGM graphs (in-memory only).
+    /// Per-page compiled CGM graphs (persisted by their CLI sources).
     pub graphs: GraphCache,
     /// Per-page hierarchy evidence, keyed against the whole-corpus
-    /// template fingerprint (in-memory only).
+    /// template fingerprint.
     pub evidence: EvidenceCache,
     /// Normalized leaf-context embeddings for mapper construction.
     pub embeddings: EmbeddingCache,
     /// The corpus-level derived stage, keyed by the FNV of the ordered
-    /// page keys (in-memory only).
+    /// page keys (in-memory only; rebuilt from the graph + evidence
+    /// caches after a reload).
     derived: Option<(u64, Arc<DerivedStage>)>,
     pub stats: StoreStats,
 }
@@ -120,60 +159,93 @@ impl ArtifactStore {
         self.syntax.len()
     }
 
-    /// Persist the store as versioned JSON. Only content-addressed
-    /// artifacts are written — never hit/miss statistics — so saving and
-    /// reloading cannot change any future assimilation result.
+    /// Persist the store as versioned, checksummed JSON via
+    /// [`crate::atomic_write`]: a kill at any byte leaves the
+    /// previously committed file intact. Only content-addressed
+    /// artifacts are written — never hit/miss statistics — so saving
+    /// and reloading cannot change any future assimilation result.
+    ///
+    /// Honours the process-wide `NASSIM_CRASH` plan
+    /// ([`CrashPlan::global`]); tests inject explicit plans through
+    /// [`ArtifactStore::save_with`].
     pub fn save(&self, path: &Path) -> Result<(), NassimError> {
-        let value = Value::Obj(vec![
-            ("magic".to_string(), Value::Str(MAGIC.to_string())),
-            ("schema_version".to_string(), Value::Num(SCHEMA_VERSION as f64)),
+        self.save_with(path, CrashPlan::global())
+    }
+
+    /// [`ArtifactStore::save`] under an explicit [`CrashPlan`] (or none).
+    pub fn save_with(&self, path: &Path, plan: Option<&CrashPlan>) -> Result<(), NassimError> {
+        let sections: Vec<(String, Value)> = vec![
             ("pages".to_string(), keyed_map_to_value(&self.pages)),
             ("syntax".to_string(), keyed_map_to_value(&self.syntax)),
+            ("graphs".to_string(), self.graphs.to_value()),
+            ("evidence".to_string(), self.evidence.to_value()),
             ("embeddings".to_string(), self.embeddings.to_value()),
-        ]);
-        let text = serde_json::to_string(&value).map_err(|e| NassimError::Internal {
-            context: format!("serializing artifact store: {e:?}"),
-        })?;
-        std::fs::write(path, text).map_err(|e| NassimError::Io {
-            context: format!("writing artifact store to `{}`", path.display()),
-            reason: e.to_string(),
-        })
+        ];
+        let mut checksums: Vec<(String, Value)> = Vec::with_capacity(sections.len());
+        for (name, section) in &sections {
+            checksums.push((name.clone(), Value::Str(section_checksum(section)?)));
+        }
+        let mut fields: Vec<(String, Value)> = vec![
+            ("magic".to_string(), Value::Str(MAGIC.to_string())),
+            (
+                "schema_version".to_string(),
+                Value::Num(SCHEMA_VERSION as f64),
+            ),
+        ];
+        fields.extend(sections);
+        fields.push(("checksums".to_string(), Value::Obj(checksums)));
+        let text =
+            serde_json::to_string(&Value::Obj(fields)).map_err(|e| NassimError::Internal {
+                context: format!("serializing artifact store: {e:?}"),
+            })?;
+        atomic_write(path, text.as_bytes(), plan)
     }
 
     /// Load a store saved by [`ArtifactStore::save`]. I/O failures are
     /// [`NassimError::Io`]; anything structurally wrong with the file —
-    /// bad JSON, missing or wrong magic, unknown schema version, a field
-    /// that does not deserialize — is [`NassimError::ArtifactCorrupt`].
+    /// oversized, bad JSON, missing or wrong magic, unknown schema
+    /// version, a section checksum that does not match its bytes, a
+    /// field that does not deserialize — is
+    /// [`NassimError::ArtifactCorrupt`].
     pub fn load(path: &Path) -> Result<ArtifactStore, NassimError> {
-        let text = std::fs::read_to_string(path).map_err(|e| NassimError::Io {
-            context: format!("reading artifact store from `{}`", path.display()),
-            reason: e.to_string(),
-        })?;
+        let text = read_store_bounded(path)?;
         let corrupt = |reason: String| NassimError::ArtifactCorrupt {
             path: path.display().to_string(),
             reason,
         };
         let value: Value =
             serde_json::from_str(&text).map_err(|e| corrupt(format!("invalid JSON: {e:?}")))?;
-        match value.get("magic") {
-            Some(Value::Str(m)) if m == MAGIC => {}
-            Some(Value::Str(m)) => {
-                return Err(corrupt(format!("bad magic `{m}` (expected `{MAGIC}`)")))
-            }
-            _ => return Err(corrupt("missing magic header".to_string())),
-        }
-        match value.get("schema_version") {
-            Some(Value::Num(v)) if *v == SCHEMA_VERSION as f64 => {}
-            Some(Value::Num(v)) => {
+        check_header(&value).map_err(corrupt)?;
+        let Some(Value::Obj(sums)) = value.get("checksums") else {
+            return Err(corrupt("missing `checksums` footer".to_string()));
+        };
+        for name in SECTIONS {
+            let Some(section) = value.get(name) else {
+                return Err(corrupt(format!("missing `{name}` section")));
+            };
+            let Some(Value::Str(stored)) = sums.iter().find(|(k, _)| k == name).map(|(_, v)| v)
+            else {
+                return Err(corrupt(format!("missing checksum for section `{name}`")));
+            };
+            let actual = section_checksum(section)?;
+            if *stored != actual {
                 return Err(corrupt(format!(
-                    "unsupported schema version {v} (expected {SCHEMA_VERSION})"
-                )))
+                    "section `{name}` checksum mismatch (stored {stored}, actual {actual}): \
+                     torn or tampered write"
+                )));
             }
-            _ => return Err(corrupt("missing schema version".to_string())),
         }
         let pages = keyed_map_from_value(value.get("pages"), "pages").map_err(|e| corrupt(e.0))?;
         let syntax =
             keyed_map_from_value(value.get("syntax"), "syntax").map_err(|e| corrupt(e.0))?;
+        let graphs = match value.get("graphs") {
+            Some(v) => GraphCache::from_value(v).map_err(|e| corrupt(e.0))?,
+            None => return Err(corrupt("missing `graphs` section".to_string())),
+        };
+        let evidence = match value.get("evidence") {
+            Some(v) => EvidenceCache::from_value(v).map_err(|e| corrupt(e.0))?,
+            None => return Err(corrupt("missing `evidence` section".to_string())),
+        };
         let embeddings = match value.get("embeddings") {
             Some(v) => EmbeddingCache::from_value(v).map_err(|e| corrupt(e.0))?,
             None => return Err(corrupt("missing `embeddings` section".to_string())),
@@ -181,53 +253,102 @@ impl ArtifactStore {
         Ok(ArtifactStore {
             pages,
             syntax,
-            graphs: GraphCache::new(),
-            evidence: EvidenceCache::new(),
+            graphs,
+            evidence,
             embeddings,
             derived: None,
             stats: StoreStats::default(),
         })
     }
 
-    /// Degraded-startup variant of [`ArtifactStore::load`]: individually
-    /// corrupt entries are skipped and surfaced as [`Stage::Internal`]
-    /// diagnostics while every valid entry still loads. A salvaged entry
-    /// is only ever a future cache miss — re-derived from source, never
-    /// trusted — so a long-running service can warm-start from a
-    /// partially damaged store instead of refusing to come up.
+    /// Degraded-startup variant of [`ArtifactStore::load`], for
+    /// warm-starting a long-running service from a damaged store
+    /// instead of refusing to come up. Loss is reported, bounded, and
+    /// safe:
     ///
-    /// Damage the header cannot absorb (unreadable file, invalid JSON,
-    /// wrong magic, unknown schema version) still fails hard with
-    /// [`NassimError::Io`] / [`NassimError::ArtifactCorrupt`]: with no
-    /// trustworthy frame there is nothing to salvage.
+    /// * a section whose checksum does not match its bytes is a torn
+    ///   or tampered write — it is dropped **whole** (a tampered entry
+    ///   can still parse, so entries of an unverified section are never
+    ///   trusted) and surfaced as one [`Stage::Internal`] diagnostic;
+    /// * a store with no `checksums` footer at all cannot be verified
+    ///   section-wise and falls back to per-entry salvage, each dropped
+    ///   entry its own diagnostic;
+    /// * a salvaged loss is only ever a future cache miss — re-derived
+    ///   from source, never trusted.
+    ///
+    /// Damage the header cannot absorb (unreadable or oversized file,
+    /// invalid JSON, wrong magic, unknown schema version) still fails
+    /// hard with [`NassimError::Io`] / [`NassimError::ArtifactCorrupt`]:
+    /// with no trustworthy frame there is nothing to salvage.
     pub fn load_lossy(path: &Path) -> Result<(ArtifactStore, Vec<Diagnostic>), NassimError> {
-        let text = std::fs::read_to_string(path).map_err(|e| NassimError::Io {
-            context: format!("reading artifact store from `{}`", path.display()),
-            reason: e.to_string(),
-        })?;
+        let text = read_store_bounded(path)?;
         let corrupt = |reason: String| NassimError::ArtifactCorrupt {
             path: path.display().to_string(),
             reason,
         };
         let value: Value =
             serde_json::from_str(&text).map_err(|e| corrupt(format!("invalid JSON: {e:?}")))?;
-        match value.get("magic") {
-            Some(Value::Str(m)) if m == MAGIC => {}
-            Some(Value::Str(m)) => {
-                return Err(corrupt(format!("bad magic `{m}` (expected `{MAGIC}`)")))
-            }
-            _ => return Err(corrupt("missing magic header".to_string())),
-        }
-        match value.get("schema_version") {
-            Some(Value::Num(v)) if *v == SCHEMA_VERSION as f64 => {}
-            Some(Value::Num(v)) => {
-                return Err(corrupt(format!(
-                    "unsupported schema version {v} (expected {SCHEMA_VERSION})"
-                )))
-            }
-            _ => return Err(corrupt("missing schema version".to_string())),
-        }
+        check_header(&value).map_err(corrupt)?;
+
         let mut diagnostics = Vec::new();
+        let mut warn = |message: String| {
+            diagnostics.push(Diagnostic::warning(
+                Stage::Internal,
+                format!("artifact store `{}`: {message}", path.display()),
+            ));
+        };
+
+        let sums = match value.get("checksums") {
+            Some(Value::Obj(sums)) => Some(sums),
+            Some(_) => {
+                warn("`checksums` footer is not an object (sections unverifiable)".to_string());
+                None
+            }
+            None => {
+                warn("missing `checksums` footer (sections unverifiable)".to_string());
+                None
+            }
+        };
+        // With a footer present, a section either verifies (its bytes
+        // are exactly what `save` wrote — entries are trustworthy) or
+        // it is dropped whole. Without a footer nothing verifies and
+        // per-entry salvage is the best remaining option.
+        let mut verified = |name: &str| -> Option<bool> {
+            let sums = sums?;
+            let section = value.get(name)?;
+            let stored = match sums.iter().find(|(k, _)| k == name).map(|(_, v)| v) {
+                Some(Value::Str(s)) => s.clone(),
+                _ => {
+                    warn(format!("section `{name}` has no checksum; dropping it"));
+                    return Some(false);
+                }
+            };
+            match section_checksum(section) {
+                Ok(actual) if actual == stored => Some(true),
+                Ok(actual) => {
+                    warn(format!(
+                        "section `{name}` failed its integrity checksum \
+                         (stored {stored}, actual {actual}): torn or tampered write; \
+                         dropping the section"
+                    ));
+                    Some(false)
+                }
+                Err(_) => {
+                    warn(format!(
+                        "section `{name}` cannot be re-serialized for verification; dropping it"
+                    ));
+                    Some(false)
+                }
+            }
+        };
+        // None ⇒ unverifiable (no footer / section missing): salvage
+        // entry-wise. Some(false) ⇒ verified torn: drop whole.
+        let pages_ok = verified("pages");
+        let syntax_ok = verified("syntax");
+        let graphs_ok = verified("graphs");
+        let evidence_ok = verified("evidence");
+        let embeddings_ok = verified("embeddings");
+
         let mut diag = |what: &str, detail: String| {
             diagnostics.push(Diagnostic::warning(
                 Stage::Internal,
@@ -237,17 +358,58 @@ impl ArtifactStore {
                 ),
             ));
         };
-        let pages = keyed_map_from_value_lossy(value.get("pages"), "pages", &mut diag);
-        let syntax = keyed_map_from_value_lossy(value.get("syntax"), "syntax", &mut diag);
-        let embeddings = match value.get("embeddings") {
-            Some(v) => {
+        let pages = match pages_ok {
+            Some(false) => HashMap::new(),
+            _ => keyed_map_from_value_lossy(value.get("pages"), "pages", &mut diag),
+        };
+        let syntax = match syntax_ok {
+            Some(false) => HashMap::new(),
+            _ => keyed_map_from_value_lossy(value.get("syntax"), "syntax", &mut diag),
+        };
+        let graphs = match (graphs_ok, value.get("graphs")) {
+            (Some(false), _) => GraphCache::new(),
+            (_, Some(v)) => {
+                let (cache, errors) = GraphCache::from_value_lossy(v);
+                for e in errors {
+                    diag("graph entry", e);
+                }
+                cache
+            }
+            (_, None) => {
+                diag(
+                    "section",
+                    "missing `graphs` section (starting empty)".to_string(),
+                );
+                GraphCache::new()
+            }
+        };
+        let evidence = match (evidence_ok, value.get("evidence")) {
+            (Some(false), _) => EvidenceCache::new(),
+            (_, Some(v)) => {
+                let (cache, errors) = EvidenceCache::from_value_lossy(v);
+                for e in errors {
+                    diag("evidence entry", e);
+                }
+                cache
+            }
+            (_, None) => {
+                diag(
+                    "section",
+                    "missing `evidence` section (starting empty)".to_string(),
+                );
+                EvidenceCache::new()
+            }
+        };
+        let embeddings = match (embeddings_ok, value.get("embeddings")) {
+            (Some(false), _) => EmbeddingCache::new(),
+            (_, Some(v)) => {
                 let (cache, errors) = EmbeddingCache::from_value_lossy(v);
                 for e in errors {
                     diag("embedding entry", e);
                 }
                 cache
             }
-            None => {
+            (_, None) => {
                 diag(
                     "section",
                     "missing `embeddings` section (starting empty)".to_string(),
@@ -259,8 +421,8 @@ impl ArtifactStore {
             ArtifactStore {
                 pages,
                 syntax,
-                graphs: GraphCache::new(),
-                evidence: EvidenceCache::new(),
+                graphs,
+                evidence,
                 embeddings,
                 derived: None,
                 stats: StoreStats::default(),
@@ -280,6 +442,187 @@ impl ArtifactStore {
         embedder_id: &str,
     ) -> Mapper {
         Mapper::dl_cached(udm, embedder, embedder_id, &mut self.embeddings)
+    }
+
+    // -----------------------------------------------------------------
+    // The staged pipeline. `assimilate_incremental` composes these
+    // four; `nassim-serve`'s journaled submit path calls them one at a
+    // time so it can persist the store and journal a stage record
+    // between stages.
+    // -----------------------------------------------------------------
+
+    /// §4 parse stage against the store: hits resolve to the stored
+    /// record; misses are parsed in one chunked, panic-isolated fan-out
+    /// (the cold path's own mechanism) and inserted. Returns the fold
+    /// plus the ordered per-page content keys (the preimage of
+    /// [`corpus_key`], which addresses the later stages).
+    pub fn parse_stage<'a>(
+        &mut self,
+        parser: &dyn VendorParser,
+        pages: impl IntoIterator<Item = (&'a str, &'a str)>,
+        budget: &IngestBudget,
+    ) -> Result<(ParseRun, Vec<u64>), NassimError> {
+        let keyed = keyed_pages(parser.vendor(), pages, budget)?;
+        let mut records: Vec<Option<Arc<PageRecord>>> = vec![None; keyed.len()];
+        let mut missing: Vec<usize> = Vec::new();
+        for (i, kp) in keyed.iter().enumerate() {
+            match self.pages.get(&kp.key) {
+                Some(rec) => {
+                    self.stats.page_hits += 1;
+                    records[i] = Some(rec.clone());
+                }
+                None => {
+                    self.stats.page_misses += 1;
+                    missing.push(i);
+                }
+            }
+        }
+        if !missing.is_empty() {
+            let dirty: Vec<(&str, &str)> = missing
+                .iter()
+                .map(|&i| (keyed[i].url, keyed[i].html))
+                .collect();
+            let fresh = page_records(parser, &dirty, budget);
+            for (&i, rec) in missing.iter().zip(fresh) {
+                let rec = Arc::new(rec);
+                self.pages.insert(keyed[i].key, rec.clone());
+                records[i] = Some(rec);
+            }
+        }
+        let records: Vec<Arc<PageRecord>> = records
+            .into_iter()
+            .enumerate()
+            .map(|(i, r)| {
+                r.unwrap_or_else(|| {
+                    // Unreachable: every index was a hit or in `missing`;
+                    // keep a sound fallback instead of panicking.
+                    Arc::new(nassim_parser::page_record(
+                        parser,
+                        keyed[i].url,
+                        keyed[i].html,
+                        budget,
+                    ))
+                })
+            })
+            .collect();
+        let parse = fold_page_records(parser.vendor(), records.iter().map(|r| r.as_ref()));
+        let page_keys = keyed.iter().map(|kp| kp.key).collect();
+        Ok((parse, page_keys))
+    }
+
+    /// §5.1 syntax stage against the store: per successfully parsed
+    /// page, keyed by URL + CLIs.
+    pub fn syntax_stage(&mut self, parse: &ParseRun) -> SyntaxAudit {
+        let mut per_page: Vec<Arc<PageSyntax>> = Vec::with_capacity(parse.pages.len());
+        for page in &parse.pages {
+            let k = syntax_key(page);
+            match self.syntax.get(&k) {
+                Some(audit) => {
+                    self.stats.syntax_hits += 1;
+                    per_page.push(audit.clone());
+                }
+                None => {
+                    self.stats.syntax_misses += 1;
+                    let audit = Arc::new(audit_page(page));
+                    self.syntax.insert(k, audit.clone());
+                    per_page.push(audit);
+                }
+            }
+        }
+        fold_page_syntax(per_page.iter().map(|a| a.as_ref()))
+    }
+
+    /// §5.2 hierarchy stage against the store: same ordered page keys →
+    /// replay the cached derivation; otherwise derive through the
+    /// per-page graph and evidence caches (clean pages reuse compiled
+    /// CGM graphs and collected evidence, including ones reloaded from
+    /// disk).
+    pub fn hierarchy_stage(&mut self, parse: &ParseRun, page_keys: &[u64]) -> Derivation {
+        let ckey = corpus_key(page_keys);
+        if let Some((k, stage)) = &self.derived {
+            if *k == ckey {
+                self.stats.derived_hits += 1;
+                return stage.derivation.clone();
+            }
+        }
+        self.stats.derived_misses += 1;
+        derive_hierarchy_cached(&parse.pages, &mut self.graphs, &mut self.evidence)
+    }
+
+    /// VDM build stage against the store; caches (derivation, build) as
+    /// one corpus-keyed unit so a warm rerun replays both.
+    pub fn build_stage(
+        &mut self,
+        vendor: &str,
+        parse: &ParseRun,
+        page_keys: &[u64],
+        derivation: &Derivation,
+    ) -> VdmBuild {
+        let ckey = corpus_key(page_keys);
+        if let Some((k, stage)) = &self.derived {
+            if *k == ckey {
+                return stage.build.clone();
+            }
+        }
+        let build = build_vdm(vendor, &parse.pages, derivation);
+        self.derived = Some((
+            ckey,
+            Arc::new(DerivedStage {
+                derivation: derivation.clone(),
+                build: build.clone(),
+            }),
+        ));
+        build
+    }
+}
+
+/// FNV-1a over a section's serialized bytes, fixed-width hex — the
+/// per-section integrity mark in the `checksums` footer. Deterministic
+/// because the vendored serializer is order-preserving and every
+/// section is emitted with sorted keys.
+fn section_checksum(section: &Value) -> Result<String, NassimError> {
+    let text = serde_json::to_string(section).map_err(|e| NassimError::Internal {
+        context: format!("serializing store section for checksum: {e:?}"),
+    })?;
+    Ok(format!("{:016x}", fnv1a_str(&text)))
+}
+
+/// Size-capped read of a store file: the metadata is consulted before
+/// any allocation, so a multi-GB corrupt or adversarial file fails
+/// typed without being read.
+fn read_store_bounded(path: &Path) -> Result<String, NassimError> {
+    let meta = std::fs::metadata(path).map_err(|e| NassimError::Io {
+        context: format!("reading artifact store from `{}`", path.display()),
+        reason: e.to_string(),
+    })?;
+    if meta.len() > MAX_STORE_BYTES {
+        return Err(NassimError::ArtifactCorrupt {
+            path: path.display().to_string(),
+            reason: format!(
+                "store file is {} bytes, over the {MAX_STORE_BYTES}-byte load cap",
+                meta.len()
+            ),
+        });
+    }
+    std::fs::read_to_string(path).map_err(|e| NassimError::Io {
+        context: format!("reading artifact store from `{}`", path.display()),
+        reason: e.to_string(),
+    })
+}
+
+/// Magic + schema gate shared by both loads.
+fn check_header(value: &Value) -> Result<(), String> {
+    match value.get("magic") {
+        Some(Value::Str(m)) if m == MAGIC => {}
+        Some(Value::Str(m)) => return Err(format!("bad magic `{m}` (expected `{MAGIC}`)")),
+        _ => return Err("missing magic header".to_string()),
+    }
+    match value.get("schema_version") {
+        Some(Value::Num(v)) if *v == SCHEMA_VERSION as f64 => Ok(()),
+        Some(Value::Num(v)) => Err(format!(
+            "unsupported schema version {v} (expected {SCHEMA_VERSION})"
+        )),
+        _ => Err("missing schema version".to_string()),
     }
 }
 
@@ -350,8 +693,10 @@ fn keyed_map_from_value_lossy<T: Deserialize>(
 
 /// Content key of the corpus-level derived stage: FNV over the ordered
 /// per-page keys. Any page edit, insertion, removal or reorder changes
-/// it, so a stale derivation can never be replayed.
-fn corpus_key(page_keys: &[u64]) -> u64 {
+/// it, so a stale derivation can never be replayed. Public because the
+/// serve job journal uses it as the stage record key for the
+/// corpus-level stages.
+pub fn corpus_key(page_keys: &[u64]) -> u64 {
     let mut h = Fnv1a::new();
     h.write_usize(page_keys.len());
     for &k in page_keys {
@@ -376,100 +721,10 @@ pub fn assimilate_incremental<'a>(
     budget: &IngestBudget,
     store: &mut ArtifactStore,
 ) -> Result<Assimilation, NassimError> {
-    let keyed = keyed_pages(parser.vendor(), pages, budget)?;
-
-    // Parse stage: hits resolve to the stored record; misses are parsed
-    // in one chunked, panic-isolated fan-out (the cold path's own
-    // mechanism) and inserted.
-    let mut records: Vec<Option<Arc<PageRecord>>> = vec![None; keyed.len()];
-    let mut missing: Vec<usize> = Vec::new();
-    for (i, kp) in keyed.iter().enumerate() {
-        match store.pages.get(&kp.key) {
-            Some(rec) => {
-                store.stats.page_hits += 1;
-                records[i] = Some(rec.clone());
-            }
-            None => {
-                store.stats.page_misses += 1;
-                missing.push(i);
-            }
-        }
-    }
-    if !missing.is_empty() {
-        let dirty: Vec<(&str, &str)> = missing
-            .iter()
-            .map(|&i| (keyed[i].url, keyed[i].html))
-            .collect();
-        let fresh = page_records(parser, &dirty, budget);
-        for (&i, rec) in missing.iter().zip(fresh) {
-            let rec = Arc::new(rec);
-            store.pages.insert(keyed[i].key, rec.clone());
-            records[i] = Some(rec);
-        }
-    }
-    let records: Vec<Arc<PageRecord>> = records
-        .into_iter()
-        .enumerate()
-        .map(|(i, r)| {
-            r.unwrap_or_else(|| {
-                // Unreachable: every index was a hit or in `missing`;
-                // keep a sound fallback instead of panicking.
-                Arc::new(nassim_parser::page_record(
-                    parser,
-                    keyed[i].url,
-                    keyed[i].html,
-                    budget,
-                ))
-            })
-        })
-        .collect();
-    let parse = fold_page_records(parser.vendor(), records.iter().map(|r| r.as_ref()));
-
-    // Syntax stage: per successfully parsed page, keyed by URL + CLIs.
-    let mut per_page: Vec<Arc<PageSyntax>> = Vec::with_capacity(parse.pages.len());
-    for page in &parse.pages {
-        let k = syntax_key(page);
-        match store.syntax.get(&k) {
-            Some(audit) => {
-                store.stats.syntax_hits += 1;
-                per_page.push(audit.clone());
-            }
-            None => {
-                store.stats.syntax_misses += 1;
-                let audit = Arc::new(audit_page(page));
-                store.syntax.insert(k, audit.clone());
-                per_page.push(audit);
-            }
-        }
-    }
-    let syntax = fold_page_syntax(per_page.iter().map(|a| a.as_ref()));
-
-    // Derived stage: one corpus-level unit. Same ordered page keys →
-    // replay the cached derivation + build; otherwise derive through
-    // the per-page graph cache (clean pages reuse compiled CGM graphs).
-    let page_keys: Vec<u64> = keyed.iter().map(|kp| kp.key).collect();
-    let ckey = corpus_key(&page_keys);
-    let (derivation, build) = match &store.derived {
-        Some((k, stage)) if *k == ckey => {
-            store.stats.derived_hits += 1;
-            (stage.derivation.clone(), stage.build.clone())
-        }
-        _ => {
-            store.stats.derived_misses += 1;
-            let derivation =
-                derive_hierarchy_cached(&parse.pages, &mut store.graphs, &mut store.evidence);
-            let build = build_vdm(parser.vendor(), &parse.pages, &derivation);
-            store.derived = Some((
-                ckey,
-                Arc::new(DerivedStage {
-                    derivation: derivation.clone(),
-                    build: build.clone(),
-                }),
-            ));
-            (derivation, build)
-        }
-    };
-
+    let (parse, page_keys) = store.parse_stage(parser, pages, budget)?;
+    let syntax = store.syntax_stage(&parse);
+    let derivation = store.hierarchy_stage(&parse, &page_keys);
+    let build = store.build_stage(parser.vendor(), &parse, &page_keys, &derivation);
     Ok(finish_assimilation(parse, syntax, derivation, build))
 }
 
@@ -558,19 +813,25 @@ mod tests {
         let mut loaded = ArtifactStore::load(&path).unwrap();
         assert_eq!(loaded.page_count(), store.page_count());
         assert_eq!(loaded.syntax_count(), store.syntax_count());
+        assert_eq!(loaded.graphs.len(), store.graphs.len());
+        assert_eq!(loaded.evidence.len(), store.evidence.len());
         let again = assimilate_incremental(parser.as_ref(), pages, &budget, &mut loaded).unwrap();
         assimilations_match(&first, &again);
-        // Every parse and syntax artifact came from the loaded store.
+        // Every artifact of every persisted stage came from the loaded
+        // store: parse, syntax, compiled graphs and evidence all replay
+        // without a single recompute.
         assert_eq!(loaded.stats.page_misses, 0);
         assert_eq!(loaded.stats.syntax_misses, 0);
+        assert_eq!(loaded.graphs.misses, 0);
+        assert_eq!(loaded.evidence.misses, 0);
+        assert!(loaded.graphs.hits > 0);
+        assert!(loaded.evidence.hits > 0);
         std::fs::remove_file(&path).ok();
     }
 
     #[test]
-    fn lossy_load_salvages_valid_entries() {
-        use nassim_diag::Severity;
-
-        let m = manual(14);
+    fn staged_pipeline_matches_composed_run() {
+        let m = manual(17);
         let parser = parser_for("helix").unwrap();
         let pages: Vec<(&str, &str)> = m
             .pages
@@ -578,10 +839,30 @@ mod tests {
             .map(|p| (p.url.as_str(), p.html.as_str()))
             .collect();
         let budget = IngestBudget::default();
+        let full = assimilate_with(parser.as_ref(), pages.clone(), &budget).unwrap();
+
         let mut store = ArtifactStore::new();
-        assimilate_incremental(parser.as_ref(), pages.clone(), &budget, &mut store).unwrap();
-        // Populate the embedding section too, so all three persisted
-        // sections have entries to damage.
+        let (parse, page_keys) = store.parse_stage(parser.as_ref(), pages, &budget).unwrap();
+        let syntax = store.syntax_stage(&parse);
+        let derivation = store.hierarchy_stage(&parse, &page_keys);
+        let build = store.build_stage(parser.vendor(), &parse, &page_keys, &derivation);
+        let staged = finish_assimilation(parse, syntax, derivation, build);
+        assimilations_match(&full, &staged);
+    }
+
+    /// Build a store with all five persisted sections populated (the
+    /// lossy/salvage tests damage them one at a time).
+    fn populated_store(seed: u64) -> (manualgen::Manual, ArtifactStore) {
+        let m = manual(seed);
+        let parser = parser_for("helix").unwrap();
+        let pages: Vec<(&str, &str)> = m
+            .pages
+            .iter()
+            .map(|p| (p.url.as_str(), p.html.as_str()))
+            .collect();
+        let mut store = ArtifactStore::new();
+        assimilate_incremental(parser.as_ref(), pages, &IngestBudget::default(), &mut store)
+            .unwrap();
         let udm_data = nassim_datasets::udmgen::generate(
             &Catalog::base(),
             &nassim_datasets::udmgen::UdmGenOptions {
@@ -601,7 +882,25 @@ mod tests {
             }
         }
         store.mapper_dl(&udm_data.udm, Arc::new(TestEmbedder), "test-embedder");
-        assert!(store.embeddings.len() > 1, "need entries to damage");
+        assert!(store.page_count() > 1, "need parse entries to damage");
+        assert!(store.graphs.len() > 1, "need graph entries to damage");
+        assert!(store.evidence.len() > 1, "need evidence entries to damage");
+        assert!(store.embeddings.len() > 1, "need embeddings to damage");
+        (m, store)
+    }
+
+    #[test]
+    fn lossy_load_salvages_valid_entries_when_unverifiable() {
+        use nassim_diag::Severity;
+
+        let (m, store) = populated_store(14);
+        let parser = parser_for("helix").unwrap();
+        let pages: Vec<(&str, &str)> = m
+            .pages
+            .iter()
+            .map(|p| (p.url.as_str(), p.html.as_str()))
+            .collect();
+        let budget = IngestBudget::default();
         let dir = std::env::temp_dir().join("nassim-artifact-lossy");
         std::fs::create_dir_all(&dir).unwrap();
         let path = dir.join("store.json");
@@ -612,11 +911,14 @@ mod tests {
         assert!(diags.is_empty(), "{diags:?}");
         assert_eq!(pristine.page_count(), store.page_count());
 
-        // Surgically corrupt individual entries: one page value, one
-        // non-hex syntax key, one embedding entry.
+        // Surgically corrupt individual entries — one page value, one
+        // non-hex syntax key, one embedding entry — and strip the
+        // checksum footer, simulating a store whose sections cannot be
+        // verified: the load falls back to per-entry salvage.
         let text = std::fs::read_to_string(&path).unwrap();
         let mut value: Value = serde_json::from_str(&text).unwrap();
         let Value::Obj(sections) = &mut value else { panic!("store is an object") };
+        sections.retain(|(name, _)| name != "checksums");
         for (name, section) in sections.iter_mut() {
             match (name.as_str(), section) {
                 ("pages", Value::Obj(entries)) => {
@@ -643,16 +945,23 @@ mod tests {
             other => panic!("expected ArtifactCorrupt, got {:?}", other.is_ok()),
         }
         // …while the lossy load salvages everything else and reports
-        // each dropped entry as a Stage::Internal diagnostic.
+        // each dropped entry (plus the missing footer) as a
+        // Stage::Internal diagnostic.
         let (salvaged, diags) = ArtifactStore::load_lossy(&path).unwrap();
         assert_eq!(salvaged.page_count(), store.page_count() - 1);
         assert_eq!(salvaged.syntax_count(), store.syntax_count());
         assert_eq!(salvaged.embeddings.len(), store.embeddings.len() - 1);
-        assert_eq!(diags.len(), 3, "{diags:?}");
+        assert_eq!(salvaged.graphs.len(), store.graphs.len());
+        assert_eq!(salvaged.evidence.len(), store.evidence.len());
+        assert_eq!(diags.len(), 4, "{diags:?}");
         for d in &diags {
             assert_eq!(d.stage, Stage::Internal);
             assert_eq!(d.severity, Severity::Warning);
-            assert!(d.message.contains("dropped corrupt"), "{}", d.message);
+            assert!(
+                d.message.contains("dropped corrupt") || d.message.contains("checksums"),
+                "{}",
+                d.message
+            );
         }
 
         // The salvaged store still assimilates correctly: dropped
@@ -663,6 +972,164 @@ mod tests {
         assert_eq!(again.build.vdm, store_build_vdm(&m));
         assert_eq!(salvaged.stats.page_misses, 1);
         std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn torn_sections_are_dropped_whole_and_the_rest_survive() {
+        use nassim_diag::Severity;
+
+        let (_m, store) = populated_store(15);
+        let dir = std::env::temp_dir().join("nassim-artifact-sections");
+        std::fs::create_dir_all(&dir).unwrap();
+        let pristine_path = dir.join("pristine.json");
+        store.save(&pristine_path).unwrap();
+        let pristine = std::fs::read_to_string(&pristine_path).unwrap();
+
+        let counts = |s: &ArtifactStore| {
+            [
+                s.page_count(),
+                s.syntax_count(),
+                s.graphs.len(),
+                s.evidence.len(),
+                s.embeddings.len(),
+            ]
+        };
+        let full = counts(&store);
+        for (si, name) in SECTIONS.iter().enumerate() {
+            // Replace the whole section with bytes that still parse as
+            // JSON but cannot be what `save` wrote: the checksum footer
+            // catches it even though (for map sections) every remaining
+            // entry would parse.
+            let mut value: Value = serde_json::from_str(&pristine).unwrap();
+            let Value::Obj(fields) = &mut value else { panic!("store is an object") };
+            for (k, v) in fields.iter_mut() {
+                if k == name {
+                    *v = Value::Obj(vec![]);
+                }
+            }
+            let path = dir.join(format!("torn-{name}.json"));
+            std::fs::write(&path, serde_json::to_string(&value).unwrap()).unwrap();
+
+            // Strict load refuses with a checksum-mismatch corruption…
+            match ArtifactStore::load(&path) {
+                Err(NassimError::ArtifactCorrupt { reason, .. }) => {
+                    assert!(reason.contains("checksum"), "{name}: {reason}");
+                }
+                other => panic!("{name}: expected ArtifactCorrupt, got ok={}", other.is_ok()),
+            }
+            // …while the lossy load drops exactly that section and
+            // keeps the other four intact, with one Internal warning.
+            let (salvaged, diags) = ArtifactStore::load_lossy(&path).unwrap();
+            let got = counts(&salvaged);
+            for (i, (&g, &f)) in got.iter().zip(full.iter()).enumerate() {
+                if i == si {
+                    assert_eq!(g, 0, "damaged section `{name}` must come back empty");
+                } else {
+                    assert_eq!(g, f, "section {} damaged by `{name}` tear", SECTIONS[i]);
+                }
+            }
+            assert_eq!(diags.len(), 1, "{name}: {diags:?}");
+            assert_eq!(diags[0].stage, Stage::Internal);
+            assert_eq!(diags[0].severity, Severity::Warning);
+            assert!(
+                diags[0].message.contains(name) && diags[0].message.contains("checksum"),
+                "{}",
+                diags[0].message
+            );
+            std::fs::remove_file(&path).ok();
+        }
+        std::fs::remove_file(&pristine_path).ok();
+    }
+
+    #[test]
+    fn littered_directory_still_loads_the_committed_store() {
+        let (_m, store) = populated_store(16);
+        let dir = std::env::temp_dir().join("nassim-artifact-litter");
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("store.json");
+        store.save(&path).unwrap();
+
+        // Crash debris: stale temps from torn saves (garbage bytes, a
+        // truncated prefix of a real store, and a complete-but-unrenamed
+        // candidate), both for this store and for an unrelated name.
+        let committed = std::fs::read(&path).unwrap();
+        std::fs::write(dir.join("store.json.tmp.999.0"), b"{torn garbage").unwrap();
+        std::fs::write(dir.join("store.json.tmp.999.1"), &committed[..committed.len() / 3])
+            .unwrap();
+        std::fs::write(dir.join("store.json.tmp.999.2"), &committed).unwrap();
+        std::fs::write(dir.join("other.json.tmp.7.0"), b"unrelated").unwrap();
+        assert_eq!(crate::crash::orphan_count(&path), 3);
+
+        // Loads read only the committed file — the litter is invisible.
+        let loaded = ArtifactStore::load(&path).unwrap();
+        assert_eq!(loaded.page_count(), store.page_count());
+        let (lossy, diags) = ArtifactStore::load_lossy(&path).unwrap();
+        assert!(diags.is_empty(), "{diags:?}");
+        assert_eq!(lossy.embeddings.len(), store.embeddings.len());
+
+        // The next successful save sweeps this store's orphans (and
+        // leaves the unrelated file alone).
+        store.save(&path).unwrap();
+        assert_eq!(crate::crash::orphan_count(&path), 0);
+        assert!(dir.join("other.json.tmp.7.0").exists());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn oversized_store_fails_typed_before_reading() {
+        let dir = std::env::temp_dir().join("nassim-artifact-oversize");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("huge.json");
+        // A sparse file over the cap: metadata reports the size without
+        // the test paying for the bytes.
+        let f = std::fs::File::create(&path).unwrap();
+        f.set_len(MAX_STORE_BYTES + 1).unwrap();
+        drop(f);
+        for result in [
+            ArtifactStore::load(&path).err(),
+            ArtifactStore::load_lossy(&path).err(),
+        ] {
+            match result {
+                Some(NassimError::ArtifactCorrupt { reason, .. }) => {
+                    assert!(reason.contains("load cap"), "{reason}");
+                }
+                other => panic!("expected ArtifactCorrupt, got {other:?}"),
+            }
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn injected_save_crashes_never_lose_the_committed_store() {
+        let (_m, store) = populated_store(18);
+        let dir = std::env::temp_dir().join("nassim-artifact-crash");
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("store.json");
+        store.save(&path).unwrap();
+        let committed = std::fs::read(&path).unwrap();
+
+        let plan = CrashPlan::uniform(77, 1.0);
+        for _ in 0..5 {
+            match store.save_with(&path, Some(&plan)) {
+                Err(NassimError::CrashInjected { .. }) => {}
+                other => panic!("rate-1.0 saves must crash, got ok={}", other.is_ok()),
+            }
+            assert_eq!(
+                std::fs::read(&path).unwrap(),
+                committed,
+                "injected crash touched the committed store"
+            );
+            let loaded = ArtifactStore::load(&path).unwrap();
+            assert_eq!(loaded.page_count(), store.page_count());
+        }
+        assert!(plan.injection_count() >= 5);
+        // Recovery: one clean save commits and sweeps the debris.
+        store.save(&path).unwrap();
+        assert_eq!(crate::crash::orphan_count(&path), 0);
+        ArtifactStore::load(&path).unwrap();
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     /// The VDM a cold assimilation of `m` produces (ground truth for
@@ -685,14 +1152,14 @@ mod tests {
         std::fs::create_dir_all(&dir).unwrap();
         let cases: [(&str, &str); 4] = [
             ("garbage.json", "not json at all {{{"),
-            ("magic.json", "{\"magic\":\"SOMETHING-ELSE\",\"schema_version\":1}"),
+            ("magic.json", "{\"magic\":\"SOMETHING-ELSE\",\"schema_version\":2}"),
             (
                 "version.json",
                 "{\"magic\":\"NASSIM-ARTIFACTS\",\"schema_version\":999}",
             ),
             (
                 "missing.json",
-                "{\"magic\":\"NASSIM-ARTIFACTS\",\"schema_version\":1}",
+                "{\"magic\":\"NASSIM-ARTIFACTS\",\"schema_version\":2}",
             ),
         ];
         for (name, content) in cases {

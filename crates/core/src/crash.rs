@@ -1,0 +1,537 @@
+//! Seeded crash injection for the persistence layer, plus the
+//! crash-consistent write primitives it targets.
+//!
+//! The fourth fault-plan family, after the device `FaultPlan`
+//! (`NASSIM_FAULTS`), the ingestion `CorruptionPlan`
+//! (`NASSIM_CORRUPTION`) and the serving `ServeFaultPlan`
+//! (`NASSIM_SERVE_FAULTS`): a [`CrashPlan`] decides deterministically,
+//! per persistence operation, whether the "process dies" at a kill
+//! point inside that operation — the temp file truncated at an
+//! arbitrary byte offset ([`CrashPoint::TruncateTemp`]), the atomic
+//! rename never happening ([`CrashPoint::SkipRename`]), or a journal
+//! append cut short mid-record ([`CrashPoint::TornAppend`]). The
+//! injection performs the *real on-disk effect* of dying at that byte
+//! and then surfaces as the typed
+//! [`NassimError::CrashInjected`], so recovery code is exercised
+//! against exactly the states a SIGKILL can leave behind. Every
+//! injection lands in a drainable log and the same seed replays the
+//! same sequence (fixed draws per operation, first applicable hit
+//! wins).
+//!
+//! The primitives themselves:
+//!
+//! * [`atomic_write`] — write to a sibling temp file, fsync, atomically
+//!   rename over the destination, fsync the directory. A crash at any
+//!   byte leaves either the old committed file or the new one, never a
+//!   tear; the worst case is an orphaned `*.tmp.*` sibling, which
+//!   [`clean_orphans`] removes (and loads ignore).
+//! * [`append_record`] — append one length-delimited record to an open
+//!   journal, fsync. A crash mid-append leaves a torn tail that replay
+//!   detects by checksum and discards (WAL semantics).
+//!
+//! Armed process-wide via `NASSIM_CRASH=seed:rate`
+//! ([`CrashPlan::global`]); tests pass explicit plans.
+
+use nassim_diag::NassimError;
+use parking_lot::Mutex;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::fs::File;
+use std::io::Write;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::OnceLock;
+
+/// One kill point inside the persistence layer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CrashPoint {
+    /// Die while writing the temp file: only a prefix of the bytes
+    /// reaches disk, the rename never happens. The committed file is
+    /// untouched; a truncated `*.tmp.*` orphan is left behind.
+    TruncateTemp,
+    /// Die between the (complete, fsynced) temp write and the rename.
+    /// The committed file is untouched; a fully-written orphan is left
+    /// behind — indistinguishable from a torn one to recovery, which
+    /// must trust neither.
+    SkipRename,
+    /// Die mid-append to a journal: only a prefix of the record reaches
+    /// disk. Replay must detect the torn tail and recover everything
+    /// before it.
+    TornAppend,
+}
+
+impl CrashPoint {
+    /// All kill points, in the order [`CrashPlan::decide`] draws them.
+    pub const ALL: [CrashPoint; 3] = [
+        CrashPoint::TruncateTemp,
+        CrashPoint::SkipRename,
+        CrashPoint::TornAppend,
+    ];
+
+    /// Whether this kill point exists inside `op`.
+    fn applies_to(self, op: PersistOp) -> bool {
+        match self {
+            CrashPoint::TruncateTemp | CrashPoint::SkipRename => op == PersistOp::StoreWrite,
+            CrashPoint::TornAppend => op == PersistOp::JournalAppend,
+        }
+    }
+}
+
+impl std::fmt::Display for CrashPoint {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            CrashPoint::TruncateTemp => "truncate-temp",
+            CrashPoint::SkipRename => "skip-rename",
+            CrashPoint::TornAppend => "torn-append",
+        })
+    }
+}
+
+/// The persistence operation a [`CrashPlan`] decision is drawn for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PersistOp {
+    /// An [`atomic_write`] (temp + fsync + rename + dir fsync).
+    StoreWrite,
+    /// An [`append_record`] to a journal.
+    JournalAppend,
+}
+
+/// One recorded injection.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InjectedCrash {
+    /// Monotonic injection sequence number (0-based).
+    pub seq: u64,
+    pub point: CrashPoint,
+    /// The destination path of the interrupted operation.
+    pub path: String,
+    /// Byte offset the "process died" at, for the torn classes
+    /// (`None` for [`CrashPoint::SkipRename`], which dies between two
+    /// byte-complete steps).
+    pub offset: Option<usize>,
+}
+
+struct PlanState {
+    rng: StdRng,
+    seq: u64,
+    log: Vec<InjectedCrash>,
+}
+
+/// A seeded, shareable crash plan (same discipline as the other three
+/// fault-plan families: fixed draws per persistence operation — one
+/// `gen_bool` per kill point in [`CrashPoint::ALL`] order plus one
+/// offset draw, even after a hit — first *applicable* hit wins, so each
+/// run replays bit-for-bit from its seed).
+pub struct CrashPlan {
+    rate: f64,
+    state: Mutex<PlanState>,
+}
+
+impl CrashPlan {
+    /// Every kill point at the same `rate`, seeded.
+    pub fn uniform(seed: u64, rate: f64) -> CrashPlan {
+        CrashPlan {
+            rate,
+            state: Mutex::new(PlanState {
+                rng: StdRng::seed_from_u64(seed),
+                seq: 0,
+                log: Vec::new(),
+            }),
+        }
+    }
+
+    /// Build a plan from `NASSIM_CRASH=seed:rate` (the same format as
+    /// the other fault-plan knobs).
+    pub fn from_env() -> Option<CrashPlan> {
+        let value = std::env::var("NASSIM_CRASH").ok()?;
+        let (seed, rate) = Self::parse_env_value(&value)?;
+        Some(CrashPlan::uniform(seed, rate))
+    }
+
+    /// The process-wide plan, armed once from `NASSIM_CRASH` on first
+    /// use. `None` (the production state) means every persistence
+    /// operation runs clean. A fresh plan per save would reseed the RNG
+    /// each time and make every operation draw identically, so the
+    /// global is the only env-driven entry point; tests that need
+    /// isolation pass explicit plans instead.
+    pub fn global() -> Option<&'static CrashPlan> {
+        static GLOBAL: OnceLock<Option<CrashPlan>> = OnceLock::new();
+        GLOBAL.get_or_init(CrashPlan::from_env).as_ref()
+    }
+
+    /// Parse a `seed:rate` spec.
+    pub fn parse_env_value(value: &str) -> Option<(u64, f64)> {
+        let (seed, rate) = value.split_once(':')?;
+        let seed: u64 = seed.trim().parse().ok()?;
+        let rate: f64 = rate.trim().parse().ok()?;
+        if !(0.0..=1.0).contains(&rate) {
+            return None;
+        }
+        Some((seed, rate))
+    }
+
+    /// Decide whether the persistence operation `op` targeting `path`
+    /// (writing `len` bytes) crashes, and where. Fixed draws per
+    /// operation: one per kill point plus one offset fraction, so the
+    /// RNG stream — and therefore the whole run — replays from the
+    /// seed regardless of which operations actually hit.
+    pub fn decide(&self, op: PersistOp, path: &Path, len: usize) -> Option<InjectedCrash> {
+        let mut state = self.state.lock();
+        let mut hit = None;
+        for point in CrashPoint::ALL {
+            let drawn = self.rate > 0.0 && state.rng.gen_bool(self.rate);
+            if drawn && hit.is_none() && point.applies_to(op) {
+                hit = Some(point);
+            }
+        }
+        let frac: f64 = state.rng.gen_range(0.0..1.0);
+        let point = hit?;
+        let offset = match point {
+            // A torn write is truly torn: strictly fewer bytes than the
+            // record, so recovery can never mistake it for a clean one.
+            CrashPoint::TruncateTemp | CrashPoint::TornAppend => {
+                Some(((frac * len as f64) as usize).min(len.saturating_sub(1)))
+            }
+            CrashPoint::SkipRename => None,
+        };
+        let seq = state.seq;
+        state.seq += 1;
+        let injected = InjectedCrash {
+            seq,
+            point,
+            path: path.display().to_string(),
+            offset,
+        };
+        state.log.push(injected.clone());
+        Some(injected)
+    }
+
+    /// Drain the injection log.
+    pub fn take_injections(&self) -> Vec<InjectedCrash> {
+        std::mem::take(&mut self.state.lock().log)
+    }
+
+    /// Injections so far, without draining.
+    pub fn injection_count(&self) -> u64 {
+        self.state.lock().seq
+    }
+}
+
+/// Distinguishes concurrent writers' temp files; monotonic per process.
+static TEMP_COUNTER: AtomicU64 = AtomicU64::new(0);
+
+/// The sibling temp path an [`atomic_write`] to `path` stages through:
+/// `<name>.tmp.<pid>.<counter>` in the same directory (rename is only
+/// atomic within a filesystem).
+fn temp_path(path: &Path) -> PathBuf {
+    let name = path
+        .file_name()
+        .map(|n| n.to_string_lossy().into_owned())
+        .unwrap_or_else(|| "store".to_string());
+    let n = TEMP_COUNTER.fetch_add(1, Ordering::Relaxed);
+    path.with_file_name(format!("{name}.tmp.{}.{n}", std::process::id()))
+}
+
+/// Whether `candidate` (a file name in `path`'s directory) is a staged
+/// temp for `path` — committed-file loads ignore these, and
+/// [`clean_orphans`] removes them.
+fn is_temp_for(path: &Path, candidate: &str) -> bool {
+    let Some(name) = path.file_name().map(|n| n.to_string_lossy().into_owned()) else {
+        return false;
+    };
+    candidate
+        .strip_prefix(name.as_str())
+        .is_some_and(|rest| rest.starts_with(".tmp."))
+}
+
+fn io_err(context: String, e: &std::io::Error) -> NassimError {
+    NassimError::Io {
+        context,
+        reason: e.to_string(),
+    }
+}
+
+/// Crash-consistently replace `path` with `bytes`: write a sibling temp
+/// file, fsync it, atomically rename it over `path`, fsync the
+/// directory. Under a [`CrashPlan`] the operation may instead "die" at
+/// a kill point — performing the partial on-disk effect (truncated or
+/// unrenamed temp) and returning [`NassimError::CrashInjected`] — in
+/// which case the previously committed `path` is guaranteed untouched.
+///
+/// After a successful commit, stale `*.tmp.*` orphans left by earlier
+/// crashes are swept best-effort.
+pub fn atomic_write(path: &Path, bytes: &[u8], plan: Option<&CrashPlan>) -> Result<(), NassimError> {
+    let tmp = temp_path(path);
+    let injected = plan.and_then(|p| p.decide(PersistOp::StoreWrite, path, bytes.len()));
+    let write_len = match &injected {
+        Some(InjectedCrash {
+            point: CrashPoint::TruncateTemp,
+            offset: Some(off),
+            ..
+        }) => *off,
+        _ => bytes.len(),
+    };
+    {
+        let mut f = File::create(&tmp)
+            .map_err(|e| io_err(format!("creating temp file `{}`", tmp.display()), &e))?;
+        f.write_all(&bytes[..write_len])
+            .map_err(|e| io_err(format!("writing temp file `{}`", tmp.display()), &e))?;
+        f.sync_all()
+            .map_err(|e| io_err(format!("fsyncing temp file `{}`", tmp.display()), &e))?;
+    }
+    if let Some(crash) = injected {
+        // The "process died" here: the temp orphan stays exactly as the
+        // kill point left it, the committed file was never touched.
+        return Err(NassimError::CrashInjected {
+            path: path.display().to_string(),
+            point: crash.point.to_string(),
+        });
+    }
+    std::fs::rename(&tmp, path).map_err(|e| {
+        io_err(
+            format!("renaming `{}` over `{}`", tmp.display(), path.display()),
+            &e,
+        )
+    })?;
+    // The rename is durable only once the directory entry is; fsync the
+    // parent so a power cut after this call cannot resurrect the old
+    // file.
+    if let Some(parent) = path.parent().filter(|p| !p.as_os_str().is_empty()) {
+        let dir = File::open(parent)
+            .map_err(|e| io_err(format!("opening directory `{}`", parent.display()), &e))?;
+        dir.sync_all()
+            .map_err(|e| io_err(format!("fsyncing directory `{}`", parent.display()), &e))?;
+    }
+    clean_orphans(path);
+    Ok(())
+}
+
+/// Remove stale `*.tmp.*` siblings left for `path` by crashed
+/// [`atomic_write`]s. Best-effort: a temp that vanishes or resists
+/// removal is skipped, never an error. Returns the number removed.
+pub fn clean_orphans(path: &Path) -> usize {
+    let Some(parent) = path.parent().filter(|p| !p.as_os_str().is_empty()) else {
+        return 0;
+    };
+    let Ok(entries) = std::fs::read_dir(parent) else {
+        return 0;
+    };
+    let mut removed = 0;
+    for entry in entries.flatten() {
+        let name = entry.file_name().to_string_lossy().into_owned();
+        if is_temp_for(path, &name) && std::fs::remove_file(entry.path()).is_ok() {
+            removed += 1;
+        }
+    }
+    removed
+}
+
+/// Stale `*.tmp.*` siblings currently littering `path`'s directory
+/// (what [`clean_orphans`] would remove).
+pub fn orphan_count(path: &Path) -> usize {
+    let Some(parent) = path.parent().filter(|p| !p.as_os_str().is_empty()) else {
+        return 0;
+    };
+    let Ok(entries) = std::fs::read_dir(parent) else {
+        return 0;
+    };
+    entries
+        .flatten()
+        .filter(|e| is_temp_for(path, &e.file_name().to_string_lossy()))
+        .count()
+}
+
+/// Append one record (the caller frames it — the serve journal uses one
+/// checksummed JSON line) to an open journal file and fsync it. Under a
+/// [`CrashPlan`] the append may "die" mid-record: a prefix of the bytes
+/// is written (and synced, so the torn tail is really on disk) and
+/// [`NassimError::CrashInjected`] is returned — replay detects the tear
+/// by checksum and discards it.
+pub fn append_record(
+    file: &mut File,
+    path: &Path,
+    bytes: &[u8],
+    plan: Option<&CrashPlan>,
+) -> Result<(), NassimError> {
+    let injected = plan.and_then(|p| p.decide(PersistOp::JournalAppend, path, bytes.len()));
+    let write_len = match &injected {
+        Some(InjectedCrash {
+            point: CrashPoint::TornAppend,
+            offset: Some(off),
+            ..
+        }) => *off,
+        _ => bytes.len(),
+    };
+    file.write_all(&bytes[..write_len])
+        .map_err(|e| io_err(format!("appending to journal `{}`", path.display()), &e))?;
+    file.sync_all()
+        .map_err(|e| io_err(format!("fsyncing journal `{}`", path.display()), &e))?;
+    if let Some(crash) = injected {
+        return Err(NassimError::CrashInjected {
+            path: path.display().to_string(),
+            point: crash.point.to_string(),
+        });
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_injection_sequence() {
+        let run = || {
+            let plan = CrashPlan::uniform(42, 0.5);
+            let p = Path::new("/tmp/x/store.json");
+            let j = Path::new("/tmp/x/journal.log");
+            for i in 0..40 {
+                if i % 3 == 0 {
+                    plan.decide(PersistOp::JournalAppend, j, 100 + i);
+                } else {
+                    plan.decide(PersistOp::StoreWrite, p, 1000 + i);
+                }
+            }
+            plan.take_injections()
+        };
+        let a = run();
+        let b = run();
+        assert!(!a.is_empty());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn zero_rate_never_injects() {
+        let plan = CrashPlan::uniform(7, 0.0);
+        for i in 0..100 {
+            assert!(plan
+                .decide(PersistOp::StoreWrite, Path::new("s.json"), i)
+                .is_none());
+        }
+        assert_eq!(plan.injection_count(), 0);
+    }
+
+    #[test]
+    fn log_is_ordered_and_drainable() {
+        let plan = CrashPlan::uniform(3, 0.8);
+        for _ in 0..50 {
+            plan.decide(PersistOp::StoreWrite, Path::new("s.json"), 512);
+        }
+        let log = plan.take_injections();
+        assert!(!log.is_empty());
+        for (i, inj) in log.iter().enumerate() {
+            assert_eq!(inj.seq, i as u64);
+        }
+        assert!(plan.take_injections().is_empty());
+        assert_eq!(plan.injection_count(), log.len() as u64);
+    }
+
+    #[test]
+    fn all_points_fire_at_moderate_rates_and_respect_op_class() {
+        let plan = CrashPlan::uniform(11, 0.4);
+        let p = Path::new("s.json");
+        let j = Path::new("j.log");
+        for i in 0..300 {
+            if i % 2 == 0 {
+                plan.decide(PersistOp::StoreWrite, p, 4096);
+            } else {
+                plan.decide(PersistOp::JournalAppend, j, 256);
+            }
+        }
+        let log = plan.take_injections();
+        for point in CrashPoint::ALL {
+            assert!(
+                log.iter().any(|f| f.point == point),
+                "{point} never fired in 300 ops"
+            );
+        }
+        // Kill points only ever fire inside the op they live in.
+        for inj in &log {
+            match inj.point {
+                CrashPoint::TornAppend => assert_eq!(inj.path, "j.log"),
+                _ => assert_eq!(inj.path, "s.json"),
+            }
+        }
+    }
+
+    #[test]
+    fn torn_offsets_are_strictly_short() {
+        let plan = CrashPlan::uniform(5, 1.0);
+        for len in [1usize, 2, 64, 4096] {
+            let inj = plan
+                .decide(PersistOp::JournalAppend, Path::new("j.log"), len)
+                .expect("rate 1.0 always injects");
+            let off = inj.offset.expect("torn appends carry an offset");
+            assert!(off < len, "offset {off} not short of {len}");
+        }
+    }
+
+    #[test]
+    fn env_value_parsing() {
+        assert_eq!(CrashPlan::parse_env_value("7:0.25"), Some((7, 0.25)));
+        assert_eq!(CrashPlan::parse_env_value(" 7 : 1.0 "), Some((7, 1.0)));
+        assert_eq!(CrashPlan::parse_env_value("7:1.5"), None);
+        assert_eq!(CrashPlan::parse_env_value("x:0.5"), None);
+        assert_eq!(CrashPlan::parse_env_value("nope"), None);
+    }
+
+    #[test]
+    fn atomic_write_commits_and_injections_never_touch_committed() {
+        let dir = std::env::temp_dir().join("nassim-crash-atomic");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("store.json");
+        atomic_write(&path, b"committed-v1", None).unwrap();
+        assert_eq!(std::fs::read(&path).unwrap(), b"committed-v1");
+
+        let plan = CrashPlan::uniform(9, 1.0);
+        let mut crashes = 0;
+        for i in 0..20 {
+            let next = format!("candidate-{i}");
+            match atomic_write(&path, next.as_bytes(), Some(&plan)) {
+                Ok(()) => {
+                    // rate 1.0 on the store-write classes can still miss
+                    // when only TornAppend drew the hit slot — then the
+                    // write commits.
+                    unreachable!("rate-1.0 store writes always hit a store class");
+                }
+                Err(NassimError::CrashInjected { .. }) => {
+                    crashes += 1;
+                    assert_eq!(
+                        std::fs::read(&path).unwrap(),
+                        b"committed-v1",
+                        "injected crash touched the committed file"
+                    );
+                }
+                Err(other) => panic!("unexpected error: {other}"),
+            }
+        }
+        assert_eq!(crashes, 20);
+        assert!(orphan_count(&path) > 0, "crashes leave temp orphans");
+
+        // A clean write commits and sweeps the orphans.
+        atomic_write(&path, b"committed-v2", None).unwrap();
+        assert_eq!(std::fs::read(&path).unwrap(), b"committed-v2");
+        assert_eq!(orphan_count(&path), 0);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn torn_append_leaves_a_strict_prefix() {
+        let dir = std::env::temp_dir().join("nassim-crash-append");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("journal.log");
+        let mut file = File::create(&path).unwrap();
+        append_record(&mut file, &path, b"rec-one\n", None).unwrap();
+        let committed = std::fs::read(&path).unwrap();
+
+        let plan = CrashPlan::uniform(13, 1.0);
+        let err = append_record(&mut file, &path, b"rec-two\n", Some(&plan));
+        assert!(matches!(err, Err(NassimError::CrashInjected { .. })));
+        let after = std::fs::read(&path).unwrap();
+        assert!(after.starts_with(&committed));
+        assert!(
+            after.len() < committed.len() + b"rec-two\n".len(),
+            "torn append wrote the full record"
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

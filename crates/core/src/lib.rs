@@ -18,6 +18,7 @@
 //! users depend on `nassim` alone.
 
 pub mod artifacts;
+pub mod crash;
 pub mod deviceize;
 pub mod modelzoo;
 pub mod pipeline;
@@ -34,5 +35,11 @@ pub use nassim_parser as parser;
 pub use nassim_syntax as syntax;
 pub use nassim_validator as validator;
 
-pub use artifacts::{assimilate_incremental, ArtifactStore, StoreStats};
+pub use artifacts::{
+    assimilate_incremental, corpus_key, ArtifactStore, StoreStats, MAX_STORE_BYTES,
+};
+pub use crash::{
+    append_record, atomic_write, clean_orphans, orphan_count, CrashPlan, CrashPoint, InjectedCrash,
+    PersistOp,
+};
 pub use pipeline::{assimilate, assimilate_with, Assimilation};

@@ -365,6 +365,21 @@ pub enum NassimError {
     /// A saved artifact store failed to load: missing magic, unsupported
     /// schema version, or structurally corrupt contents.
     ArtifactCorrupt { path: String, reason: String },
+    /// A seeded `CrashPlan` kill point fired inside the persistence
+    /// layer (torn temp write, partial rename, torn journal append).
+    /// Only ever produced under `NASSIM_CRASH` or an explicit test
+    /// plan — callers treat it exactly like the process dying at that
+    /// byte: whatever the kill point left on disk is what recovery
+    /// must cope with.
+    CrashInjected { path: String, point: String },
+    /// A write-ahead journal stopped replaying at a torn or corrupt
+    /// record. Everything before `offset` was recovered; the tail is
+    /// discarded (standard WAL semantics for an append cut short).
+    JournalTorn {
+        path: String,
+        offset: usize,
+        reason: String,
+    },
     /// An I/O failure, with the operation that failed.
     Io { context: String, reason: String },
     /// An internal invariant broke — a bug in NAssim, not in the input.
@@ -395,6 +410,8 @@ impl NassimError {
             NassimError::Hierarchy { .. } => Stage::Hierarchy,
             NassimError::Device { .. } => Stage::Device,
             NassimError::ArtifactCorrupt { .. } => Stage::Internal,
+            NassimError::CrashInjected { .. } => Stage::Internal,
+            NassimError::JournalTorn { .. } => Stage::Internal,
             NassimError::Io { .. } => Stage::Internal,
             NassimError::Internal { .. } => Stage::Internal,
         }
@@ -459,6 +476,14 @@ impl fmt::Display for NassimError {
             NassimError::ArtifactCorrupt { path, reason } => {
                 write!(f, "artifact store `{path}` is corrupt: {reason}")
             }
+            NassimError::CrashInjected { path, point } => {
+                write!(f, "injected crash at kill point `{point}` while persisting `{path}`")
+            }
+            NassimError::JournalTorn {
+                path,
+                offset,
+                reason,
+            } => write!(f, "journal `{path}` torn at byte {offset}: {reason}"),
             NassimError::Io { context, reason } => write!(f, "I/O error while {context}: {reason}"),
             NassimError::Internal { context } => {
                 write!(f, "internal error (please report): {context}")

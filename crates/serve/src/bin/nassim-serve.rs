@@ -5,7 +5,8 @@
 //! stdin closes — then drains gracefully, persists the store and exits.
 //!
 //! ```text
-//! NASSIM_SERVE_QUEUE=4:16 NASSIM_SERVE_STORE=store.json nassim-serve
+//! NASSIM_SERVE_QUEUE=4:16 NASSIM_SERVE_STORE=store.json \
+//! NASSIM_SERVE_JOURNAL=jobs/ NASSIM_SERVE_VENDORS=cirrus,helix nassim-serve
 //! ```
 
 use nassim_serve::{AdmissionConfig, ServeConfig, ServeDaemon, ServeState, StateOptions};
@@ -17,6 +18,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     if let Ok(path) = std::env::var("NASSIM_SERVE_STORE") {
         opts = opts.with_store(path);
     }
+    if let Ok(vendors) = std::env::var("NASSIM_SERVE_VENDORS") {
+        let picked: Vec<String> = vendors
+            .split(',')
+            .map(str::trim)
+            .filter(|v| !v.is_empty())
+            .map(str::to_string)
+            .collect();
+        if !picked.is_empty() {
+            opts.vendors = picked;
+        }
+    }
     eprintln!("building catalog: {}", opts.vendors.join(", "));
     let (state, store) = ServeState::build(&opts)?;
     for d in &state.startup_diagnostics {
@@ -25,8 +37,19 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let config = ServeConfig {
         admission: AdmissionConfig::from_env(),
         enable_debug_ops: std::env::var("NASSIM_SERVE_DEBUG_OPS").is_ok(),
+        journal_dir: std::env::var("NASSIM_SERVE_JOURNAL")
+            .ok()
+            .map(std::path::PathBuf::from),
     };
+    let journaled = config.journal_dir.is_some();
     let mut daemon = ServeDaemon::spawn(Arc::new(state), config)?;
+    if journaled {
+        let c = daemon.counters();
+        eprintln!(
+            "journal open: {} job(s) recovered, {} torn record(s) truncated",
+            c.jobs_recovered, c.journal_torn
+        );
+    }
     println!("{}", daemon.addr());
     eprintln!(
         "serving on {} (workers {}, queue {}); close stdin to drain and exit",

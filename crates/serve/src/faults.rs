@@ -276,10 +276,13 @@ pub fn run_chaos(
                         k,
                         deadline_ms: Some(0),
                     },
-                    Request::SubmitManual { vendor, pages, .. } => Request::SubmitManual {
+                    Request::SubmitManual {
+                        vendor, pages, job, ..
+                    } => Request::SubmitManual {
                         vendor,
                         pages,
                         deadline_ms: Some(0),
+                        job,
                     },
                     // Ops without deadlines are disturbed as queries so
                     // the class still fires.

@@ -20,6 +20,11 @@
 //!   graceful drain behind a generation counter, and a drainable event
 //!   log accounting every shed, expired deadline, malformed frame,
 //!   mid-frame disconnect and caught panic;
+//! * [`journal`] — the write-ahead job journal behind journaled
+//!   `submit-manual`: checksummed fsynced records (submitted / stage /
+//!   done) keyed by content hashes, torn-tail truncation on open, and
+//!   per-job artifact stores, so a `SIGKILL`ed daemon resumes every
+//!   accepted job and answers byte-identically to an uninterrupted run;
 //! * [`client`] — the blocking client;
 //! * [`faults`] — the chaos layer: a seeded [`faults::ServeFaultPlan`]
 //!   driving slow-loris sends, mid-frame disconnects, malformed frames,
@@ -28,11 +33,16 @@
 //!   byte-identically to a fault-free run).
 //!
 //! Environment knobs: `NASSIM_SERVE_QUEUE=workers:queue` sizes
-//! admission, `NASSIM_SERVE_FAULTS=seed:rate` arms the chaos client.
+//! admission, `NASSIM_SERVE_FAULTS=seed:rate` arms the chaos client,
+//! `NASSIM_SERVE_JOURNAL=<dir>` enables the job journal (the
+//! `nassim-serve` binary), `NASSIM_SERVE_VENDORS=a,b` picks the served
+//! catalog, and `NASSIM_CRASH=seed:rate` (read by the core crate)
+//! injects seeded kill points into every durable write.
 
 pub mod admission;
 pub mod client;
 pub mod faults;
+pub mod journal;
 pub mod protocol;
 pub mod server;
 pub mod state;
@@ -42,6 +52,7 @@ pub use client::ServeClient;
 pub use faults::{
     run_chaos, ChaosOptions, ChaosReport, InjectedServeFault, ServeFaultKind, ServeFaultPlan,
 };
-pub use protocol::{ErrKind, ErrReply, Reply, Request};
+pub use journal::{JobJournal, JobState, JournalRecord, JOURNAL_FILE};
+pub use protocol::{valid_job_id, ErrKind, ErrReply, Reply, Request, MAX_JOB_ID_LEN};
 pub use server::{CounterSnapshot, ServeConfig, ServeDaemon, ServeEvent, EVENT_LOG_CAP};
 pub use state::{DemoEmbedder, ServeState, StateOptions, VendorEntry, DEMO_SEED};

@@ -12,6 +12,21 @@
 
 use serde::Value;
 
+/// Longest accepted journal job id.
+pub const MAX_JOB_ID_LEN: usize = 64;
+
+/// Whether `id` is a valid journal job id: 1–[`MAX_JOB_ID_LEN`] chars
+/// of `[A-Za-z0-9._-]`. Validated at the protocol boundary because the
+/// id becomes part of an on-disk file name (`job-<id>.store.json`) —
+/// this charset cannot traverse or collide with journal internals.
+pub fn valid_job_id(id: &str) -> bool {
+    !id.is_empty()
+        && id.len() <= MAX_JOB_ID_LEN
+        && id
+            .bytes()
+            .all(|b| b.is_ascii_alphanumeric() || b == b'.' || b == b'_' || b == b'-')
+}
+
 /// A parsed client request.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Request {
@@ -30,12 +45,20 @@ pub enum Request {
         deadline_ms: Option<u64>,
     },
     /// Assimilate a submitted manual through the staged pipeline,
-    /// streaming one progress frame per stage.
+    /// streaming one progress frame per stage. With a `job` id the
+    /// submission is journaled: its intent and every completed stage
+    /// are durably recorded, so a killed daemon finishes the job at
+    /// restart and replies byte-identically (see [`crate::journal`]).
     SubmitManual {
         vendor: String,
         pages: Vec<(String, String)>,
         deadline_ms: Option<u64>,
+        job: Option<String>,
     },
+    /// Look up a journaled job: pending (with its durable stages) or
+    /// done (with the recorded reply payload). Control plane — a map
+    /// lookup, answerable even under full overload.
+    JobStatus { job: String },
     /// Hold an admission slot for `ms` (debug builds of the daemon only;
     /// lets tests and benches create overload deterministically).
     DebugSleep { ms: u64 },
@@ -53,6 +76,7 @@ impl Request {
             Request::Inspect { .. } => "inspect",
             Request::QueryMapping { .. } => "query-mapping",
             Request::SubmitManual { .. } => "submit-manual",
+            Request::JobStatus { .. } => "job-status",
             Request::DebugSleep { .. } => "debug-sleep",
             Request::DebugPanic => "debug-panic",
         }
@@ -107,6 +131,7 @@ impl Request {
                 vendor,
                 pages,
                 deadline_ms,
+                job,
             } => {
                 fields.push(("vendor".to_string(), Value::Str(vendor.clone())));
                 fields.push((
@@ -126,6 +151,12 @@ impl Request {
                 if let Some(ms) = deadline_ms {
                     fields.push(("deadline_ms".to_string(), Value::Num(*ms as f64)));
                 }
+                if let Some(job) = job {
+                    fields.push(("job".to_string(), Value::Str(job.clone())));
+                }
+            }
+            Request::JobStatus { job } => {
+                fields.push(("job".to_string(), Value::Str(job.clone())));
             }
             Request::DebugSleep { ms } => {
                 fields.push(("ms".to_string(), Value::Num(*ms as f64)));
@@ -213,11 +244,30 @@ impl Request {
                 if pages.is_empty() {
                     return Err(malformed("`pages` must not be empty"));
                 }
+                let job = match value.get("job") {
+                    None => None,
+                    Some(Value::Str(job)) if valid_job_id(job) => Some(job.clone()),
+                    Some(_) => {
+                        return Err(malformed(&format!(
+                            "`job` must be 1-{MAX_JOB_ID_LEN} chars of [A-Za-z0-9._-]"
+                        )))
+                    }
+                };
                 Ok(Request::SubmitManual {
                     vendor,
                     pages,
                     deadline_ms: num_field("deadline_ms")?,
+                    job,
                 })
+            }
+            "job-status" => {
+                let job = str_field("job")?;
+                if !valid_job_id(&job) {
+                    return Err(malformed(&format!(
+                        "`job` must be 1-{MAX_JOB_ID_LEN} chars of [A-Za-z0-9._-]"
+                    )));
+                }
+                Ok(Request::JobStatus { job })
             }
             "debug-sleep" => Ok(Request::DebugSleep {
                 ms: num_field("ms")?.unwrap_or(0),
@@ -247,6 +297,8 @@ pub enum ErrKind {
     UnknownOp,
     /// `inspect`/`submit-manual` for a vendor with no registered parser.
     UnknownVendor,
+    /// `job-status` for a job id the journal has never seen.
+    UnknownJob,
     /// Handler bug (includes caught panics) — the one kind that is a
     /// server defect rather than a client or capacity condition.
     Internal,
@@ -261,6 +313,7 @@ impl ErrKind {
             ErrKind::Malformed => "malformed",
             ErrKind::UnknownOp => "unknown_op",
             ErrKind::UnknownVendor => "unknown_vendor",
+            ErrKind::UnknownJob => "unknown_job",
             ErrKind::Internal => "internal",
         }
     }
@@ -273,6 +326,7 @@ impl ErrKind {
             "malformed" => ErrKind::Malformed,
             "unknown_op" => ErrKind::UnknownOp,
             "unknown_vendor" => ErrKind::UnknownVendor,
+            "unknown_job" => ErrKind::UnknownJob,
             "internal" => ErrKind::Internal,
             _ => return None,
         })
@@ -389,7 +443,15 @@ mod tests {
                 vendor: "helix".into(),
                 pages: vec![("u1".into(), "<html>".into())],
                 deadline_ms: None,
+                job: None,
             },
+            Request::SubmitManual {
+                vendor: "helix".into(),
+                pages: vec![("u1".into(), "<html>".into())],
+                deadline_ms: Some(500),
+                job: Some("upload-7.rev_2".into()),
+            },
+            Request::JobStatus { job: "upload-7.rev_2".into() },
             Request::DebugSleep { ms: 40 },
             Request::DebugPanic,
         ];
@@ -415,6 +477,11 @@ mod tests {
             "{\"op\":\"submit-manual\",\"vendor\":\"v\"}",
             "{\"op\":\"submit-manual\",\"vendor\":\"v\",\"pages\":[\"x\"]}",
             "{\"op\":\"query-mapping\",\"sequences\":[\"a\"],\"deadline_ms\":-3}",
+            "{\"op\":\"submit-manual\",\"vendor\":\"v\",\"pages\":[[\"u\",\"h\"]],\"job\":\"\"}",
+            "{\"op\":\"submit-manual\",\"vendor\":\"v\",\"pages\":[[\"u\",\"h\"]],\"job\":\"../x\"}",
+            "{\"op\":\"submit-manual\",\"vendor\":\"v\",\"pages\":[[\"u\",\"h\"]],\"job\":7}",
+            "{\"op\":\"job-status\"}",
+            "{\"op\":\"job-status\",\"job\":\"a/b\"}",
         ] {
             let err = Request::parse(bad).unwrap_err();
             assert_eq!(err.kind, ErrKind::Malformed, "{bad}");
@@ -442,6 +509,16 @@ mod tests {
     }
 
     #[test]
+    fn job_id_validation() {
+        for ok in ["a", "upload-7.rev_2", "A.B-c_9", &"x".repeat(MAX_JOB_ID_LEN)] {
+            assert!(valid_job_id(ok), "{ok}");
+        }
+        for bad in ["", "a/b", "../x", "a b", "job\n", "é", &"x".repeat(MAX_JOB_ID_LEN + 1)] {
+            assert!(!valid_job_id(bad), "{bad}");
+        }
+    }
+
+    #[test]
     fn err_kind_strings_round_trip() {
         for kind in [
             ErrKind::Overloaded,
@@ -450,6 +527,7 @@ mod tests {
             ErrKind::Malformed,
             ErrKind::UnknownOp,
             ErrKind::UnknownVendor,
+            ErrKind::UnknownJob,
             ErrKind::Internal,
         ] {
             assert_eq!(ErrKind::parse(kind.as_str()), Some(kind));

@@ -12,20 +12,22 @@
 //! concurrent pipeline work.
 
 use crate::admission::{Admission, AdmissionConfig, Deadline, ShedReason};
+use crate::journal::{JobJournal, JournalRecord};
 use crate::protocol::{ok_line, progress_line, ErrKind, ErrReply, Request};
 use crate::state::ServeState;
+use nassim::{corpus_key, ArtifactStore};
 use nassim_device::framing::{Frame, FrameAccumulator, MAX_FRAME_BYTES};
+use nassim_diag::NassimError;
 use nassim_html::IngestBudget;
 use nassim_mapper::Context;
-use nassim_parser::{fold_page_records, page_records, parser_for};
-use nassim_validator::hierarchy::derive_hierarchy;
-use nassim_validator::{audit_page, build_vdm, fold_page_syntax};
+use nassim_parser::{parser_for, VendorParser};
 use parking_lot::Mutex;
 use serde::Value;
 use std::collections::VecDeque;
 use std::io::{self, BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
@@ -45,6 +47,11 @@ pub struct ServeConfig {
     /// Allow `debug-sleep`/`debug-panic` (tests and benches only; a
     /// production daemon answers them with `unknown_op`).
     pub enable_debug_ops: bool,
+    /// Directory of the write-ahead job journal ([`crate::journal`]).
+    /// `None` disables journaled submissions; with `Some`, spawn opens
+    /// the journal (truncating any torn tail) and finishes every
+    /// pending job *before* accepting connections.
+    pub journal_dir: Option<PathBuf>,
 }
 
 /// Monotonic counters `health` exposes. All relaxed: they are reporting,
@@ -58,6 +65,12 @@ pub struct ServeCounters {
     pub malformed: AtomicU64,
     pub panics: AtomicU64,
     pub disconnects: AtomicU64,
+    /// Jobs whose intent record was durably journaled.
+    pub jobs_journaled: AtomicU64,
+    /// Pending jobs completed during spawn-time recovery.
+    pub jobs_recovered: AtomicU64,
+    /// Torn journal records truncated away when the journal was opened.
+    pub journal_torn: AtomicU64,
 }
 
 /// A point-in-time copy of [`ServeCounters`].
@@ -70,6 +83,9 @@ pub struct CounterSnapshot {
     pub malformed: u64,
     pub panics: u64,
     pub disconnects: u64,
+    pub jobs_journaled: u64,
+    pub jobs_recovered: u64,
+    pub journal_torn: u64,
 }
 
 impl ServeCounters {
@@ -82,6 +98,9 @@ impl ServeCounters {
             malformed: self.malformed.load(Ordering::Relaxed),
             panics: self.panics.load(Ordering::Relaxed),
             disconnects: self.disconnects.load(Ordering::Relaxed),
+            jobs_journaled: self.jobs_journaled.load(Ordering::Relaxed),
+            jobs_recovered: self.jobs_recovered.load(Ordering::Relaxed),
+            journal_torn: self.journal_torn.load(Ordering::Relaxed),
         }
     }
 }
@@ -106,6 +125,12 @@ pub enum ServeEvent {
     /// A drain completed: every in-flight request finished, `generation`
     /// is the new value.
     Drained { generation: u64 },
+    /// A pending journaled job was completed during spawn-time recovery.
+    JobRecovered { job: String },
+    /// The durability layer degraded without losing committed state: a
+    /// torn journal tail truncated at open, a salvaged job store, an
+    /// injected crash mid-persist. Each is accounted, never silent.
+    DurabilityDegraded { detail: String },
 }
 
 /// Bounded ring of [`ServeEvent`]s: past [`EVENT_LOG_CAP`] the oldest
@@ -146,7 +171,11 @@ pub struct ServeDaemon {
 }
 
 impl ServeDaemon {
-    /// Bind an ephemeral localhost port and serve `state`.
+    /// Bind an ephemeral localhost port and serve `state`. With a
+    /// journal configured, opens it (truncating any torn tail — counted
+    /// in `journal_torn`) and completes every pending job *before* the
+    /// accept loop starts, so a client that reconnects after a kill
+    /// finds its jobs done.
     pub fn spawn(state: Arc<ServeState>, config: ServeConfig) -> io::Result<ServeDaemon> {
         let listener = TcpListener::bind(("127.0.0.1", 0))?;
         let addr = listener.local_addr()?;
@@ -157,6 +186,25 @@ impl ServeDaemon {
         let events: Arc<Mutex<EventLog>> = Arc::new(Mutex::new(EventLog::default()));
         let conn_threads: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
 
+        let journal = match &config.journal_dir {
+            None => None,
+            Some(dir) => {
+                let (journal, diags) = JobJournal::open(dir).map_err(io::Error::other)?;
+                counters
+                    .journal_torn
+                    .fetch_add(journal.torn_at_open(), Ordering::Relaxed);
+                let mut log = events.lock();
+                for d in diags {
+                    log.push(ServeEvent::DurabilityDegraded { detail: d.message });
+                }
+                drop(log);
+                Some(Arc::new(journal))
+            }
+        };
+        if let Some(journal) = &journal {
+            recover_pending_jobs(journal, &counters, &events);
+        }
+
         let ctx = ConnCtx {
             state: Arc::clone(&state),
             admission: Arc::clone(&admission),
@@ -165,6 +213,7 @@ impl ServeDaemon {
             shutdown: Arc::clone(&shutdown),
             draining: Arc::clone(&draining),
             enable_debug_ops: config.enable_debug_ops,
+            journal,
         };
         let accept_conns = Arc::clone(&conn_threads);
         let accept_thread = std::thread::Builder::new()
@@ -311,6 +360,8 @@ struct ConnCtx {
     shutdown: Arc<AtomicBool>,
     draining: Arc<AtomicBool>,
     enable_debug_ops: bool,
+    /// The write-ahead job journal, when configured.
+    journal: Option<Arc<JobJournal>>,
 }
 
 fn write_line(w: &mut impl Write, line: &str) -> io::Result<()> {
@@ -565,9 +616,21 @@ fn handle_request(
                 &ok_line(Value::Obj(vec![("matches".to_string(), Value::Arr(matches))])),
             )
         }
-        Request::SubmitManual { vendor, pages, .. } => {
-            submit_manual(ctx, &vendor, &pages, deadline, writer)
-        }
+        Request::SubmitManual {
+            vendor,
+            pages,
+            deadline_ms,
+            job,
+        } => submit_manual(
+            ctx,
+            &vendor,
+            &pages,
+            deadline,
+            deadline_ms,
+            job.as_deref(),
+            writer,
+        ),
+        Request::JobStatus { job } => job_status(ctx, &job, writer),
         Request::DebugSleep { ms } => {
             // Sleep in slices so shutdown never waits the full hold.
             let mut remaining = Duration::from_millis(ms);
@@ -588,27 +651,6 @@ fn handle_request(
         Request::DebugPanic => {
             panic!("debug-panic requested by client");
         }
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn event_log_caps_and_counts_evictions() {
-        let mut log = EventLog::default();
-        for i in 0..EVENT_LOG_CAP + 10 {
-            log.push(ServeEvent::Disconnect { partial: i + 1 });
-        }
-        assert_eq!(log.buf.len(), EVENT_LOG_CAP);
-        assert_eq!(log.dropped, 10);
-        // Oldest evicted, newest retained.
-        assert_eq!(log.buf.front(), Some(&ServeEvent::Disconnect { partial: 11 }));
-        let drained = log.take();
-        assert_eq!(drained.len(), EVENT_LOG_CAP);
-        assert_eq!(log.buf.len(), 0);
-        assert_eq!(log.dropped, 10, "drop tally survives take()");
     }
 }
 
@@ -643,6 +685,13 @@ fn health_payload(ctx: &ConnCtx) -> Value {
             "events_dropped".to_string(),
             Value::Num(ctx.events.lock().dropped as f64),
         ),
+        ("jobs_journaled".to_string(), Value::Num(c.jobs_journaled as f64)),
+        ("jobs_recovered".to_string(), Value::Num(c.jobs_recovered as f64)),
+        ("journal_torn".to_string(), Value::Num(c.journal_torn as f64)),
+        (
+            "journal_pending".to_string(),
+            Value::Num(ctx.journal.as_ref().map_or(0, |j| j.pending_jobs().len()) as f64),
+        ),
         (
             "pool".to_string(),
             Value::Obj(vec![
@@ -673,15 +722,178 @@ fn deadline_reply(
     write_line(writer, &ErrReply::new(ErrKind::Deadline, message).to_line())
 }
 
-/// The staged §4–§5 pipeline with the request deadline checked between
-/// stages and one progress frame per stage. Pure in its inputs — it
-/// never touches the daemon's catalog — so identical submissions yield
-/// byte-identical frame sequences.
+/// How one submit pipeline run ended (short of I/O failure to the
+/// client).
+enum SubmitOutcome {
+    /// The final `ok` payload.
+    Done(Value),
+    /// The request deadline expired before `stage`.
+    Expired { stage: &'static str, message: String },
+    /// Persisting the job's store or journal record failed (injected
+    /// crash or real I/O error). The job stays pending — committed
+    /// durable state is untouched, and a restart finishes it.
+    PersistFailed { stage: &'static str, err: NassimError },
+}
+
+/// The staged §4–§5 pipeline run through an [`ArtifactStore`]: one
+/// progress call and one deadline check per stage, and — when a journal
+/// context is supplied — an atomic store save plus a fsynced stage
+/// record after each stage that is not already durable. Pure in
+/// (vendor, pages): the incremental store path is bit-for-bit identical
+/// to the cold pipeline (the core crate's differential guarantee), so
+/// identical submissions yield byte-identical frame sequences whether
+/// they run cold, warm, or resumed after a kill.
+fn run_submit_pipeline(
+    parser: &dyn VendorParser,
+    vendor: &str,
+    pages: &[(String, String)],
+    deadline: &Deadline,
+    store: &mut ArtifactStore,
+    journal: Option<(&JobJournal, &str)>,
+    mut progress: impl FnMut(&str) -> io::Result<()>,
+) -> io::Result<SubmitOutcome> {
+    let budget = IngestBudget::default();
+    let refs: Vec<(&str, &str)> = pages
+        .iter()
+        .map(|(u, h)| (u.as_str(), h.as_str()))
+        .collect();
+
+    // Persist one completed stage: save the store atomically, then
+    // journal the stage record. Skipped when the stage is already
+    // durable (recovery re-runs the pipeline; completed stages are
+    // cache hits and must not duplicate their records).
+    let persist = |store: &ArtifactStore,
+                   stage: &'static str,
+                   key: u64|
+     -> Result<(), NassimError> {
+        let Some((journal, job)) = journal else {
+            return Ok(());
+        };
+        if journal.job(job).is_some_and(|s| s.has_stage(stage)) {
+            return Ok(());
+        }
+        store.save(&journal.job_store_path(job))?;
+        journal.append(&JournalRecord::Stage {
+            job: job.to_string(),
+            stage: stage.to_string(),
+            key: format!("{key:016x}"),
+        })
+    };
+
+    // Stage 1: parse every page (panic-isolated parser fan-out; cached
+    // pages are artifact-store hits).
+    if let Err(message) = deadline.check("parse") {
+        return Ok(SubmitOutcome::Expired { stage: "parse", message });
+    }
+    progress("parse")?;
+    let (parse, page_keys) = match store.parse_stage(parser, refs, &budget) {
+        Ok(out) => out,
+        // Unreachable in practice (the protocol rejects empty `pages`),
+        // but typed rather than assumed.
+        Err(err) => return Ok(SubmitOutcome::PersistFailed { stage: "parse", err }),
+    };
+    let ckey = corpus_key(&page_keys);
+    if let Err(err) = persist(store, "parse", ckey) {
+        return Ok(SubmitOutcome::PersistFailed { stage: "parse", err });
+    }
+
+    // Stage 2: formal syntax audit.
+    if let Err(message) = deadline.check("syntax") {
+        return Ok(SubmitOutcome::Expired { stage: "syntax", message });
+    }
+    progress("syntax")?;
+    let syntax = store.syntax_stage(&parse);
+    if let Err(err) = persist(store, "syntax", ckey) {
+        return Ok(SubmitOutcome::PersistFailed { stage: "syntax", err });
+    }
+
+    // Stage 3: hierarchy derivation (compiled CGM graphs and evidence
+    // are store-cached, so a resumed job replays them from disk).
+    if let Err(message) = deadline.check("hierarchy") {
+        return Ok(SubmitOutcome::Expired { stage: "hierarchy", message });
+    }
+    progress("hierarchy")?;
+    let derivation = store.hierarchy_stage(&parse, &page_keys);
+    if let Err(err) = persist(store, "hierarchy", ckey) {
+        return Ok(SubmitOutcome::PersistFailed { stage: "hierarchy", err });
+    }
+
+    // Stage 4: VDM assembly.
+    if let Err(message) = deadline.check("build") {
+        return Ok(SubmitOutcome::Expired { stage: "build", message });
+    }
+    progress("build")?;
+    let build = store.build_stage(vendor, &parse, &page_keys, &derivation);
+    if let Err(err) = persist(store, "build", ckey) {
+        return Ok(SubmitOutcome::PersistFailed { stage: "build", err });
+    }
+
+    let diagnostics = parse.diagnostics.len() + build.diagnostics(&parse.pages).len();
+    Ok(SubmitOutcome::Done(Value::Obj(vec![
+        ("vendor".to_string(), Value::Str(vendor.to_string())),
+        ("pages".to_string(), Value::Num(pages.len() as f64)),
+        (
+            "parsed_pages".to_string(),
+            Value::Num(parse.pages.len() as f64),
+        ),
+        (
+            "quarantined".to_string(),
+            Value::Num(parse.quarantined.len() as f64),
+        ),
+        ("nodes".to_string(), Value::Num(build.vdm.walk().len() as f64)),
+        (
+            "syntax_checked".to_string(),
+            Value::Num(syntax.total_clis as f64),
+        ),
+        (
+            "syntax_invalid".to_string(),
+            Value::Num(syntax.invalid_count() as f64),
+        ),
+        (
+            "unplaced_pages".to_string(),
+            Value::Num(build.unplaced_pages.len() as f64),
+        ),
+        ("diagnostics".to_string(), Value::Num(diagnostics as f64)),
+    ])))
+}
+
+/// Load a job's persisted store, salvaging what a crash mid-save left
+/// behind; every salvage report is an accounted event.
+fn load_job_store(ctx: &ConnCtx, journal: &JobJournal, job: &str) -> ArtifactStore {
+    let path = journal.job_store_path(job);
+    if !path.exists() {
+        return ArtifactStore::new();
+    }
+    match ArtifactStore::load_lossy(&path) {
+        Ok((store, diags)) => {
+            let mut log = ctx.events.lock();
+            for d in diags {
+                log.push(ServeEvent::DurabilityDegraded { detail: d.message });
+            }
+            store
+        }
+        Err(e) => {
+            ctx.events.lock().push(ServeEvent::DurabilityDegraded {
+                detail: format!("job `{job}` store unusable, recomputing from journal: {e}"),
+            });
+            ArtifactStore::new()
+        }
+    }
+}
+
+/// `submit-manual`: the staged pipeline, optionally journaled. Without
+/// a `job` id the request is stateless, exactly as before journaling
+/// existed. With one, the write-ahead discipline applies: intent is
+/// durable before any work, each stage before the next, the reply
+/// before it is sent — so a `SIGKILL` anywhere leaves a job a restarted
+/// daemon finishes identically.
 fn submit_manual(
     ctx: &ConnCtx,
     vendor: &str,
     pages: &[(String, String)],
     deadline: &Deadline,
+    deadline_ms: Option<u64>,
+    job: Option<&str>,
     writer: &mut impl Write,
 ) -> io::Result<()> {
     let op = "submit-manual";
@@ -699,89 +911,273 @@ fn submit_manual(
             return Ok(());
         }
     };
-    let progress = |writer: &mut dyn Write, stage: &str| -> io::Result<()> {
-        writer.write_all(
-            progress_line(Value::Obj(vec![(
-                "stage".to_string(),
-                Value::Str(stage.to_string()),
-            )]))
-            .as_bytes(),
-        )?;
-        writer.write_all(b"\n")?;
-        writer.flush()
+
+    let durability_err = |ctx: &ConnCtx, stage: &str, err: &NassimError| -> ErrReply {
+        ctx.events.lock().push(ServeEvent::DurabilityDegraded {
+            detail: format!("submit stage `{stage}`: {err}"),
+        });
+        ErrReply::new(
+            ErrKind::Internal,
+            format!("durable persist failed at stage `{stage}`: {err} (job state is recoverable)"),
+        )
     };
 
-    // Stage 1: parse every page (panic-isolated parser fan-out).
-    if let Err(msg) = deadline.check("parse") {
-        deadline_reply(ctx, writer, op, "parse", &msg)?;
-        return Ok(());
-    }
-    progress(writer, "parse")?;
-    let budget = IngestBudget::default();
-    let refs: Vec<(&str, &str)> = pages
-        .iter()
-        .map(|(u, h)| (u.as_str(), h.as_str()))
-        .collect();
-    let records = page_records(parser.as_ref(), &refs, &budget);
-    let parse = fold_page_records(vendor, records.iter());
+    let journal_ctx: Option<(Arc<JobJournal>, String)> = match job {
+        None => None,
+        Some(id) => {
+            let Some(journal) = &ctx.journal else {
+                return write_line(
+                    writer,
+                    &ErrReply::new(
+                        ErrKind::UnknownOp,
+                        "journaled submissions are disabled (daemon has no journal)",
+                    )
+                    .to_line(),
+                );
+            };
+            if let Some(state) = journal.job(id) {
+                // A job id binds to its content: the same id with a
+                // different payload is a client bug, not a resume or a
+                // replay.
+                if state.vendor != vendor || state.pages != pages {
+                    return write_line(
+                        writer,
+                        &ErrReply::new(
+                            ErrKind::Malformed,
+                            format!("job `{id}` is already journaled with different content"),
+                        )
+                        .to_line(),
+                    );
+                }
+                // Idempotent replay: a done job answers its recorded
+                // payload — byte-identical to the original final frame —
+                // without re-running anything.
+                if let Some(result) = state.result {
+                    ctx.counters.served.fetch_add(1, Ordering::Relaxed);
+                    return write_line(writer, &ok_line(result));
+                }
+            } else {
+                // Write-ahead intent: durable before any pipeline work.
+                if let Err(e) = journal.append(&JournalRecord::Submitted {
+                    job: id.to_string(),
+                    vendor: vendor.to_string(),
+                    deadline_ms,
+                    pages: pages.to_vec(),
+                }) {
+                    return write_line(writer, &durability_err(ctx, "submit", &e).to_line());
+                }
+                ctx.counters.jobs_journaled.fetch_add(1, Ordering::Relaxed);
+            }
+            Some((Arc::clone(journal), id.to_string()))
+        }
+    };
 
-    // Stage 2: formal syntax audit.
-    if let Err(msg) = deadline.check("syntax") {
-        deadline_reply(ctx, writer, op, "syntax", &msg)?;
-        return Ok(());
-    }
-    progress(writer, "syntax")?;
-    let audits: Vec<_> = parse.pages.iter().map(audit_page).collect();
-    let syntax = fold_page_syntax(audits.iter());
-
-    // Stage 3: hierarchy derivation.
-    if let Err(msg) = deadline.check("hierarchy") {
-        deadline_reply(ctx, writer, op, "hierarchy", &msg)?;
-        return Ok(());
-    }
-    progress(writer, "hierarchy")?;
-    let derivation = derive_hierarchy(&parse.pages);
-
-    // Stage 4: VDM assembly.
-    if let Err(msg) = deadline.check("build") {
-        deadline_reply(ctx, writer, op, "build", &msg)?;
-        return Ok(());
-    }
-    progress(writer, "build")?;
-    let build = build_vdm(vendor, &parse.pages, &derivation);
-
-    let diagnostics = parse.diagnostics.len() + build.diagnostics(&parse.pages).len();
-    // Count before writing: a client that has read the final frame must
-    // already see this request in the `served` counter.
-    ctx.counters.served.fetch_add(1, Ordering::Relaxed);
-    write_line(
-        writer,
-        &ok_line(Value::Obj(vec![
-            ("vendor".to_string(), Value::Str(vendor.to_string())),
-            ("pages".to_string(), Value::Num(pages.len() as f64)),
-            (
-                "parsed_pages".to_string(),
-                Value::Num(parse.pages.len() as f64),
-            ),
-            (
-                "quarantined".to_string(),
-                Value::Num(parse.quarantined.len() as f64),
-            ),
-            ("nodes".to_string(), Value::Num(build.vdm.walk().len() as f64)),
-            (
-                "syntax_checked".to_string(),
-                Value::Num(syntax.total_clis as f64),
-            ),
-            (
-                "syntax_invalid".to_string(),
-                Value::Num(syntax.invalid_count() as f64),
-            ),
-            (
-                "unplaced_pages".to_string(),
-                Value::Num(build.unplaced_pages.len() as f64),
-            ),
-            ("diagnostics".to_string(), Value::Num(diagnostics as f64)),
-        ])),
+    let mut store = match &journal_ctx {
+        Some((journal, id)) => load_job_store(ctx, journal, id),
+        None => ArtifactStore::new(),
+    };
+    let outcome = run_submit_pipeline(
+        parser.as_ref(),
+        vendor,
+        pages,
+        deadline,
+        &mut store,
+        journal_ctx.as_ref().map(|(j, id)| (j.as_ref(), id.as_str())),
+        |stage| {
+            write_line(
+                writer,
+                &progress_line(Value::Obj(vec![(
+                    "stage".to_string(),
+                    Value::Str(stage.to_string()),
+                )])),
+            )
+        },
     )?;
-    Ok(())
+
+    match outcome {
+        SubmitOutcome::Done(payload) => {
+            if let Some((journal, id)) = &journal_ctx {
+                // The reply is durable before the client can see it; a
+                // kill between fsync and send re-serves it from the
+                // journal, byte-identically.
+                if let Err(e) = journal.append(&JournalRecord::Done {
+                    job: id.clone(),
+                    result: payload.clone(),
+                }) {
+                    return write_line(writer, &durability_err(ctx, "done", &e).to_line());
+                }
+                journal.remove_job_store(id);
+            }
+            // Count before writing: a client that has read the final
+            // frame must already see this request in `served`.
+            ctx.counters.served.fetch_add(1, Ordering::Relaxed);
+            write_line(writer, &ok_line(payload))
+        }
+        SubmitOutcome::Expired { stage, message } => {
+            // A journaled job stays pending: the deadline bounds this
+            // request's latency, not the job's durability — a restart
+            // (or resubmit) completes it off the clock.
+            deadline_reply(ctx, writer, op, stage, &message)
+        }
+        SubmitOutcome::PersistFailed { stage, err } => {
+            write_line(writer, &durability_err(ctx, stage, &err).to_line())
+        }
+    }
+}
+
+/// `job-status`: the journal's view of one job.
+fn job_status(ctx: &ConnCtx, job: &str, writer: &mut impl Write) -> io::Result<()> {
+    let Some(journal) = &ctx.journal else {
+        return write_line(
+            writer,
+            &ErrReply::new(
+                ErrKind::UnknownOp,
+                "journaled submissions are disabled (daemon has no journal)",
+            )
+            .to_line(),
+        );
+    };
+    match journal.job(job) {
+        None => write_line(
+            writer,
+            &ErrReply::new(
+                ErrKind::UnknownJob,
+                format!("job `{job}` is not in the journal"),
+            )
+            .to_line(),
+        ),
+        Some(state) => {
+            let mut fields: Vec<(String, Value)> = vec![
+                ("job".to_string(), Value::Str(job.to_string())),
+                (
+                    "state".to_string(),
+                    Value::Str(
+                        if state.is_done() { "done" } else { "pending" }.to_string(),
+                    ),
+                ),
+                ("vendor".to_string(), Value::Str(state.vendor.clone())),
+                ("pages".to_string(), Value::Num(state.pages.len() as f64)),
+                (
+                    "stages".to_string(),
+                    Value::Arr(
+                        state
+                            .stages
+                            .iter()
+                            .map(|(s, _)| Value::Str(s.clone()))
+                            .collect(),
+                    ),
+                ),
+            ];
+            if let Some(result) = state.result {
+                fields.push(("result".to_string(), result));
+            }
+            write_line(writer, &ok_line(Value::Obj(fields)))
+        }
+    }
+}
+
+/// Finish every pending journaled job before the daemon starts
+/// accepting connections. Completed stages replay as cache hits from
+/// the job's persisted store; the recovered reply is journaled exactly
+/// like a live one, so a client's later `job-status` (or idempotent
+/// resubmit) sees bytes identical to an uninterrupted run.
+fn recover_pending_jobs(
+    journal: &Arc<JobJournal>,
+    counters: &Arc<ServeCounters>,
+    events: &Arc<Mutex<EventLog>>,
+) {
+    let degrade = |detail: String| {
+        events
+            .lock()
+            .push(ServeEvent::DurabilityDegraded { detail });
+    };
+    for (job, state) in journal.pending_jobs() {
+        let parser = match parser_for(&state.vendor) {
+            Ok(parser) => parser,
+            Err(e) => {
+                degrade(format!(
+                    "cannot recover job `{job}`: vendor `{}` has no parser: {e}",
+                    state.vendor
+                ));
+                continue;
+            }
+        };
+        let store_path = journal.job_store_path(&job);
+        let mut store = if store_path.exists() {
+            match ArtifactStore::load_lossy(&store_path) {
+                Ok((store, diags)) => {
+                    for d in diags {
+                        degrade(d.message);
+                    }
+                    store
+                }
+                Err(e) => {
+                    degrade(format!(
+                        "job `{job}` store unusable, recomputing from journal: {e}"
+                    ));
+                    ArtifactStore::new()
+                }
+            }
+        } else {
+            ArtifactStore::new()
+        };
+        // Recovery runs off the request clock: the original deadline
+        // bounded the interactive reply, which was already forfeited by
+        // the crash.
+        let outcome = run_submit_pipeline(
+            parser.as_ref(),
+            &state.vendor,
+            &state.pages,
+            &Deadline::unbounded(),
+            &mut store,
+            Some((journal.as_ref(), job.as_str())),
+            |_| Ok(()),
+        );
+        match outcome {
+            Ok(SubmitOutcome::Done(result)) => {
+                match journal.append(&JournalRecord::Done {
+                    job: job.clone(),
+                    result,
+                }) {
+                    Ok(()) => {
+                        journal.remove_job_store(&job);
+                        counters.jobs_recovered.fetch_add(1, Ordering::Relaxed);
+                        events.lock().push(ServeEvent::JobRecovered { job });
+                    }
+                    Err(e) => degrade(format!("recovered job `{job}` could not journal: {e}")),
+                }
+            }
+            Ok(SubmitOutcome::Expired { stage, .. }) => {
+                degrade(format!(
+                    "recovery of job `{job}` expired at `{stage}` despite unbounded deadline"
+                ));
+            }
+            Ok(SubmitOutcome::PersistFailed { stage, err }) => {
+                degrade(format!("recovery of job `{job}` failed at `{stage}`: {err}"));
+            }
+            // The sink progress callback never errors.
+            Err(e) => degrade(format!("recovery of job `{job}` i/o error: {e}")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn event_log_caps_and_counts_evictions() {
+        let mut log = EventLog::default();
+        for i in 0..EVENT_LOG_CAP + 10 {
+            log.push(ServeEvent::Disconnect { partial: i + 1 });
+        }
+        assert_eq!(log.buf.len(), EVENT_LOG_CAP);
+        assert_eq!(log.dropped, 10);
+        // Oldest evicted, newest retained.
+        assert_eq!(log.buf.front(), Some(&ServeEvent::Disconnect { partial: 11 }));
+        let drained = log.take();
+        assert_eq!(drained.len(), EVENT_LOG_CAP);
+        assert_eq!(log.buf.len(), 0);
+        assert_eq!(log.dropped, 10, "drop tally survives take()");
+    }
 }

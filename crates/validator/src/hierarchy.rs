@@ -24,6 +24,7 @@ use nassim_cgm::{matching::is_cli_match, CliGraph};
 use nassim_corpus::Fnv1a;
 use nassim_parser::ParsedPage;
 use nassim_syntax::parse_template;
+use serde::{DeError, Value};
 use std::collections::{BTreeMap, HashMap};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -139,8 +140,11 @@ impl AmbiguousView {
 /// One page's compiled template graphs plus its head-keyword bucket
 /// entries — an immutable artifact that is a pure function of the
 /// page's `CLIs` list ([`graph_key`]), so the artifact store can share
-/// it across incremental runs. Deliberately *not* serialized: compiled
-/// graphs are cheap to rebuild relative to their encoded size.
+/// it across incremental runs. Persisted by its *source* rather than
+/// its shape: the store serializes only the CLI template list and
+/// recompiles on load ([`compile_graphs`] is deterministic), so the
+/// encoded form stays small and a loaded graph can never disagree with
+/// its key.
 pub struct PageGraphs {
     /// cli index → graph; `None` for templates that failed stage-1
     /// parsing (they can never match an instance).
@@ -148,24 +152,34 @@ pub struct PageGraphs {
     /// (cli index, head keyword) for each parseable template; `None`
     /// head means headless (starts with a group).
     buckets: Vec<(usize, Option<String>)>,
+    /// The CLI forms this artifact was compiled from — its serialized
+    /// representation and the preimage of [`graph_key`].
+    clis: Vec<String>,
+}
+
+/// [`graph_key`] over a bare CLI-form list (what [`PageGraphs`]
+/// persistence stores and verifies against).
+pub fn graph_key_of(clis: &[String]) -> u64 {
+    let mut h = Fnv1a::new();
+    for cli in clis {
+        h.write_field(cli);
+    }
+    h.finish()
 }
 
 /// Content key of one page's compiled-graph artifact: FNV-1a over its
 /// CLI forms, length-framed. The URL deliberately does not participate:
 /// two pages with identical `CLIs` compile to identical graphs.
 pub fn graph_key(page: &ParsedPage) -> u64 {
-    let mut h = Fnv1a::new();
-    for cli in &page.entry.clis {
-        h.write_field(cli);
-    }
-    h.finish()
+    graph_key_of(&page.entry.clis)
 }
 
-/// Compile one page's parseable CLI forms into a [`PageGraphs`] artifact.
-pub fn compile_page_graphs(page: &ParsedPage) -> PageGraphs {
+/// Compile a CLI-form list into a [`PageGraphs`] artifact — the pure
+/// function behind both [`compile_page_graphs`] and store loads.
+pub fn compile_graphs(clis: &[String]) -> PageGraphs {
     let mut graphs = Vec::new();
     let mut buckets = Vec::new();
-    for (ci, cli) in page.entry.clis.iter().enumerate() {
+    for (ci, cli) in clis.iter().enumerate() {
         match parse_template(cli) {
             Ok(struc) => {
                 buckets.push((ci, struc.head_keyword().map(str::to_string)));
@@ -175,7 +189,16 @@ pub fn compile_page_graphs(page: &ParsedPage) -> PageGraphs {
             Err(_) => graphs.push(None),
         }
     }
-    PageGraphs { graphs, buckets }
+    PageGraphs {
+        graphs,
+        buckets,
+        clis: clis.to_vec(),
+    }
+}
+
+/// Compile one page's parseable CLI forms into a [`PageGraphs`] artifact.
+pub fn compile_page_graphs(page: &ParsedPage) -> PageGraphs {
+    compile_graphs(&page.entry.clis)
 }
 
 /// In-memory cache of per-page [`PageGraphs`] artifacts, keyed by
@@ -200,6 +223,88 @@ impl GraphCache {
 
     pub fn is_empty(&self) -> bool {
         self.entries.is_empty()
+    }
+
+    /// Serialize for the artifact store: each entry is its CLI template
+    /// list under a fixed-width hex key, sorted for stable bytes. The
+    /// compiled graphs themselves are never encoded — loads recompile
+    /// them ([`compile_graphs`]), which is cheap and cannot drift.
+    /// Hit/miss counters are deliberately not persisted.
+    pub fn to_value(&self) -> Value {
+        let mut entries: Vec<(String, Value)> = self
+            .entries
+            .iter()
+            .map(|(k, v)| {
+                (
+                    format!("{k:016x}"),
+                    Value::Arr(v.clis.iter().map(|c| Value::Str(c.clone())).collect()),
+                )
+            })
+            .collect();
+        entries.sort_by(|a, b| a.0.cmp(&b.0));
+        Value::Obj(vec![("entries".to_string(), Value::Obj(entries))])
+    }
+
+    fn entry_from_value(key: &str, val: &Value) -> Result<(u64, PageGraphs), DeError> {
+        let k = u64::from_str_radix(key, 16)
+            .map_err(|e| DeError::new(format!("graph key `{key}` is not hex: {e}")))?;
+        let Value::Arr(items) = val else {
+            return Err(DeError::new(format!(
+                "graph entry `{key}` is not a CLI list"
+            )));
+        };
+        let mut clis = Vec::with_capacity(items.len());
+        for item in items {
+            let Value::Str(cli) = item else {
+                return Err(DeError::new(format!(
+                    "graph entry `{key}` holds a non-string CLI"
+                )));
+            };
+            clis.push(cli.clone());
+        }
+        // The key must be the FNV of the stored CLI list: a swapped or
+        // altered entry is detected here even when the section checksum
+        // was forged along with it.
+        if graph_key_of(&clis) != k {
+            return Err(DeError::new(format!(
+                "graph entry `{key}` does not hash to its key"
+            )));
+        }
+        Ok((k, compile_graphs(&clis)))
+    }
+
+    /// Strict inverse of [`GraphCache::to_value`]: any malformed entry
+    /// fails the whole load.
+    pub fn from_value(v: &Value) -> Result<GraphCache, DeError> {
+        let Some(Value::Obj(entries)) = v.get("entries") else {
+            return Err(DeError::new("missing graph `entries` object".to_string()));
+        };
+        let mut cache = GraphCache::new();
+        for (key, val) in entries {
+            let (k, graphs) = GraphCache::entry_from_value(key, val)?;
+            cache.entries.insert(k, Arc::new(graphs));
+        }
+        Ok(cache)
+    }
+
+    /// Per-entry lossy inverse: malformed entries are skipped and
+    /// reported; every valid entry still loads.
+    pub fn from_value_lossy(v: &Value) -> (GraphCache, Vec<String>) {
+        let mut errors = Vec::new();
+        let Some(Value::Obj(entries)) = v.get("entries") else {
+            errors.push("missing graph `entries` object".to_string());
+            return (GraphCache::new(), errors);
+        };
+        let mut cache = GraphCache::new();
+        for (key, val) in entries {
+            match GraphCache::entry_from_value(key, val) {
+                Ok((k, graphs)) => {
+                    cache.entries.insert(k, Arc::new(graphs));
+                }
+                Err(e) => errors.push(e.0),
+            }
+        }
+        (cache, errors)
     }
 }
 
@@ -402,6 +507,97 @@ pub struct EvidenceCache {
     pub misses: usize,
 }
 
+impl PageEvidence {
+    /// Serialized shape: plain counts, the `(view, opener page)` vote
+    /// pairs and the root-vote view names — everything the evidence
+    /// fold reads, nothing else.
+    fn to_value(&self) -> Value {
+        Value::Obj(vec![
+            ("ex".to_string(), Value::Num(self.example_snippets as f64)),
+            (
+                "fail".to_string(),
+                Value::Num(self.self_match_failures as f64),
+            ),
+            (
+                "votes".to_string(),
+                Value::Arr(
+                    self.votes
+                        .iter()
+                        .map(|(view, pi)| {
+                            Value::Arr(vec![Value::Str(view.clone()), Value::Num(*pi as f64)])
+                        })
+                        .collect(),
+                ),
+            ),
+            (
+                "roots".to_string(),
+                Value::Arr(
+                    self.root_votes
+                        .iter()
+                        .map(|v| Value::Str(v.clone()))
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+
+    fn from_value(v: &Value) -> Result<PageEvidence, DeError> {
+        let count = |field: &str| -> Result<usize, DeError> {
+            match v.get(field) {
+                Some(Value::Num(n)) if *n >= 0.0 && n.fract() == 0.0 => Ok(*n as usize),
+                _ => Err(DeError::new(format!(
+                    "evidence `{field}` is not a non-negative integer"
+                ))),
+            }
+        };
+        let example_snippets = count("ex")?;
+        let self_match_failures = count("fail")?;
+        let Some(Value::Arr(vote_items)) = v.get("votes") else {
+            return Err(DeError::new("evidence `votes` is not a list".to_string()));
+        };
+        let mut votes = Vec::with_capacity(vote_items.len());
+        for item in vote_items {
+            match item {
+                Value::Arr(pair) => match (pair.first(), pair.get(1), pair.len()) {
+                    (Some(Value::Str(view)), Some(Value::Num(pi)), 2)
+                        if *pi >= 0.0 && pi.fract() == 0.0 =>
+                    {
+                        votes.push((view.clone(), *pi as usize));
+                    }
+                    _ => {
+                        return Err(DeError::new(
+                            "evidence vote is not a [view, page] pair".to_string(),
+                        ))
+                    }
+                },
+                _ => {
+                    return Err(DeError::new(
+                        "evidence vote is not a [view, page] pair".to_string(),
+                    ))
+                }
+            }
+        }
+        let Some(Value::Arr(root_items)) = v.get("roots") else {
+            return Err(DeError::new("evidence `roots` is not a list".to_string()));
+        };
+        let mut root_votes = Vec::with_capacity(root_items.len());
+        for item in root_items {
+            let Value::Str(view) = item else {
+                return Err(DeError::new(
+                    "evidence root vote is not a string".to_string(),
+                ));
+            };
+            root_votes.push(view.clone());
+        }
+        Ok(PageEvidence {
+            example_snippets,
+            self_match_failures,
+            votes,
+            root_votes,
+        })
+    }
+}
+
 impl EvidenceCache {
     pub fn new() -> EvidenceCache {
         EvidenceCache::default()
@@ -414,6 +610,67 @@ impl EvidenceCache {
 
     pub fn is_empty(&self) -> bool {
         self.entries.is_empty()
+    }
+
+    /// Serialize for the artifact store: fixed-width hex keys, sorted
+    /// for stable bytes. Keys embed the whole-corpus template
+    /// fingerprint (see [`evidence_key`]), so reloaded evidence can
+    /// only ever hit against a bit-identical template index. Hit/miss
+    /// counters are deliberately not persisted.
+    pub fn to_value(&self) -> Value {
+        let mut entries: Vec<(String, Value)> = self
+            .entries
+            .iter()
+            .map(|(k, v)| (format!("{k:016x}"), v.to_value()))
+            .collect();
+        entries.sort_by(|a, b| a.0.cmp(&b.0));
+        Value::Obj(vec![("entries".to_string(), Value::Obj(entries))])
+    }
+
+    /// Strict inverse of [`EvidenceCache::to_value`]: any malformed
+    /// entry fails the whole load.
+    pub fn from_value(v: &Value) -> Result<EvidenceCache, DeError> {
+        let Some(Value::Obj(entries)) = v.get("entries") else {
+            return Err(DeError::new(
+                "missing evidence `entries` object".to_string(),
+            ));
+        };
+        let mut cache = EvidenceCache::new();
+        for (key, val) in entries {
+            let k = u64::from_str_radix(key, 16)
+                .map_err(|e| DeError::new(format!("evidence key `{key}` is not hex: {e}")))?;
+            let ev = PageEvidence::from_value(val)
+                .map_err(|e| DeError::new(format!("evidence entry `{key}`: {}", e.0)))?;
+            cache.entries.insert(k, Arc::new(ev));
+        }
+        Ok(cache)
+    }
+
+    /// Per-entry lossy inverse: malformed entries are skipped and
+    /// reported; every valid entry still loads.
+    pub fn from_value_lossy(v: &Value) -> (EvidenceCache, Vec<String>) {
+        let mut errors = Vec::new();
+        let Some(Value::Obj(entries)) = v.get("entries") else {
+            errors.push("missing evidence `entries` object".to_string());
+            return (EvidenceCache::new(), errors);
+        };
+        let mut cache = EvidenceCache::new();
+        for (key, val) in entries {
+            let k = match u64::from_str_radix(key, 16) {
+                Ok(k) => k,
+                Err(e) => {
+                    errors.push(format!("evidence key `{key}` is not hex: {e}"));
+                    continue;
+                }
+            };
+            match PageEvidence::from_value(val) {
+                Ok(ev) => {
+                    cache.entries.insert(k, Arc::new(ev));
+                }
+                Err(e) => errors.push(format!("evidence entry `{key}`: {}", e.0)),
+            }
+        }
+        (cache, errors)
     }
 }
 

@@ -54,6 +54,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         vendor: "cirrus".to_string(),
         pages,
         deadline_ms: None,
+        job: None,
     })?;
     println!("\n> submit-manual (4 pages)\n< {}", raw.join("\n< "));
 

@@ -95,6 +95,7 @@ fn chaos_script() -> Vec<Request> {
         vendor: "cirrus".to_string(),
         pages,
         deadline_ms: None,
+        job: None,
     });
     script.push(Request::Inspect {
         vendor: "cirrus".to_string(),
@@ -257,6 +258,7 @@ fn overload_sheds_typed_while_health_answers() {
     let config = ServeConfig {
         admission: AdmissionConfig::new(1, 0),
         enable_debug_ops: true,
+        journal_dir: None,
     };
     let daemon = ServeDaemon::spawn(state, config).unwrap();
     let addr = daemon.addr();

@@ -39,6 +39,7 @@ fn drain_completes_in_flight_and_sheds_new_work() {
         ServeConfig {
             admission: AdmissionConfig::new(2, 4),
             enable_debug_ops: true,
+            journal_dir: None,
         },
     )
     .unwrap();
