@@ -1,5 +1,8 @@
 //! Mapper retrieval cost per query: IR, DL and IR+DL (shortlist 50)
-//! ranking over a UDM with distractors — the §6.2 inner loop.
+//! ranking over a UDM with distractors — the §6.2 inner loop — plus the
+//! DL scan under each [`RetrievalMode`] on the same synthetic-leaf
+//! corpus `ann_bench` sweeps, so the criterion numbers and
+//! `BENCH_ann.json` come from one set of fixtures.
 // Bench setup runs on fixed seeds and known vendors; a panic here is a
 // broken fixture, not a recoverable condition.
 #![allow(clippy::unwrap_used, clippy::expect_used)]
@@ -9,6 +12,7 @@ use nassim_bench::fixtures::HashEmbedder;
 use nassim_datasets::{catalog::Catalog, udmgen};
 use nassim_mapper::context::Context;
 use nassim_mapper::models::Mapper;
+use nassim_mapper::RetrievalMode;
 
 fn bench_retrieval(c: &mut Criterion) {
     let catalog = Catalog::base();
@@ -18,6 +22,7 @@ fn bench_retrieval(c: &mut Criterion) {
             seed: 1,
             paraphrase_strength: 0.6,
             distractors: 300,
+            synthetic_leaves: 0,
         },
     );
     let udm = &data.udm;
@@ -41,6 +46,43 @@ fn bench_retrieval(c: &mut Criterion) {
 
     let irdl = Mapper::ir_dl(udm, embedder.clone(), 50);
     c.bench_function("recommend_irdl50_top10", |b| b.iter(|| irdl.recommend(&query, 10)));
+
+    // Retrieval modes over the ann_bench fixture shape: same generator
+    // knobs (distractor-free synthetic leaves), same embedder, a query
+    // drawn from the synthetic vocabulary, queries pre-embedded so the
+    // measured loop is candidate ranking alone.
+    let leaf_data = udmgen::generate(
+        &catalog,
+        &udmgen::UdmGenOptions {
+            seed: 77,
+            paraphrase_strength: 0.6,
+            distractors: 0,
+            synthetic_leaves: 10_000,
+        },
+    );
+    let leaf_query = Context {
+        sequences: vec![
+            "holdtime".into(),
+            "the holdtime of the neighbor object".into(),
+            "routing plane configuration".into(),
+        ],
+    };
+    let exact = Mapper::dl(&leaf_data.udm, embedder.clone());
+    let prepared = &exact.prepare_queries(&[&leaf_query])[0];
+    for (name, mode) in [
+        ("recommend_dl_10k_exact_top10", RetrievalMode::Exact),
+        ("recommend_dl_10k_quantized_top10", RetrievalMode::Quantized),
+        ("recommend_dl_10k_ann_top10", RetrievalMode::Ann { probes: 0 }),
+    ] {
+        let mapper = exact.with_retrieval_mode(mode);
+        c.bench_function(name, |b| b.iter(|| mapper.recommend_prepared(prepared, 10)));
+    }
+
+    // Sub-linear index construction (int8 corpus + IVF layer), the cost
+    // `ann_bench` reports as index_build_ms.
+    c.bench_function("sublinear_index_build_10k", |b| {
+        b.iter(|| exact.with_retrieval_mode(RetrievalMode::Quantized))
+    });
 
     // Mapper construction embeds + L2-normalizes every leaf context; the
     // embedding fan-out is the parallel surface.

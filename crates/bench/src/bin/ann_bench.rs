@@ -1,0 +1,338 @@
+//! Sub-linear retrieval benchmark — the ROADMAP item 3 trade-off pinned
+//! as a versioned artifact.
+//!
+//! Sweeps synthetic leaf-corpus sizes (1k → 100k full scale; a trimmed
+//! sweep under `--smoke` / `NASSIM_SMOKE=1` for CI), and at each scale
+//! measures single-thread query throughput and recall@10 of the three
+//! [`RetrievalMode`]s against the exact sharded scan:
+//!
+//! * **exact** — the pre-existing `dl_scan` (baseline; recall 1.0 by
+//!   definition);
+//! * **quantized** — int8 full scan + exact f32 rescore;
+//! * **ann** — IVF probe (auto probe count) + quantized cluster scan +
+//!   exact rescore.
+//!
+//! Writes `BENCH_ann.json` and exits non-zero if (a) the written JSON
+//! fails the shape re-read, or (b) — on hardware with at least
+//! [`GATE_MIN_HW_THREADS`] threads, full (non-smoke) mode — the ANN mode
+//! misses the ≥[`ANN_SPEEDUP_FLOOR`]× exact-scan QPS floor or the
+//! recall@10 ≥ [`ANN_RECALL_FLOOR`] floor at the [`GATE_LEAVES`]-leaf
+//! point. Below the hardware bar (or in smoke mode) the gates are
+//! report-only, matching the repo's hardware-conditional convention.
+
+use nassim_bench::fixtures::HashEmbedder;
+use nassim_datasets::words::{ATTR_WORDS, FEATURE_WORDS, OBJECT_WORDS};
+use nassim_datasets::{catalog::Catalog, udmgen};
+use nassim_mapper::context::Context;
+use nassim_mapper::models::Mapper;
+use nassim_mapper::RetrievalMode;
+use std::time::Instant;
+
+/// Leaf-count sweep in full mode. The 100k point is the gate point the
+/// acceptance criteria pin; 1k and 10k chart the trajectory.
+const FULL_SWEEP: [usize; 3] = [1_000, 10_000, 100_000];
+/// Trimmed sweep for CI smoke runs.
+const SMOKE_SWEEP: [usize; 2] = [1_000, 5_000];
+/// The scale at which the hard gates apply.
+const GATE_LEAVES: usize = 100_000;
+/// ANN must beat the exact scan by at least this QPS factor at the gate
+/// point…
+const ANN_SPEEDUP_FLOOR: f64 = 10.0;
+/// …while keeping at least this recall@10 against it.
+const ANN_RECALL_FLOOR: f64 = 0.95;
+/// Minimum hardware threads before the wall-clock gates enforce.
+const GATE_MIN_HW_THREADS: usize = 4;
+/// Queries per scale: enough to average out per-query variance while
+/// keeping the full sweep under a minute of query time.
+const QUERY_COUNT: usize = 64;
+/// Fixed seed: the sweep is a pure function of this artifact.
+const SEED: u64 = 77;
+
+fn hardware_threads() -> usize {
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+}
+
+fn time_ms<R>(f: impl FnOnce() -> R) -> (R, f64) {
+    let t = Instant::now();
+    let r = f();
+    (r, t.elapsed().as_secs_f64() * 1e3)
+}
+
+/// Queries drawn from the synthetic generator's own vocabulary, so the
+/// rankings are non-trivial at every scale.
+fn queries() -> Vec<Context> {
+    (0..QUERY_COUNT)
+        .map(|i| {
+            let attr = ATTR_WORDS[(i * 13 + 5) % ATTR_WORDS.len()];
+            let obj = OBJECT_WORDS[(i * 7 + 3) % OBJECT_WORDS.len()];
+            let feat = FEATURE_WORDS[i % FEATURE_WORDS.len()];
+            Context {
+                sequences: vec![
+                    attr.to_string(),
+                    format!("the {attr} of the {obj} object"),
+                    format!("{feat} plane configuration"),
+                ],
+            }
+        })
+        .collect()
+}
+
+/// recall@k overlap of `got` against the exact ranking `want`.
+fn recall(got: &[(nassim_corpus::UdmNodeId, f32)], want: &[(nassim_corpus::UdmNodeId, f32)]) -> f64 {
+    if want.is_empty() {
+        return 1.0;
+    }
+    let hits = got
+        .iter()
+        .filter(|(id, _)| want.iter().any(|(w, _)| w == id))
+        .count();
+    hits as f64 / want.len() as f64
+}
+
+#[derive(serde::Serialize)]
+struct ModeResult {
+    qps: f64,
+    /// Mean recall@10 against the exact scan over the query set.
+    recall_at_10: f64,
+    speedup_vs_exact: f64,
+}
+
+#[derive(serde::Serialize)]
+struct ScalePoint {
+    leaves: usize,
+    index_build_ms: f64,
+    nlist: usize,
+    probes: usize,
+    exact: ModeResult,
+    quantized: ModeResult,
+    ann: ModeResult,
+}
+
+#[derive(serde::Serialize)]
+struct Gates {
+    hardware_threads: usize,
+    /// True when the gate point was measured (full mode) on qualifying
+    /// hardware — only then do the floors abort.
+    enforced: bool,
+    gate_leaves: usize,
+    ann_min_speedup: f64,
+    ann_min_recall_at_10: f64,
+}
+
+#[derive(serde::Serialize)]
+struct AnnBench {
+    seed: u64,
+    smoke: bool,
+    queries: usize,
+    k: usize,
+    sweep: Vec<ScalePoint>,
+    gates: Gates,
+}
+
+/// Time `recommend_prepared` over the prepared query set; returns QPS
+/// and the rankings (for the recall comparison).
+fn measure(
+    mapper: &Mapper,
+    prepared: &[nassim_mapper::PreparedQuery],
+    k: usize,
+) -> (f64, Vec<Vec<(nassim_corpus::UdmNodeId, f32)>>) {
+    // One untimed warmup pass, then the timed pass.
+    for q in prepared {
+        let _ = mapper.recommend_prepared(q, k);
+    }
+    let (rankings, ms) = time_ms(|| {
+        prepared
+            .iter()
+            .map(|q| mapper.recommend_prepared(q, k))
+            .collect::<Vec<_>>()
+    });
+    (prepared.len() as f64 / (ms / 1e3).max(1e-9), rankings)
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let smoke = std::env::args().any(|a| a == "--smoke")
+        || std::env::var("NASSIM_SMOKE").map(|v| v != "0").unwrap_or(false);
+    let sweep: Vec<usize> = if smoke {
+        SMOKE_SWEEP.to_vec()
+    } else {
+        FULL_SWEEP.to_vec()
+    };
+    let k = 10usize;
+    let hw = hardware_threads();
+    let catalog = Catalog::base();
+    let queries = queries();
+    let query_refs: Vec<&Context> = queries.iter().collect();
+    println!(
+        "ANN bench: sweep {sweep:?} leaves, {} queries, k={k}, smoke={smoke}, {hw} hw threads",
+        queries.len()
+    );
+
+    let mut points = Vec::new();
+    for &n in &sweep {
+        let data = udmgen::generate(
+            &catalog,
+            &udmgen::UdmGenOptions {
+                seed: SEED,
+                paraphrase_strength: 0.6,
+                distractors: 0,
+                synthetic_leaves: n,
+            },
+        );
+        let udm = &data.udm;
+        let embedder: std::sync::Arc<dyn nassim_mapper::Embedder> =
+            std::sync::Arc::new(HashEmbedder(64));
+        let exact = Mapper::dl(udm, embedder);
+        let leaves = exact.candidate_count();
+        let prepared = exact.prepare_queries(&query_refs);
+
+        // Build the sub-linear index once (parallel construction); both
+        // sub-linear modes share it through the mapper clone.
+        let (quant_mapper, build_ms) =
+            time_ms(|| exact.with_retrieval_mode(RetrievalMode::Quantized));
+        let ann_mapper = quant_mapper.with_retrieval_mode(RetrievalMode::Ann { probes: 0 });
+        let stats = ann_mapper.retrieval_stats();
+
+        // Single-thread query throughput: the serving-latency view.
+        let ((exact_qps, exact_rankings), (quant_qps, quant_rankings), (ann_qps, ann_rankings)) =
+            nassim_exec::with_threads(1, || {
+                (
+                    measure(&exact, &prepared, k),
+                    measure(&quant_mapper, &prepared, k),
+                    measure(&ann_mapper, &prepared, k),
+                )
+            });
+
+        let mean_recall = |rankings: &[Vec<(nassim_corpus::UdmNodeId, f32)>]| {
+            rankings
+                .iter()
+                .zip(&exact_rankings)
+                .map(|(got, want)| recall(got, want))
+                .sum::<f64>()
+                / rankings.len() as f64
+        };
+        let quant_recall = mean_recall(&quant_rankings);
+        let ann_recall = mean_recall(&ann_rankings);
+
+        println!(
+            "  {leaves:>7} leaves: exact {exact_qps:>8.1} qps | quantized {quant_qps:>8.1} qps ({:.2}x, r@10 {quant_recall:.3}) | ann {ann_qps:>8.1} qps ({:.2}x, r@10 {ann_recall:.3}) | build {build_ms:.1} ms, nlist {}, probes {}",
+            quant_qps / exact_qps.max(1e-9),
+            ann_qps / exact_qps.max(1e-9),
+            stats.nlist,
+            stats.probes,
+        );
+
+        points.push(ScalePoint {
+            leaves,
+            index_build_ms: build_ms,
+            nlist: stats.nlist,
+            probes: stats.probes,
+            exact: ModeResult {
+                qps: exact_qps,
+                recall_at_10: 1.0,
+                speedup_vs_exact: 1.0,
+            },
+            quantized: ModeResult {
+                qps: quant_qps,
+                recall_at_10: quant_recall,
+                speedup_vs_exact: quant_qps / exact_qps.max(1e-9),
+            },
+            ann: ModeResult {
+                qps: ann_qps,
+                recall_at_10: ann_recall,
+                speedup_vs_exact: ann_qps / exact_qps.max(1e-9),
+            },
+        });
+    }
+
+    let gate_point_measured = points.iter().any(|p| p.leaves >= GATE_LEAVES);
+    let enforced = !smoke && gate_point_measured && hw >= GATE_MIN_HW_THREADS;
+    let bench = AnnBench {
+        seed: SEED,
+        smoke,
+        queries: queries.len(),
+        k,
+        sweep: points,
+        gates: Gates {
+            hardware_threads: hw,
+            enforced,
+            gate_leaves: GATE_LEAVES,
+            ann_min_speedup: ANN_SPEEDUP_FLOOR,
+            ann_min_recall_at_10: ANN_RECALL_FLOOR,
+        },
+    };
+    let json = serde_json::to_string_pretty(&bench)?;
+    std::fs::write("BENCH_ann.json", &json)?;
+    println!("  wrote BENCH_ann.json");
+
+    // ── Shape gate: re-read what landed on disk. ──────────────────────
+    let reread: serde::Value = serde_json::from_str(&std::fs::read_to_string("BENCH_ann.json")?)?;
+    for key in ["sweep", "gates", "queries", "k"] {
+        if reread.get(key).is_none() {
+            eprintln!("FAIL: BENCH_ann.json missing key {key:?}");
+            std::process::exit(1);
+        }
+    }
+    let Some(serde::Value::Arr(sweep_json)) = reread.get("sweep") else {
+        eprintln!("FAIL: BENCH_ann.json sweep is not an array");
+        std::process::exit(1);
+    };
+    if sweep_json.len() != bench.sweep.len() {
+        eprintln!("FAIL: BENCH_ann.json sweep length mismatch");
+        std::process::exit(1);
+    }
+    for point in sweep_json {
+        for key in ["leaves", "exact", "quantized", "ann"] {
+            if point.get(key).is_none() {
+                eprintln!("FAIL: BENCH_ann.json sweep point missing {key:?}");
+                std::process::exit(1);
+            }
+        }
+        for mode in ["exact", "quantized", "ann"] {
+            let numeric = point
+                .get(mode)
+                .and_then(|m| m.get("qps"))
+                .is_some_and(|v| matches!(v, serde::Value::Num(_)));
+            if !numeric {
+                eprintln!("FAIL: BENCH_ann.json {mode}.qps missing or non-numeric");
+                std::process::exit(1);
+            }
+        }
+    }
+
+    // ── Hard gates at the 100k point. ─────────────────────────────────
+    let mut failed = false;
+    if let Some(gate) = bench.sweep.iter().find(|p| p.leaves >= GATE_LEAVES) {
+        let speedup_ok = gate.ann.speedup_vs_exact >= ANN_SPEEDUP_FLOOR;
+        let recall_ok = gate.ann.recall_at_10 >= ANN_RECALL_FLOOR;
+        if !speedup_ok {
+            eprintln!(
+                "{}: ann {:.2}x exact QPS at {} leaves, floor {ANN_SPEEDUP_FLOOR}x",
+                if enforced { "FAIL" } else { "note (report-only)" },
+                gate.ann.speedup_vs_exact,
+                gate.leaves
+            );
+            failed |= enforced;
+        }
+        if !recall_ok {
+            eprintln!(
+                "{}: ann recall@10 {:.3} at {} leaves, floor {ANN_RECALL_FLOOR}",
+                if enforced { "FAIL" } else { "note (report-only)" },
+                gate.ann.recall_at_10,
+                gate.leaves
+            );
+            failed |= enforced;
+        }
+    } else {
+        println!(
+            "  gate point ({GATE_LEAVES} leaves) not in sweep — gates report-only (smoke={smoke})"
+        );
+    }
+    if failed {
+        std::process::exit(1);
+    }
+    println!(
+        "  gates: {} (>= {ANN_SPEEDUP_FLOOR}x and recall@10 >= {ANN_RECALL_FLOOR} at {GATE_LEAVES} leaves)",
+        if enforced { "ENFORCED — PASS" } else { "report-only" }
+    );
+    Ok(())
+}

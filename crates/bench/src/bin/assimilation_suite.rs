@@ -177,6 +177,7 @@ fn run_vendor(
             seed: SEED,
             paraphrase_strength: 0.85,
             distractors: if smoke { 20 } else { 150 },
+            synthetic_leaves: 0,
         },
     );
     let udm = &udm_data.udm;

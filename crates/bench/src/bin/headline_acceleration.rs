@@ -226,6 +226,7 @@ fn parallel_bench(smoke: bool) -> Result<ParallelBench, Box<dyn std::error::Erro
             seed: 1,
             paraphrase_strength: 0.6,
             distractors,
+            synthetic_leaves: 0,
         },
     );
     let udm = &data.udm;

@@ -167,6 +167,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             seed: SEED,
             paraphrase_strength: 0.85,
             distractors: if smoke { 20 } else { 150 },
+            synthetic_leaves: 0,
         },
     );
     let udm = &udm_data.udm;

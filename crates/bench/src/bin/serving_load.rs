@@ -143,6 +143,7 @@ fn chaos_script() -> Vec<Request> {
             sequences: vec![topic.to_string()],
             k: 1 + i % 5,
             deadline_ms: None,
+            mode: None,
         });
     }
     script.push(Request::SubmitManual {
@@ -305,6 +306,7 @@ fn load_phase(state: &Arc<ServeState>) -> Result<LoadStats, Box<dyn std::error::
                         sequences: vec![format!("load probe {w} {i} interface mtu")],
                         k: 3,
                         deadline_ms: None,
+                        mode: None,
                     };
                     let rt = Instant::now();
                     match client.request(&request) {
@@ -383,6 +385,7 @@ fn overload_phase(state: &Arc<ServeState>) -> Result<OverloadStats, Box<dyn std:
                 sequences: vec!["overload probe".to_string()],
                 k: 1,
                 deadline_ms: None,
+                mode: None,
             })?,
             Reply::Err(e) if e.kind == ErrKind::Overloaded
         ) {

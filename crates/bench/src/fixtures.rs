@@ -167,6 +167,7 @@ pub fn mapping_experiment(ks: &[usize]) -> Result<MappingOutcome, NassimError> {
             seed: SEED,
             paraphrase_strength: 0.85,
             distractors: 150,
+            synthetic_leaves: 0,
         },
     );
     let udm = &udm_data.udm;

@@ -62,7 +62,7 @@ use nassim_corpus::{fnv1a_str, Fnv1a};
 use nassim_diag::NassimError;
 use nassim_diag::{Diagnostic, Stage};
 use nassim_html::IngestBudget;
-use nassim_mapper::{EmbeddingCache, Mapper};
+use nassim_mapper::{AnnCache, EmbeddingCache, Mapper, RetrievalMode};
 use nassim_parser::{fold_page_records, page_records, PageRecord, ParseRun, VendorParser};
 use nassim_validator::hierarchy::Derivation;
 use nassim_validator::syntax_stage::{PageSyntax, SyntaxAudit};
@@ -83,8 +83,9 @@ const MAGIC: &str = "NASSIM-ARTIFACTS";
 /// Bumped on any change to the persisted layout; a mismatch is a typed
 /// corruption error, never a best-effort partial load. v2 added the
 /// `graphs` and `evidence` sections and the per-section `checksums`
-/// footer.
-const SCHEMA_VERSION: i64 = 2;
+/// footer; v3 added the `ann` section (sub-linear retrieval indexes keyed
+/// by pooled-corpus hash).
+const SCHEMA_VERSION: i64 = 3;
 
 /// Ceiling on the bytes a store load will read. A corrupt length field
 /// cannot exist in JSON, but a multi-GB file (disk corruption, an
@@ -94,7 +95,7 @@ pub const MAX_STORE_BYTES: u64 = 256 * 1024 * 1024;
 
 /// The persisted sections, in on-disk order. Every section carries an
 /// FNV-1a checksum of its serialized bytes in the `checksums` footer.
-const SECTIONS: [&str; 5] = ["pages", "syntax", "graphs", "evidence", "embeddings"];
+const SECTIONS: [&str; 6] = ["pages", "syntax", "graphs", "evidence", "embeddings", "ann"];
 
 /// Cache traffic counters for the store-level artifact maps. The graph
 /// and embedding caches carry their own counters ([`GraphCache`],
@@ -137,6 +138,10 @@ pub struct ArtifactStore {
     pub evidence: EvidenceCache,
     /// Normalized leaf-context embeddings for mapper construction.
     pub embeddings: EmbeddingCache,
+    /// Built sub-linear retrieval indexes (quantized corpus + IVF), keyed
+    /// by the pooled-corpus hash: a UDM or embedder change changes the
+    /// hash, so a stale index is never served.
+    pub ann: AnnCache,
     /// The corpus-level derived stage, keyed by the FNV of the ordered
     /// page keys (in-memory only; rebuilt from the graph + evidence
     /// caches after a reload).
@@ -180,6 +185,7 @@ impl ArtifactStore {
             ("graphs".to_string(), self.graphs.to_value()),
             ("evidence".to_string(), self.evidence.to_value()),
             ("embeddings".to_string(), self.embeddings.to_value()),
+            ("ann".to_string(), self.ann.to_value()),
         ];
         let mut checksums: Vec<(String, Value)> = Vec::with_capacity(sections.len());
         for (name, section) in &sections {
@@ -250,12 +256,17 @@ impl ArtifactStore {
             Some(v) => EmbeddingCache::from_value(v).map_err(|e| corrupt(e.0))?,
             None => return Err(corrupt("missing `embeddings` section".to_string())),
         };
+        let ann = match value.get("ann") {
+            Some(v) => AnnCache::from_value(v).map_err(|e| corrupt(e.0))?,
+            None => return Err(corrupt("missing `ann` section".to_string())),
+        };
         Ok(ArtifactStore {
             pages,
             syntax,
             graphs,
             evidence,
             embeddings,
+            ann,
             derived: None,
             stats: StoreStats::default(),
         })
@@ -348,6 +359,7 @@ impl ArtifactStore {
         let graphs_ok = verified("graphs");
         let evidence_ok = verified("evidence");
         let embeddings_ok = verified("embeddings");
+        let ann_ok = verified("ann");
 
         let mut diag = |what: &str, detail: String| {
             diagnostics.push(Diagnostic::warning(
@@ -417,6 +429,23 @@ impl ArtifactStore {
                 EmbeddingCache::new()
             }
         };
+        let ann = match (ann_ok, value.get("ann")) {
+            (Some(false), _) => AnnCache::new(),
+            (_, Some(v)) => {
+                let (cache, errors) = AnnCache::from_value_lossy(v);
+                for e in errors {
+                    diag("ann index entry", e);
+                }
+                cache
+            }
+            (_, None) => {
+                diag(
+                    "section",
+                    "missing `ann` section (starting empty)".to_string(),
+                );
+                AnnCache::new()
+            }
+        };
         Ok((
             ArtifactStore {
                 pages,
@@ -424,6 +453,7 @@ impl ArtifactStore {
                 graphs,
                 evidence,
                 embeddings,
+                ann,
                 derived: None,
                 stats: StoreStats::default(),
             },
@@ -442,6 +472,23 @@ impl ArtifactStore {
         embedder_id: &str,
     ) -> Mapper {
         Mapper::dl_cached(udm, embedder, embedder_id, &mut self.embeddings)
+    }
+
+    /// [`ArtifactStore::mapper_dl`] plus a retrieval mode enabled through
+    /// this store's `ann` cache: a warm start whose corpus hash matches a
+    /// persisted index skips the quantization + k-means build entirely,
+    /// and a corpus change simply misses (the fresh index replaces the
+    /// stale entry at the next save).
+    pub fn mapper_dl_sublinear(
+        &mut self,
+        udm: &nassim_corpus::Udm,
+        embedder: Arc<dyn nassim_mapper::Embedder>,
+        embedder_id: &str,
+        mode: RetrievalMode,
+    ) -> Mapper {
+        let mut mapper = self.mapper_dl(udm, embedder, embedder_id);
+        mapper.set_retrieval_mode_cached(mode, &mut self.ann);
+        mapper
     }
 
     // -----------------------------------------------------------------
@@ -850,7 +897,7 @@ mod tests {
         assimilations_match(&full, &staged);
     }
 
-    /// Build a store with all five persisted sections populated (the
+    /// Build a store with all six persisted sections populated (the
     /// lossy/salvage tests damage them one at a time).
     fn populated_store(seed: u64) -> (manualgen::Manual, ArtifactStore) {
         let m = manual(seed);
@@ -869,6 +916,7 @@ mod tests {
                 seed: 1,
                 paraphrase_strength: 0.8,
                 distractors: 5,
+                synthetic_leaves: 0,
             },
         );
         struct TestEmbedder;
@@ -881,11 +929,17 @@ mod tests {
                 v
             }
         }
-        store.mapper_dl(&udm_data.udm, Arc::new(TestEmbedder), "test-embedder");
+        store.mapper_dl_sublinear(
+            &udm_data.udm,
+            Arc::new(TestEmbedder),
+            "test-embedder",
+            RetrievalMode::Quantized,
+        );
         assert!(store.page_count() > 1, "need parse entries to damage");
         assert!(store.graphs.len() > 1, "need graph entries to damage");
         assert!(store.evidence.len() > 1, "need evidence entries to damage");
         assert!(store.embeddings.len() > 1, "need embeddings to damage");
+        assert!(!store.ann.is_empty(), "need an ann index to damage");
         (m, store)
     }
 
@@ -992,6 +1046,7 @@ mod tests {
                 s.graphs.len(),
                 s.evidence.len(),
                 s.embeddings.len(),
+                s.ann.len(),
             ]
         };
         let full = counts(&store);
@@ -1018,7 +1073,7 @@ mod tests {
                 other => panic!("{name}: expected ArtifactCorrupt, got ok={}", other.is_ok()),
             }
             // …while the lossy load drops exactly that section and
-            // keeps the other four intact, with one Internal warning.
+            // keeps the other five intact, with one Internal warning.
             let (salvaged, diags) = ArtifactStore::load_lossy(&path).unwrap();
             let got = counts(&salvaged);
             for (i, (&g, &f)) in got.iter().zip(full.iter()).enumerate() {
@@ -1039,6 +1094,75 @@ mod tests {
             std::fs::remove_file(&path).ok();
         }
         std::fs::remove_file(&pristine_path).ok();
+    }
+
+    /// The `ann` section warm-starts sub-linear retrieval: a reloaded
+    /// store rebuilds the mapper without re-running index construction,
+    /// and the warmed mapper ranks bit-identically to the original.
+    #[test]
+    fn ann_index_round_trips_through_save_and_load() {
+        struct ByteEmbedder;
+        impl nassim_mapper::Embedder for ByteEmbedder {
+            fn embed(&self, text: &str) -> Vec<f32> {
+                let mut v = vec![0.0f32; 8];
+                for (i, b) in text.bytes().enumerate() {
+                    v[i % 8] += b as f32;
+                }
+                v
+            }
+        }
+        let udm_data = nassim_datasets::udmgen::generate(
+            &Catalog::base(),
+            &nassim_datasets::udmgen::UdmGenOptions {
+                seed: 3,
+                paraphrase_strength: 0.8,
+                distractors: 40,
+                synthetic_leaves: 0,
+            },
+        );
+        let query = nassim_mapper::Context {
+            sequences: vec![
+                "mtu".to_string(),
+                "set interface mtu bytes".to_string(),
+                "interface configuration".to_string(),
+            ],
+        };
+
+        let mut store = ArtifactStore::new();
+        let mapper = store.mapper_dl_sublinear(
+            &udm_data.udm,
+            Arc::new(ByteEmbedder),
+            "byte-embedder",
+            RetrievalMode::Quantized,
+        );
+        assert_eq!(store.ann.misses, 1, "first build is a cache miss");
+        assert_eq!(store.ann.hits, 0);
+        let want = mapper.recommend(&query, 10);
+
+        let dir = std::env::temp_dir().join("nassim-artifact-ann");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("store.json");
+        store.save(&path).unwrap();
+
+        let mut loaded = ArtifactStore::load(&path).unwrap();
+        assert_eq!(loaded.ann.len(), store.ann.len());
+        let warmed = loaded.mapper_dl_sublinear(
+            &udm_data.udm,
+            Arc::new(ByteEmbedder),
+            "byte-embedder",
+            RetrievalMode::Quantized,
+        );
+        assert_eq!(loaded.ann.hits, 1, "persisted index must be reused");
+        assert_eq!(loaded.ann.misses, 0);
+        assert_eq!(loaded.embeddings.misses, 0, "leaf embeddings replay too");
+        assert_eq!(warmed.retrieval_mode(), RetrievalMode::Quantized);
+        let got = warmed.recommend(&query, 10);
+        assert_eq!(got.len(), want.len());
+        for ((gi, gs), (wi, ws)) in got.iter().zip(want.iter()) {
+            assert_eq!(gi, wi);
+            assert_eq!(gs.to_bits(), ws.to_bits(), "scores must be bit-identical");
+        }
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]

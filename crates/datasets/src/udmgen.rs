@@ -79,6 +79,10 @@ pub struct UdmGenOptions {
     pub paraphrase_strength: f64,
     /// Number of distractor leaves.
     pub distractors: usize,
+    /// Extra synthetic leaves for retrieval-scale benchmarks (0 = none).
+    /// Unlike distractors these carry no mirror subtrees or paraphrase
+    /// passes, so generation stays linear up to millions of leaves.
+    pub synthetic_leaves: usize,
 }
 
 impl Default for UdmGenOptions {
@@ -87,6 +91,7 @@ impl Default for UdmGenOptions {
             seed: 0,
             paraphrase_strength: 0.85,
             distractors: 120,
+            synthetic_leaves: 0,
         }
     }
 }
@@ -192,6 +197,7 @@ pub fn generate(catalog: &Catalog, opts: &UdmGenOptions) -> UdmDataset {
 
     add_protocol_mirrors(&mut udm, &mut rng);
     add_distractors(&mut udm, opts.distractors, &mut rng);
+    add_synthetic_leaves(&mut udm, opts.synthetic_leaves, &mut rng);
 
     UdmDataset { udm, alignment }
 }
@@ -280,6 +286,40 @@ fn add_distractors(udm: &mut Udm, count: usize, rng: &mut StdRng) {
     }
 }
 
+/// Scale filler for retrieval benchmarks: `count` extra leaves packed
+/// into bounded-fanout bucket containers under `synthetic/`. Generation
+/// is linear in `count` — the current bucket's id is carried across
+/// iterations so [`Udm::ensure_path`]'s linear child scan never runs per
+/// leaf — and the prose is cheap but word-diverse so leaf embeddings
+/// spread out instead of collapsing onto a handful of points.
+fn add_synthetic_leaves(udm: &mut Udm, count: usize, rng: &mut StdRng) {
+    const BUCKET: usize = 64;
+    if count == 0 {
+        return;
+    }
+    let root = udm.ensure_path(&["synthetic"]);
+    let verbs = ["Limits", "Selects", "Schedules", "Shapes", "Meters", "Audits"];
+    let mut bucket = root;
+    for i in 0..count {
+        if i % BUCKET == 0 {
+            let b = i / BUCKET;
+            let feat = FEATURE_WORDS[b % FEATURE_WORDS.len()];
+            let obj = OBJECT_WORDS[(b * 5 + 1) % OBJECT_WORDS.len()];
+            bucket = udm.add(root, format!("{feat}-{obj}-{b}"), "", "");
+        }
+        let attr = ATTR_WORDS[(i * 11 + 2) % ATTR_WORDS.len()];
+        let obj = OBJECT_WORDS[(i * 3 + 7) % OBJECT_WORDS.len()];
+        let feat = FEATURE_WORDS[(i * 17 + 5) % FEATURE_WORDS.len()];
+        let verb = verbs[rng.gen_range(0..verbs.len())];
+        let name = format!("{attr}-{}", i % BUCKET);
+        let desc = format!(
+            "{verb} the {attr} of the {obj} object in the {feat} plane (profile {}).",
+            i / BUCKET
+        );
+        udm.add(bucket, name, desc, "uint32");
+    }
+}
+
 /// Sample a scarce annotation subset (the norsk-style 110-of-all case).
 /// Deterministic in `seed`; preserves input order.
 pub fn sample_annotations(full: &[AlignEntry], keep: usize, seed: u64) -> Vec<AlignEntry> {
@@ -309,6 +349,7 @@ mod tests {
                 seed,
                 paraphrase_strength: strength,
                 distractors: 50,
+                synthetic_leaves: 0,
             },
         )
     }
@@ -414,5 +455,42 @@ mod tests {
             sample_annotations(&d.alignment, 10_000, 1).len(),
             d.alignment.len()
         );
+    }
+
+    #[test]
+    fn synthetic_leaves_scale_linearly_and_deterministically() {
+        let with_synth = |n: usize, seed: u64| {
+            generate(
+                &Catalog::base(),
+                &UdmGenOptions {
+                    seed,
+                    paraphrase_strength: 0.5,
+                    distractors: 10,
+                    synthetic_leaves: n,
+                },
+            )
+        };
+        let base = with_synth(0, 9);
+        let big = with_synth(20_000, 9);
+        // Exactly `synthetic_leaves` extra leaves, all under `synthetic/`
+        // (bucket containers are not leaves; they always hold children).
+        assert_eq!(big.udm.leaves().len(), base.udm.leaves().len() + 20_000);
+        let synth_root = big.udm.lookup("synthetic").expect("synthetic subtree");
+        assert!(!big.udm.node(synth_root).is_leaf());
+        // The filler does not contaminate the ground truth.
+        assert_eq!(big.alignment, base.alignment);
+        for a in &big.alignment {
+            assert!(!a.udm_path.starts_with("synthetic/"));
+        }
+        // Seeded: same options → identical tree.
+        let again = with_synth(20_000, 9);
+        assert_eq!(big.udm.len(), again.udm.len());
+        let leaves = big.udm.leaves();
+        let leaves_again = again.udm.leaves();
+        assert_eq!(leaves, leaves_again);
+        for (&l, &r) in leaves.iter().zip(leaves_again.iter()).step_by(997) {
+            assert_eq!(big.udm.node(l).description, again.udm.node(r).description);
+            assert_eq!(big.udm.path_of(l), again.udm.path_of(r));
+        }
     }
 }

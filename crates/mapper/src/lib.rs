@@ -15,12 +15,17 @@
 //! * [`eval`] — recall@top-k and MRR over ground-truth alignments, plus
 //!   the resolver that ties annotation entries to parsed-VDM parameters;
 //! * [`finetune`] — NetBERT domain adaptation: labelled context pairs
-//!   with 1:10 negative sampling feeding the siamese objective (§6.3).
+//!   with 1:10 negative sampling feeding the siamese objective (§6.3);
+//! * [`retrieval`] — sub-linear candidate ranking behind
+//!   [`retrieval::RetrievalMode`]: int8 quantized scanning and a
+//!   deterministic IVF (k-means) index over pooled leaf embeddings, with
+//!   exact f32 rescoring of the survivors.
 
 pub mod context;
 pub mod eval;
 pub mod finetune;
 pub mod models;
+pub mod retrieval;
 
 pub use context::{udm_leaf_context, vdm_param_context, Context};
 pub use eval::{evaluate, EvalCase, EvalReport};
@@ -29,3 +34,4 @@ pub use models::{
     leaf_embedding_key, Embedder, EmbeddingCache, EncoderEmbedder, Mapper, MapperIndex,
     NormalizedEmbedding, PreparedQuery,
 };
+pub use retrieval::{AnnCache, RetrievalMode, RetrievalStats, SublinearIndex};

@@ -187,6 +187,32 @@ impl NormalizedEmbedding {
         &self.scaled[i * self.dim..(i + 1) * self.dim]
     }
 
+    /// Row stride of the scaled buffer (max row length).
+    pub(crate) fn width(&self) -> usize {
+        self.dim
+    }
+
+    /// Number of context rows (k of Eq. 1).
+    pub(crate) fn row_count(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Sum of the pre-scaled (unit-normalized) rows, the *pooled* form of
+    /// this embedding: under uniform Eq. 2 weights the k_V × k_U cosine
+    /// grid collapses to `dot(pooled_v, pooled_u) / (k_V · k_U)` because
+    /// the dot product distributes over the row sums and zero rows (scaled
+    /// to all-zeros) contribute nothing — the identity the sub-linear
+    /// retrieval modes build on.
+    pub(crate) fn pooled_scaled(&self) -> Vec<f32> {
+        let mut pooled = vec![0.0f32; self.dim];
+        for i in 0..self.rows.len() {
+            for (o, &v) in pooled.iter_mut().zip(self.scaled_row(i)) {
+                *o += v;
+            }
+        }
+        pooled
+    }
+
     /// The raw rows as IEEE-754 bit patterns — the lossless persistence
     /// form used by the artifact store. `from_bit_rows` inverts this
     /// exactly: norms and scaled buffers are recomputed by the same
@@ -363,7 +389,7 @@ enum Strategy {
 /// re-embedding.
 pub struct MapperIndex {
     udm: Udm,
-    leaves: Vec<UdmNodeId>,
+    pub(crate) leaves: Vec<UdmNodeId>,
     leaf_contexts: Vec<Context>,
     /// leaf id → index into `leaves`/`leaf_contexts` (O(1) lookups).
     leaf_index: HashMap<UdmNodeId, usize>,
@@ -374,7 +400,7 @@ pub struct MapperIndex {
     /// strategies): the norms are paid once here, never per query. Each
     /// embedding sits behind an `Arc` so the artifact store's embedding
     /// cache and any number of mappers share one copy.
-    leaf_embeddings: Vec<Arc<NormalizedEmbedding>>,
+    pub(crate) leaf_embeddings: Vec<Arc<NormalizedEmbedding>>,
 }
 
 impl MapperIndex {
@@ -390,13 +416,20 @@ impl MapperIndex {
 /// built from.
 #[derive(Clone)]
 pub struct Mapper {
-    index: Arc<MapperIndex>,
+    pub(crate) index: Arc<MapperIndex>,
     /// Contiguous leaf-index partitions for the parallel DL scan,
     /// computed once at construction from the corpus size alone.
     shards: Vec<Range<usize>>,
     strategy: Strategy,
     /// Optional Eq. 2 weight vector (length k_V × k_U).
     pub weights: Option<Vec<f32>>,
+    /// How the DL scan ranks candidates — `Exact` (the default) is the
+    /// byte-for-byte pre-existing sharded scan; the sub-linear modes live
+    /// in [`crate::retrieval`].
+    pub(crate) retrieval: crate::retrieval::RetrievalMode,
+    /// The quantized corpus + optional IVF index backing the sub-linear
+    /// modes; `None` until a non-`Exact` mode is first enabled.
+    pub(crate) sublinear: Option<Arc<crate::retrieval::SublinearIndex>>,
 }
 
 /// Content key of one leaf context's embedding under one embedder:
@@ -610,12 +643,23 @@ impl Mapper {
 
     fn assemble(index: MapperIndex, strategy: Strategy) -> Mapper {
         let shards = leaf_shards(index.leaves.len());
-        Mapper {
+        let mut mapper = Mapper {
             index: Arc::new(index),
             shards,
             strategy,
             weights: None,
+            retrieval: crate::retrieval::RetrievalMode::Exact,
+            sublinear: None,
+        };
+        // `NASSIM_RETRIEVAL=exact|quantized|ann[:probes]` overrides the
+        // default mode for every new mapper (unset → Exact, so tier-1
+        // behaviour is untouched). Invalid values are ignored: retrieval
+        // modes only change latency, never correctness, so a typo must
+        // not take the exact path down.
+        if let Some(mode) = crate::retrieval::RetrievalMode::from_env() {
+            mapper.set_retrieval_mode(mode);
         }
+        mapper
     }
 
     /// How many shards the DL scan is partitioned into (1 = serial scan).
@@ -775,7 +819,9 @@ impl Mapper {
         };
         let scored: Vec<(usize, f32)> = match &self.strategy {
             Strategy::Ir => self.index.ir.top_k(joined, k),
-            Strategy::Dl { .. } => self.dl_scan(ev, k),
+            // `retrieve` dispatches on the retrieval mode; `Exact` (the
+            // default) is precisely `dl_scan`.
+            Strategy::Dl { .. } => self.retrieve(ev, k),
             Strategy::IrDl { shortlist, .. } => {
                 let mut top = TopK::new(k);
                 for (i, ir_score) in self.index.ir.top_k(joined, *shortlist) {
@@ -806,7 +852,7 @@ impl Mapper {
     /// the final merge re-ranks under the same total order (descending
     /// score, ties to the lower leaf index). Sharding therefore changes
     /// wall-clock only, never output.
-    fn dl_scan(&self, ev: &NormalizedEmbedding, k: usize) -> Vec<(usize, f32)> {
+    pub(crate) fn dl_scan(&self, ev: &NormalizedEmbedding, k: usize) -> Vec<(usize, f32)> {
         // Fan out only when it can pay: multiple shards, multiple
         // workers, and no enclosing parallel region already saturating
         // the pool (mapper evaluation fans out per *case*; its inner

@@ -22,6 +22,8 @@
 //!   [`BatchEncoder`] with an LRU embedding memo;
 //! * [`topk`] — bounded partial top-k selection shared by TF-IDF
 //!   retrieval and the mapper's ranking;
+//! * [`quant`] — per-dimension symmetric int8 quantization with a widening
+//!   i32 dot kernel, backing the mapper's sub-linear retrieval modes;
 //! * [`training`] — Adam, the SBERT-style siamese cosine regression
 //!   objective, the SimCSE-style in-batch contrastive objective, and
 //!   training loops.
@@ -34,6 +36,7 @@
 
 pub mod autograd;
 pub mod infer;
+pub mod quant;
 pub mod tensor;
 pub mod tfidf;
 pub mod tokenizer;
@@ -42,6 +45,7 @@ pub mod training;
 pub mod transformer;
 
 pub use infer::{BatchEncoder, MemoStats};
+pub use quant::{dot_i8, QuantizedQuery, Quantizer};
 pub use tensor::Matrix;
 pub use tfidf::TfIdf;
 pub use tokenizer::{tokenize, Vocab};

@@ -271,10 +271,13 @@ pub fn run_chaos(
                 // deterministically, whatever the op.
                 report.deadline_injected += 1;
                 let doomed = match request.clone() {
-                    Request::QueryMapping { sequences, k, .. } => Request::QueryMapping {
+                    Request::QueryMapping {
+                        sequences, k, mode, ..
+                    } => Request::QueryMapping {
                         sequences,
                         k,
                         deadline_ms: Some(0),
+                        mode,
                     },
                     Request::SubmitManual {
                         vendor, pages, job, ..
@@ -290,6 +293,7 @@ pub fn run_chaos(
                         sequences: vec!["chaos deadline probe".to_string()],
                         k: 1,
                         deadline_ms: Some(0),
+                        mode: None,
                     },
                 };
                 let mut client = ServeClient::connect(addr)?;
@@ -310,6 +314,7 @@ pub fn run_chaos(
                                 sequences: vec![format!("burst probe {b}")],
                                 k: 1,
                                 deadline_ms: None,
+                                mode: None,
                             })
                         })
                     })

@@ -10,6 +10,7 @@
 //! key order so a fault-free rerun of the same request is byte-identical
 //! (the chaos harness' parity oracle depends on this).
 
+use nassim_mapper::RetrievalMode;
 use serde::Value;
 
 /// Longest accepted journal job id.
@@ -43,6 +44,10 @@ pub enum Request {
         sequences: Vec<String>,
         k: usize,
         deadline_ms: Option<u64>,
+        /// Retrieval mode override: `"exact"`, `"quantized"`, `"ann"` or
+        /// `"ann:<probes>"`. Absent = the daemon's default (exact). An
+        /// unknown mode string is a typed `malformed` reply.
+        mode: Option<RetrievalMode>,
     },
     /// Assimilate a submitted manual through the staged pipeline,
     /// streaming one progress frame per stage. With a `job` id the
@@ -117,6 +122,7 @@ impl Request {
                 sequences,
                 k,
                 deadline_ms,
+                mode,
             } => {
                 fields.push((
                     "sequences".to_string(),
@@ -125,6 +131,12 @@ impl Request {
                 fields.push(("k".to_string(), Value::Num(*k as f64)));
                 if let Some(ms) = deadline_ms {
                     fields.push(("deadline_ms".to_string(), Value::Num(*ms as f64)));
+                }
+                // Emitted only when present, so pre-mode request lines
+                // keep their exact bytes (the parity oracle's replay
+                // corpus includes them).
+                if let Some(mode) = mode {
+                    fields.push(("mode".to_string(), Value::Str(mode_to_wire(mode))));
                 }
             }
             Request::SubmitManual {
@@ -214,10 +226,20 @@ impl Request {
                     return Err(malformed("`sequences` must not be empty"));
                 }
                 let k = num_field("k")?.unwrap_or(5).clamp(1, 100) as usize;
+                let mode = match value.get("mode") {
+                    None => None,
+                    Some(Value::Str(s)) => Some(RetrievalMode::parse(s).ok_or_else(|| {
+                        malformed(&format!(
+                            "`mode` must be exact, quantized, ann or ann:<probes>, got `{s}`"
+                        ))
+                    })?),
+                    Some(_) => return Err(malformed("`mode` must be a string")),
+                };
                 Ok(Request::QueryMapping {
                     sequences,
                     k,
                     deadline_ms: num_field("deadline_ms")?,
+                    mode,
                 })
             }
             "submit-manual" => {
@@ -278,6 +300,15 @@ impl Request {
                 message: format!("unknown op `{other}`"),
             }),
         }
+    }
+}
+
+/// The wire spelling of a retrieval mode — `as_str` except that a
+/// non-default probe count survives the round trip as `ann:<probes>`.
+fn mode_to_wire(mode: &RetrievalMode) -> String {
+    match mode {
+        RetrievalMode::Ann { probes } if *probes > 0 => format!("ann:{probes}"),
+        other => other.as_str().to_string(),
     }
 }
 
@@ -438,6 +469,25 @@ mod tests {
                 sequences: vec!["as-number".into(), "bgp <as-number>".into()],
                 k: 5,
                 deadline_ms: Some(250),
+                mode: None,
+            },
+            Request::QueryMapping {
+                sequences: vec!["mtu".into()],
+                k: 10,
+                deadline_ms: None,
+                mode: Some(RetrievalMode::Quantized),
+            },
+            Request::QueryMapping {
+                sequences: vec!["mtu".into()],
+                k: 10,
+                deadline_ms: None,
+                mode: Some(RetrievalMode::Ann { probes: 7 }),
+            },
+            Request::QueryMapping {
+                sequences: vec!["mtu".into()],
+                k: 10,
+                deadline_ms: None,
+                mode: Some(RetrievalMode::Ann { probes: 0 }),
             },
             Request::SubmitManual {
                 vendor: "helix".into(),
@@ -477,6 +527,9 @@ mod tests {
             "{\"op\":\"submit-manual\",\"vendor\":\"v\"}",
             "{\"op\":\"submit-manual\",\"vendor\":\"v\",\"pages\":[\"x\"]}",
             "{\"op\":\"query-mapping\",\"sequences\":[\"a\"],\"deadline_ms\":-3}",
+            "{\"op\":\"query-mapping\",\"sequences\":[\"a\"],\"mode\":\"bogus\"}",
+            "{\"op\":\"query-mapping\",\"sequences\":[\"a\"],\"mode\":\"ann:x\"}",
+            "{\"op\":\"query-mapping\",\"sequences\":[\"a\"],\"mode\":3}",
             "{\"op\":\"submit-manual\",\"vendor\":\"v\",\"pages\":[[\"u\",\"h\"]],\"job\":\"\"}",
             "{\"op\":\"submit-manual\",\"vendor\":\"v\",\"pages\":[[\"u\",\"h\"]],\"job\":\"../x\"}",
             "{\"op\":\"submit-manual\",\"vendor\":\"v\",\"pages\":[[\"u\",\"h\"]],\"job\":7}",

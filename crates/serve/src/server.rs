@@ -590,21 +590,22 @@ fn handle_request(
                 write_line(writer, &ok_line(Value::Obj(fields)))
             }
         },
-        Request::QueryMapping { sequences, k, .. } => {
+        Request::QueryMapping {
+            sequences, k, mode, ..
+        } => {
             if let Err(stage) = deadline.check("dl-scan") {
                 return deadline_reply(ctx, writer, "query-mapping", "dl-scan", &stage);
             }
             let ctx_q = Context { sequences };
-            let matches: Vec<Value> = ctx
-                .state
-                .mapper
+            let mapper = ctx.state.mapper_for(mode);
+            let matches: Vec<Value> = mapper
                 .recommend(&ctx_q, k)
                 .into_iter()
                 .map(|(leaf, score)| {
                     Value::Obj(vec![
                         (
                             "path".to_string(),
-                            Value::Str(ctx.state.mapper.udm().path_of(leaf)),
+                            Value::Str(mapper.udm().path_of(leaf)),
                         ),
                         ("score".to_string(), Value::Num(score as f64)),
                     ])
@@ -704,6 +705,29 @@ fn health_payload(ctx: &ConnCtx) -> Value {
             "vendors".to_string(),
             Value::Num(ctx.state.vendors.len() as f64),
         ),
+        ("retrieval".to_string(), retrieval_payload(ctx)),
+    ])
+}
+
+/// The `health` reply's view of the retrieval layer: the default mode,
+/// corpus size, sub-linear index shape and the index memo's build-time
+/// hit rate (1.0 on a warm start — the k-means build was skipped).
+fn retrieval_payload(ctx: &ConnCtx) -> Value {
+    let stats = ctx.state.mapper.retrieval_stats();
+    let (hits, misses) = (ctx.state.ann_memo_hits, ctx.state.ann_memo_misses);
+    let lookups = hits + misses;
+    let hit_rate = if lookups == 0 { 0.0 } else { hits as f64 / lookups as f64 };
+    Value::Obj(vec![
+        ("mode".to_string(), Value::Str(stats.mode.to_string())),
+        ("leaf_count".to_string(), Value::Num(stats.leaf_count as f64)),
+        (
+            "index_build_ms".to_string(),
+            Value::Num(stats.index_build_ms),
+        ),
+        ("nlist".to_string(), Value::Num(stats.nlist as f64)),
+        ("ann_memo_hits".to_string(), Value::Num(hits as f64)),
+        ("ann_memo_misses".to_string(), Value::Num(misses as f64)),
+        ("ann_memo_hit_rate".to_string(), Value::Num(hit_rate)),
     ])
 }
 

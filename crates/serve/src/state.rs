@@ -19,7 +19,7 @@ use nassim_datasets::{manualgen, style, udmgen};
 use nassim_diag::{Diagnostic, NassimError, Stage};
 use nassim_html::IngestBudget;
 use nassim_mapper::context::vdm_param_refs;
-use nassim_mapper::{Embedder, Mapper};
+use nassim_mapper::{Embedder, Mapper, RetrievalMode};
 use nassim_parser::parser_for;
 use std::collections::BTreeMap;
 use std::path::{Path, PathBuf};
@@ -90,6 +90,24 @@ pub struct ServeState {
     /// Parse-artifact cache hits during the catalog build — non-zero
     /// exactly when a persisted store warmed the start.
     pub warm_page_hits: usize,
+    /// Ann-cache traffic during the build: a warm start from a persisted
+    /// store reports a hit (the k-means build was skipped), a cold start
+    /// a miss. `health` reports these as the index memo hit rate.
+    pub ann_memo_hits: usize,
+    pub ann_memo_misses: usize,
+}
+
+impl ServeState {
+    /// The mapper answering a `query-mapping` request: the default
+    /// (exact) mapper, or a cheap clone in the requested mode — the
+    /// sub-linear structures were built once at startup, so a mode
+    /// switch is an `Arc` bump, never an index build.
+    pub fn mapper_for(&self, mode: Option<RetrievalMode>) -> Mapper {
+        match mode {
+            None => self.mapper.clone(),
+            Some(mode) => self.mapper.with_retrieval_mode(mode),
+        }
+    }
 }
 
 /// How to build the daemon's state.
@@ -184,13 +202,22 @@ impl ServeState {
                 seed: DEMO_SEED,
                 paraphrase_strength: 0.6,
                 distractors: 8,
+                synthetic_leaves: 0,
             },
         );
-        let mapper = store.mapper_dl(
+        let mut mapper = store.mapper_dl(
             &udm.udm,
             Arc::new(DemoEmbedder::default()),
             DEMO_EMBEDDER_ID,
         );
+        // Build the sub-linear retrieval structures once, through the
+        // store's ann cache (a persisted store warm-starts them), then
+        // restore the default mode — per-request `mode` overrides are
+        // then clone-and-flip, sharing the built index.
+        let default_mode = mapper.retrieval_mode();
+        mapper.set_retrieval_mode_cached(RetrievalMode::Quantized, &mut store.ann);
+        mapper.set_retrieval_mode(default_mode);
+        let (ann_memo_hits, ann_memo_misses) = (store.ann.hits, store.ann.misses);
         let warm_page_hits = store.stats.page_hits;
         if warm_page_hits > 0 {
             startup_diagnostics.push(Diagnostic::note(
@@ -204,6 +231,8 @@ impl ServeState {
                 mapper,
                 startup_diagnostics,
                 warm_page_hits,
+                ann_memo_hits,
+                ann_memo_misses,
             },
             store,
         ))

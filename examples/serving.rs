@@ -28,6 +28,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         sequences: vec!["bgp as-number".to_string()],
         k: 3,
         deadline_ms: Some(2_000),
+        mode: None,
     })?;
     println!("\n> query-mapping \"bgp as-number\" (k=3, 2s deadline)\n< {}", raw.join("\n< "));
 

@@ -89,6 +89,7 @@ fn chaos_script() -> Vec<Request> {
             sequences: vec![topic.to_string()],
             k: 1 + i % 5,
             deadline_ms: None,
+            mode: None,
         });
     }
     script.push(Request::SubmitManual {
@@ -294,6 +295,7 @@ fn overload_sheds_typed_while_health_answers() {
                 sequences: vec!["overload probe".to_string()],
                 k: 1,
                 deadline_ms: None,
+                mode: None,
             })
             .unwrap();
         match reply {

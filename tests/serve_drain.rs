@@ -93,6 +93,7 @@ fn drain_completes_in_flight_and_sheds_new_work() {
                 sequences: vec!["drain probe".to_string()],
                 k: 1,
                 deadline_ms: None,
+                mode: None,
             })
             .unwrap();
         match reply {
@@ -152,6 +153,7 @@ fn warm_restart_serves_byte_identical_responses() {
             sequences: vec!["bgp as-number".to_string(), "ospf area".to_string()],
             k: 5,
             deadline_ms: None,
+            mode: None,
         },
     ];
     let chaos_opts = ChaosOptions::default();
@@ -210,6 +212,7 @@ fn panics_are_isolated_to_the_request() {
             sequences: vec!["after the panic".to_string()],
             k: 1,
             deadline_ms: None,
+            mode: None,
         })
         .unwrap()
     {
